@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure through the models and
+asserts its headline shape, so ``pytest benchmarks/ --benchmark-only``
+doubles as the full reproduction run with timings.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def arm():
+    from repro.machine import cte_arm
+
+    return cte_arm()
+
+
+@pytest.fixture(scope="session")
+def mn4():
+    from repro.machine import marenostrum4
+
+    return marenostrum4(192)

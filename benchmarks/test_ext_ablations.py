@@ -1,0 +1,25 @@
+"""Benchmarks of the extension ablations (each regenerates its experiment)."""
+
+import pytest
+
+from repro.harness import run_experiment
+
+FAST_ABLATIONS = [
+    "ext_paging",
+    "ext_vectorization",
+    "ext_scalar_ooo",
+    "ext_scheduler",
+    "ext_topology",
+    "ext_energy",
+    "ext_roofline",
+    "ext_interconnect",
+    "ext_weak_scaling",
+]
+
+
+@pytest.mark.parametrize("exp_id", FAST_ABLATIONS)
+def test_ablation(benchmark, exp_id):
+    result = benchmark.pedantic(run_experiment, args=(exp_id,), rounds=1,
+                                iterations=1)
+    assert result.all_hold, [e.render() for e in result.expectations
+                             if not e.holds]

@@ -1,0 +1,20 @@
+"""Fig. 1: the six FPU µKernel variants on both machines, plus the real
+host FMA kernel."""
+
+from repro.bench.fpu_ukernel import fig1_data
+from repro.kernels.fpu import fma_chain
+
+
+def test_fig01_fpu_campaign(benchmark):
+    data = benchmark(fig1_data)
+    assert len(data) == 12
+    assert all(r.percent_of_peak > 95 for r in data)
+    arm_dp = next(r for r in data if r.cluster == "CTE-Arm"
+                  and r.mode.value == "vector" and r.dtype.name == "DOUBLE")
+    assert 69.0 < arm_dp.sustained_flops / 1e9 < 70.4
+
+
+def test_fig01_real_fma_kernel(benchmark):
+    """The actual numpy FMA chain the µKernel model is validated against."""
+    acc, flops = benchmark(fma_chain, 2048, 50)
+    assert flops == 2 * 2048 * 50 * 8

@@ -1,0 +1,20 @@
+"""Fig. 2: STREAM OpenMP thread sweep (model) and the real host STREAM."""
+
+from repro.bench.stream_bench import best_point, fig2_data
+from repro.kernels.stream import run_stream
+
+
+def test_fig02_stream_openmp_sweep(benchmark):
+    data = benchmark(fig2_data)
+    arm_c = [p for p in data if p.cluster == "CTE-Arm" and p.language == "c"]
+    best = best_point(arm_c)
+    assert abs(best.bandwidth / 1e9 - 292.0) < 3.0
+    assert best.threads == 24
+    mn4 = best_point([p for p in data if "Nostrum" in p.cluster])
+    assert abs(mn4.bandwidth / 1e9 - 201.2) < 2.0
+
+
+def test_fig02_real_stream_triad(benchmark):
+    """The actual STREAM kernels on this host, verified arithmetic."""
+    bw = benchmark(run_stream, 1_000_000, 3)
+    assert bw["triad"] > 1e8

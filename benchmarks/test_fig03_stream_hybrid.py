@@ -1,0 +1,14 @@
+"""Fig. 3: hybrid MPI+OpenMP STREAM Triad."""
+
+from repro.bench.stream_bench import best_point, fig3_data
+
+
+def test_fig03_stream_hybrid(benchmark):
+    data = benchmark(fig3_data)
+    arm_f = best_point([p for p in data
+                        if p.cluster == "CTE-Arm" and p.language == "fortran"])
+    arm_c = best_point([p for p in data
+                        if p.cluster == "CTE-Arm" and p.language == "c"])
+    assert abs(arm_f.bandwidth / 1e9 - 862.6) < 5.0   # 84 % of peak
+    assert abs(arm_c.bandwidth / 1e9 - 421.1) < 5.0   # the unexplained C gap
+    assert arm_f.label == "4x12"

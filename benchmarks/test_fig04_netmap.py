@@ -1,0 +1,15 @@
+"""Fig. 4: all-pairs (192x192) bandwidth map at 256 B on the TofuD fabric."""
+
+import numpy as np
+
+from repro.bench.osu import fig4_data, find_weak_links
+from repro.network.faults import WEAK_NODE_INDEX
+
+
+def test_fig04_netmap(benchmark):
+    m = benchmark(fig4_data)
+    assert m.shape == (192, 192)
+    assert np.all(np.isnan(np.diag(m)))
+    report = find_weak_links(m)
+    assert report.weak_receivers == [WEAK_NODE_INDEX]
+    assert report.weak_senders == []

@@ -1,0 +1,20 @@
+"""Fig. 5: bandwidth distributions over message sizes 1 B - 16 MiB."""
+
+import numpy as np
+
+from repro.bench.osu import fig5_data
+from repro.util.stats import is_bimodal
+from repro.util.units import KIB, MIB
+
+
+def test_fig05_netdist(benchmark):
+    dists = benchmark(fig5_data, max_pairs=1000)
+    assert len(dists) == 25  # 2^0 .. 2^24
+    # mid-size bimodality
+    mid = [s for s in dists if 1 * KIB <= s < 256 * KIB
+           and is_bimodal(dists[s] / 1e6)]
+    assert len(mid) >= 4
+    # large-message variability
+    big = dists[16 * MIB] / 1e6
+    spread = (np.percentile(big, 95) - np.percentile(big, 5)) / np.median(big)
+    assert spread > 0.2

@@ -1,0 +1,30 @@
+"""Fig. 6: LINPACK scalability sweep (model) and the real blocked-LU kernel."""
+
+import numpy as np
+
+from repro.bench.linpack import fig6_data
+from repro.kernels.lu import blocked_lu, hpl_residual, lu_solve
+
+
+def test_fig06_linpack_sweep(benchmark):
+    pts = benchmark(fig6_data)
+    arm = {p.n_nodes: p for p in pts if p.cluster == "CTE-Arm"}
+    mn4 = {p.n_nodes: p for p in pts if p.cluster != "CTE-Arm"}
+    assert abs(arm[192].percent_of_peak - 85.0) < 1.0
+    assert abs(mn4[192].percent_of_peak - 63.0) < 1.5
+    assert abs(arm[1].gflops / mn4[1].gflops - 1.25) < 0.05
+    assert abs(arm[192].gflops / mn4[192].gflops - 1.40) < 0.05
+
+
+def test_fig06_real_blocked_lu(benchmark):
+    rng = np.random.default_rng(0)
+    n = 192
+    a = rng.normal(size=(n, n))
+    b = rng.normal(size=n)
+
+    def factor_and_solve():
+        lu, piv = blocked_lu(a.copy(), block=48)
+        return lu_solve(lu, piv, b)
+
+    x = benchmark(factor_and_solve)
+    assert hpl_residual(a, x, b) < 16.0

@@ -1,0 +1,24 @@
+"""Fig. 7: HPCG vanilla/optimized (model) and the real MG-preconditioned CG."""
+
+from repro.bench.hpcg import fig7_data
+from repro.kernels.multigrid import hpcg_solve
+
+
+def test_fig07_hpcg_campaign(benchmark):
+    pts = benchmark(fig7_data)
+
+    def get(cluster, version, nodes):
+        return next(p for p in pts if p.cluster == cluster
+                    and p.version == version and p.n_nodes == nodes)
+
+    a1 = get("CTE-Arm", "optimized", 1)
+    m1 = get("MareNostrum 4", "optimized", 1)
+    assert abs(a1.percent_of_peak - 2.91) < 0.05
+    assert abs(a1.gflops / m1.gflops - 2.5) < 0.2
+
+
+def test_fig07_real_hpcg_kernel(benchmark):
+    result, flops = benchmark(hpcg_solve, 8, 8, 8, levels=2, tol=1e-6,
+                              max_iter=40)
+    assert result.converged
+    assert flops > 0

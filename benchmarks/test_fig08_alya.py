@@ -1,0 +1,19 @@
+"""Fig. 8: Alya average-time-step strong scaling on both machines."""
+
+from repro.apps import AlyaModel
+
+
+def test_fig08_alya_scaling(benchmark, arm, mn4):
+    app = AlyaModel()
+
+    def sweep():
+        arm_t = {n: app.time_step(arm, n).total for n in (12, 16, 32, 44, 64)}
+        mn4_t = {n: app.time_step(mn4, n).total for n in (12, 16)}
+        return arm_t, mn4_t
+
+    arm_t, mn4_t = benchmark(sweep)
+    ratio12 = arm_t[12] / mn4_t[12]
+    assert 3.0 < ratio12 < 3.8  # paper: 3.4x
+    # 44 CTE-Arm nodes match 12 MareNostrum 4 nodes.
+    assert arm_t[44] <= mn4_t[12] * 1.1
+    assert arm_t[32] > mn4_t[12]

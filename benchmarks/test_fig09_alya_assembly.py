@@ -1,0 +1,17 @@
+"""Fig. 9: Alya Assembly phase — the worst-case vectorization gap."""
+
+from repro.apps import AlyaModel
+
+
+def test_fig09_alya_assembly(benchmark, arm, mn4):
+    app = AlyaModel()
+
+    def phase_times():
+        a = app.time_step(arm, 12).phase_seconds["assembly"]
+        m = app.time_step(mn4, 12).phase_seconds["assembly"]
+        a62 = app.time_step(arm, 62).phase_seconds["assembly"]
+        return a, m, a62
+
+    a, m, a62 = benchmark(phase_times)
+    assert 4.5 < a / m < 5.4        # paper: 4.96x
+    assert a62 <= m * 1.1           # ~62 CTE-Arm nodes match 12 MN4 nodes

@@ -1,0 +1,19 @@
+"""Fig. 11: NEMO BENCH/ORCA1 strong scaling with the >= 128-node flattening."""
+
+from repro.analysis.scaling import flattening_point
+from repro.apps import NemoModel
+
+
+def test_fig11_nemo_scaling(benchmark, arm, mn4):
+    app = NemoModel()
+    arm_nodes = [8, 16, 32, 64, 128, 192]
+
+    def sweep():
+        arm_t = {n: app.time_step(arm, n).total for n in arm_nodes}
+        mn4_t = {n: app.time_step(mn4, n).total for n in (8, 16, 24)}
+        return arm_t, mn4_t
+
+    arm_t, mn4_t = benchmark(sweep)
+    assert 1.6 < arm_t[8] / mn4_t[8] < 1.95   # paper: 1.70-1.79x
+    flat = flattening_point(arm_nodes, [arm_t[n] for n in arm_nodes])
+    assert flat is not None and flat >= 96    # flattens around 128

@@ -1,0 +1,29 @@
+"""Fig. 12: Gromacs single-node sweep, plus the real MD kernel."""
+
+import numpy as np
+
+from repro.apps import GromacsModel
+from repro.kernels.md import MDSystem, velocity_verlet
+
+
+def test_fig12_gromacs_single_node(benchmark, arm, mn4):
+    app = GromacsModel()
+
+    def sweep():
+        return dict(app.single_node_sweep(arm)), dict(app.single_node_sweep(mn4))
+
+    arm_d, mn4_d = benchmark(sweep)
+    assert 2.7 < arm_d[6] / mn4_d[6] < 3.7     # paper: 3.48x at 6 cores
+    assert 2.6 < arm_d[48] / mn4_d[48] < 3.6   # paper: 3.10x full node
+
+
+def test_fig12_real_md_kernel(benchmark):
+    """The actual reaction-field MD step (cell lists, velocity Verlet)."""
+    system = MDSystem.lattice(6, seed=1)
+
+    def steps():
+        return velocity_verlet(system, dt=0.002, steps=2)
+
+    hist = benchmark.pedantic(steps, rounds=1, iterations=1)
+    e = np.array(hist["total"])
+    assert np.all(np.isfinite(e))

@@ -1,0 +1,20 @@
+"""Fig. 13: Gromacs multi-node scaling with the 16-rank anomaly."""
+
+from repro.apps import GromacsModel
+
+
+def test_fig13_gromacs_multi(benchmark, arm, mn4):
+    app = GromacsModel()
+    alt = GromacsModel(anomaly=False)
+
+    def sweep():
+        return {
+            "arm144": app.days_per_ns(arm, 144),
+            "mn4144": app.days_per_ns(mn4, 144),
+            "arm2_8x6": app.days_per_ns(arm, 2),    # 16 ranks -> anomaly
+            "arm2_12x8": alt.days_per_ns(arm, 2),   # alternative layout
+        }
+
+    d = benchmark(sweep)
+    assert 1.3 < d["arm144"] / d["mn4144"] < 1.9   # paper: 1.5x at 144 nodes
+    assert d["arm2_8x6"] > 1.25 * d["arm2_12x8"]   # the anomaly spike

@@ -1,0 +1,31 @@
+"""Fig. 14: OpenIFS TL255L91 single-node sweep, plus the real spectral step."""
+
+from repro.apps.openifs import OpenIFSModel
+from repro.kernels.spectral import (
+    SpectralGrid,
+    initial_vorticity,
+    step_rk3,
+    total_enstrophy,
+)
+
+
+def test_fig14_openifs_single_node(benchmark, arm, mn4):
+    app = OpenIFSModel("TL255L91")
+
+    def sweep():
+        return dict(app.single_node_sweep(arm)), dict(app.single_node_sweep(mn4))
+
+    arm_s, mn4_s = benchmark(sweep)
+    assert 3.0 < arm_s[8] / mn4_s[8] < 4.0     # paper: 3.72x at 8 ranks
+    assert 2.9 < arm_s[48] / mn4_s[48] < 3.8   # paper: 3.28x full node
+
+
+def test_fig14_real_spectral_step(benchmark):
+    grid = SpectralGrid(128)
+    z0 = initial_vorticity(grid, seed=0)
+
+    def step():
+        return step_rk3(z0, grid, dt=5e-4, nu=1e-4)
+
+    z1 = benchmark(step)
+    assert total_enstrophy(z1) > 0

@@ -1,0 +1,24 @@
+"""Fig. 15: OpenIFS TC0511L91 multi-node scaling (alltoall-dominated)."""
+
+import pytest
+
+from repro.apps.openifs import OpenIFSModel
+from repro.util.errors import OutOfMemoryError
+
+
+def test_fig15_openifs_multi(benchmark, arm, mn4):
+    app = OpenIFSModel("TC0511L91")
+
+    def sweep():
+        return {
+            "arm32": app.seconds_per_simulated_day(arm, 32),
+            "arm128": app.seconds_per_simulated_day(arm, 128),
+            "mn432": app.seconds_per_simulated_day(mn4, 32),
+            "mn4128": app.seconds_per_simulated_day(mn4, 128),
+        }
+
+    s = benchmark(sweep)
+    assert 2.9 < s["arm32"] / s["mn432"] < 4.0    # paper: 3.55x
+    assert 2.2 < s["arm128"] / s["mn4128"] < 3.0  # paper: 2.56x
+    with pytest.raises(OutOfMemoryError):  # memory gate below 32 nodes
+        app.time_step(arm, 31)

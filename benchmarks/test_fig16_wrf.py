@@ -1,0 +1,25 @@
+"""Fig. 16: WRF Iberia 4 km, IO enabled vs disabled."""
+
+from repro.apps import WRFModel
+
+
+def test_fig16_wrf(benchmark, arm, mn4):
+    io_on = WRFModel(io_enabled=True)
+    io_off = WRFModel(io_enabled=False)
+
+    def sweep():
+        return {
+            (c.name, n, io): app.elapsed_seconds(c, n)
+            for c in (arm, mn4)
+            for n in (1, 16, 64)
+            for app, io in ((io_on, "on"), (io_off, "off"))
+        }
+
+    v = benchmark(sweep)
+    r1 = v[("CTE-Arm", 1, "on")] / v[("MareNostrum 4", 1, "on")]
+    r64 = v[("CTE-Arm", 64, "on")] / v[("MareNostrum 4", 64, "on")]
+    assert 1.95 < r1 < 2.45    # paper: 2.16x
+    assert 1.85 < r64 < 2.50   # paper: 2.23x
+    for c in ("CTE-Arm", "MareNostrum 4"):
+        for n in (1, 16, 64):
+            assert v[(c, n, "on")] / v[(c, n, "off")] < 1.10  # IO ~free

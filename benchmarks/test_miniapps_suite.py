@@ -1,0 +1,58 @@
+"""Benchmarks of the five distributed mini-apps (paper workload patterns)."""
+
+import numpy as np
+
+from repro.apps.miniapp_fem import fem_miniapp
+from repro.apps.miniapp_md import md_miniapp
+from repro.apps.miniapp_spectral import spectral_miniapp
+from repro.apps.miniapps_linalg import fft_transpose_miniapp, lu_miniapp
+from repro.machine import cte_arm
+from repro.simmpi import RankMapping, World
+
+
+def _world(p: int) -> World:
+    cluster = cte_arm(12)
+    n_nodes = min(p, 4)
+    return World(RankMapping(cluster, n_nodes=n_nodes,
+                             ranks_per_node=-(-p // n_nodes)))
+
+
+def test_lu_miniapp_bench(benchmark):
+    def run():
+        return _world(4).run(lu_miniapp, n=48)
+
+    res = benchmark(run)
+    assert res.rank_results[0]["residual"] < 1e-9
+
+
+def test_fem_miniapp_bench(benchmark):
+    def run():
+        return _world(4).run(fem_miniapp, cells=3)
+
+    res = benchmark(run)
+    assert res.rank_results[0]["residual"] < 1e-7
+
+
+def test_md_miniapp_bench(benchmark):
+    def run():
+        return _world(3).run(md_miniapp, n_side=7, steps=3)
+
+    res = benchmark(run)
+    assert sum(r["n_owned"] for r in res.rank_results) == 343
+
+
+def test_spectral_miniapp_bench(benchmark):
+    def run():
+        return _world(4).run(spectral_miniapp, n=32, steps=2)
+
+    res = benchmark(run)
+    e = res.rank_results[0]["enstrophy"]
+    assert np.isfinite(e).all()
+
+
+def test_fft_transpose_bench(benchmark):
+    def run():
+        return _world(4).run(fft_transpose_miniapp, n=64)
+
+    res = benchmark(run)
+    assert res.rank_results[0]["error"] < 1e-10

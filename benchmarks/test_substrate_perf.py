@@ -1,0 +1,76 @@
+"""Substrate performance benchmarks: DES engine, simulated MPI, kernels.
+
+Not tied to one figure — these track the laboratory's own performance
+(events/second through the engine, collectives at growing rank counts,
+real kernel throughput) so regressions in the simulator itself are visible.
+"""
+
+import numpy as np
+
+from repro.apps.miniapps import cg_miniapp, stencil_miniapp
+from repro.des import Engine
+from repro.kernels.fem import assemble_stiffness, box_mesh
+from repro.machine import cte_arm
+from repro.simmpi import RankMapping, VirtualPayload, World
+
+
+def test_des_event_throughput(benchmark):
+    def run_events():
+        eng = Engine()
+
+        def ticker():
+            for _ in range(2000):
+                yield eng.timeout(1e-6)
+
+        eng.process(ticker())
+        return eng.run()
+
+    elapsed = benchmark(run_events)
+    assert elapsed > 0
+
+
+def test_simmpi_allreduce_64_ranks(benchmark):
+    cluster = cte_arm(12)
+
+    def run_allreduce():
+        world = World(RankMapping(cluster, n_nodes=8, ranks_per_node=8))
+
+        def program(comm):
+            for _ in range(5):
+                yield from comm.allreduce(VirtualPayload(8))
+
+        return world.run(program).elapsed
+
+    assert benchmark(run_allreduce) > 0
+
+
+def test_stencil_miniapp_end_to_end(benchmark):
+    cluster = cte_arm(12)
+
+    def run_miniapp():
+        world = World(RankMapping(cluster, n_nodes=4, ranks_per_node=4))
+        return world.run(stencil_miniapp, global_shape=(64, 64), steps=4)
+
+    res = benchmark(run_miniapp)
+    assert res.elapsed > 0
+
+
+def test_cg_miniapp_end_to_end(benchmark):
+    cluster = cte_arm(12)
+
+    def run_cg():
+        world = World(RankMapping(cluster, n_nodes=2, ranks_per_node=4))
+        return world.run(cg_miniapp, n=128, tol=1e-8)
+
+    res = benchmark(run_cg)
+    assert res.rank_results[0]["residual"] < 1e-5
+
+
+def test_fem_assembly_kernel(benchmark):
+    mesh = box_mesh(8, 8, 8)
+
+    def assemble():
+        return assemble_stiffness(mesh, batch=2048)
+
+    a = benchmark(assemble)
+    assert abs(a - a.T).max() < 1e-12

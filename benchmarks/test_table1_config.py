@@ -1,0 +1,10 @@
+"""Table I: hardware-configuration generation from the presets."""
+
+from repro.machine.presets import table1
+
+
+def test_table1_config(benchmark):
+    t = benchmark(table1)
+    text = t.render()
+    assert "70.40" in text and "67.20" in text
+    assert "1024 GB/s" in text and "256 GB/s" in text

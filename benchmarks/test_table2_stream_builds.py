@@ -1,0 +1,11 @@
+"""Table II: STREAM build-configuration table."""
+
+from repro.toolchain.flags import table2
+
+
+def test_table2_stream_builds(benchmark):
+    t = benchmark(table2)
+    text = t.render()
+    assert "-Kzfill=100" in text
+    assert "-O3 -xHost" in text
+    assert len(t.rows) == 4

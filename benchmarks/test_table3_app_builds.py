@@ -1,0 +1,21 @@
+"""Table III: application build-configuration table + deployment replay."""
+
+from repro.apps import ALL_APPS, get_app
+from repro.machine import cte_arm
+from repro.toolchain.flags import table3
+
+
+def test_table3_app_builds(benchmark):
+    t = benchmark(table3)
+    assert len(t.rows) == 10
+    assert all(c.startswith("GNU") for c, cl in
+               zip(t.column("Compiler"), t.column("Cluster"))
+               if cl == "cte-arm")
+
+
+def test_table3_deployment_replay(benchmark, arm):
+    def replay():
+        return {name: get_app(name).build_log(arm) for name in ALL_APPS}
+
+    logs = benchmark(replay)
+    assert all(log[-1][1] == "ok" for log in logs.values())

@@ -1,0 +1,24 @@
+"""Table IV: the full speedup matrix of CTE-Arm vs MareNostrum 4."""
+
+from repro.analysis.speedup import table4_matrix
+
+
+def test_table4_speedups(benchmark):
+    matrix = benchmark(table4_matrix)
+    by = {(c.application, c.n_nodes): c for cells in matrix.values()
+          for c in cells}
+    # paper anchors
+    assert abs(by[("LINPACK", 1)].speedup - 1.25) < 0.04
+    assert abs(by[("LINPACK", 192)].speedup - 1.40) < 0.04
+    assert abs(by[("HPCG", 192)].speedup - 3.24) < 0.20
+    assert by[("Alya", 1)].speedup is None          # NP
+    assert by[("NEMO", 1)].speedup is None          # NP
+    assert by[("OpenIFS", 16)].speedup is None      # NP (TC0511)
+    assert abs(by[("Alya", 16)].speedup - 0.30) < 0.04
+    assert abs(by[("NEMO", 16)].speedup - 0.56) < 0.08
+    # the global shape: synthetics > 1, applications < 1
+    for row, cells in matrix.items():
+        for cell in cells:
+            if cell.speedup is None:
+                continue
+            assert (cell.speedup > 1) == (row in ("LINPACK", "HPCG"))

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Application strong-scaling study: Figs. 8-16 and Table IV.
+
+Sweeps all five applications over node counts on both modeled clusters,
+prints the per-application scaling tables with the paper's headline ratios,
+and closes with the full Table IV speedup matrix.
+
+Run:  python examples/app_scaling_study.py
+"""
+
+from repro.analysis import table4
+from repro.apps import ALL_APPS, get_app
+from repro.apps.gromacs import GromacsModel
+from repro.apps.openifs import OpenIFSModel
+from repro.machine import cte_arm, marenostrum4
+from repro.util.errors import OutOfMemoryError
+from repro.util.tables import Table
+
+
+def sweep(app, cluster, nodes):
+    out = {}
+    for n in nodes:
+        try:
+            out[n] = app.time_step(cluster, n).total
+        except OutOfMemoryError:
+            out[n] = None
+    return out
+
+
+def main() -> None:
+    arm = cte_arm()
+    mn4 = marenostrum4(192)
+    nodes = [1, 8, 12, 16, 32, 64, 128, 192]
+
+    for name in ALL_APPS:
+        app = OpenIFSModel("TC0511L91") if name == "openifs" else get_app(name)
+        t = Table(f"{name} — seconds per time step",
+                  ["Nodes", "CTE-Arm", "MareNostrum 4", "slowdown"])
+        arm_times = sweep(app, arm, nodes)
+        mn4_times = sweep(app, mn4, nodes)
+        for n in nodes:
+            a, m = arm_times[n], mn4_times[n]
+            ratio = (a / m) if (a is not None and m is not None) else None
+            t.add_row(n,
+                      "NP" if a is None else f"{a:.3f}",
+                      "NP" if m is None else f"{m:.3f}",
+                      "-" if ratio is None else f"{ratio:.2f}x")
+        print(t.render())
+        print()
+
+    # The Gromacs anomaly experiment (Fig. 13's dotted lines).
+    g = GromacsModel()
+    alt = GromacsModel(anomaly=False)
+    print("Gromacs 16-rank anomaly (2 nodes):")
+    print(f"  8 ranks x 6 threads : {g.days_per_ns(arm, 2):.3f} days/ns")
+    print(f"  12 ranks x 8 threads: {alt.days_per_ns(arm, 2):.3f} days/ns "
+          f"(follows the scaling trend)")
+    print()
+
+    print(table4().render())
+    print()
+    print("Compare with the paper's Table IV: LINPACK/HPCG > 1 (CTE-Arm")
+    print("wins on synthetic benchmarks), every application < 1 — the")
+    print("emerging-technology cluster loses 2-4x on untuned codes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Capacity planning: the operator's view of the evaluation.
+
+The paper reports per-node-count comparisons; a data-center operator asks
+the dual question — *how many nodes of the new machine replace my current
+allocation, and at what energy bill?*  This study answers it for each
+application, reproducing the paper's quoted equivalences (44 CTE-Arm nodes
+match 12 MareNostrum 4 nodes for Alya; 62 for the Assembly phase alone; 22
+for the Solver) and extending them with node-hour and energy ratios.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis.planning import (
+    equivalence_table,
+    nodes_for_target,
+    plan_for_target,
+)
+from repro.apps import AlyaModel, NemoModel, WRFModel
+from repro.machine import cte_arm, marenostrum4
+
+
+def main() -> None:
+    arm = cte_arm()
+    mn4 = marenostrum4(192)
+
+    # --- the paper's equivalence points, recovered by search ---------------
+    alya = AlyaModel()
+    target = alya.time_step(mn4, 12).total
+    n = nodes_for_target(alya, arm, target)
+    print(f"Alya: {n} CTE-Arm nodes match 12 MareNostrum 4 nodes "
+          f"(paper: 44)\n")
+
+    # --- per-application equivalence + cost ratios ---------------------------
+    for app, b_nodes in ((alya, [12, 16, 32]),
+                         (NemoModel(), [8, 16, 24]),
+                         (WRFModel(), [4, 16, 64])):
+        print(equivalence_table(app, arm, mn4, b_nodes).render())
+        print()
+
+    # --- a concrete plan -------------------------------------------------------
+    wrf = WRFModel()
+    for budget in (2.0, 0.5, 0.1):
+        for cluster in (arm, mn4):
+            plan = plan_for_target(wrf, cluster, budget)
+            if plan is None:
+                print(f"WRF @ {budget:.1f} s/step on {cluster.name}: "
+                      "unreachable within the partition")
+                continue
+            print(f"WRF @ {budget:.1f} s/step on {plan.cluster:14s}: "
+                  f"{plan.n_nodes:3d} nodes, "
+                  f"{plan.node_hours_per_run:6.1f} node-hours/run, "
+                  f"{plan.energy_kwh_per_run:5.2f} kWh/run")
+        print()
+
+    print("Reading: matching the Intel machine's wall-clock on the A64FX")
+    print("system takes ~3.5x the nodes for Alya but only ~1.5x the energy;")
+    print("for WRF-class workloads the energy cost is roughly at parity —")
+    print("the emerging-technology cluster trades time for power.")
+
+
+if __name__ == "__main__":
+    main()

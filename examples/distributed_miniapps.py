@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Every paper workload as a *real* distributed program in virtual time.
+
+Runs the five mini-apps — each implementing the communication pattern of
+one paper workload — under the simulated MPI and validates each against
+its sequential reference:
+
+* distributed blocked LU (HPL / Fig. 6): panel broadcasts;
+* distributed FEM assembly + PCG (Alya / Figs. 8-10): gather-scatter
+  assembly, collective-separated Krylov iterations;
+* halo-exchanged stencil (NEMO, WRF / Figs. 11, 16);
+* slab-decomposed MD with ghost pulses and migration (Gromacs / Figs. 12-13);
+* transpose-FFT pseudo-spectral solver (OpenIFS / Figs. 14-15).
+
+Run:  python examples/distributed_miniapps.py
+"""
+
+import numpy as np
+
+from repro.apps.miniapp_fem import fem_miniapp, sequential_fem
+from repro.apps.miniapp_md import md_miniapp
+from repro.apps.miniapp_spectral import spectral_miniapp
+from repro.apps.miniapps import sequential_stencil, stencil_miniapp
+from repro.apps.miniapps_linalg import fft_transpose_miniapp, lu_miniapp
+from repro.kernels.md import MDSystem, velocity_verlet
+from repro.kernels.spectral import SpectralGrid, initial_vorticity, step_rk3
+from repro.machine import cte_arm
+from repro.simmpi import RankMapping, World
+from repro.util.units import format_time
+
+
+def world(p: int) -> World:
+    cluster = cte_arm(12)
+    n_nodes = min(p, 4)
+    return World(RankMapping(cluster, n_nodes=n_nodes,
+                             ranks_per_node=-(-p // n_nodes)))
+
+
+def main() -> None:
+    print("Five mini-apps, 4-6 simulated A64FX ranks each, every result")
+    print("checked against its sequential reference:\n")
+
+    # 1. LU (HPL pattern)
+    res = world(4).run(lu_miniapp, n=64)
+    r0 = res.rank_results[0]
+    err = np.abs(r0["x"] - np.linalg.solve(r0["a"], r0["b"])).max()
+    print(f"  LU (HPL)        : residual {r0['residual']:.1e}, "
+          f"err vs numpy {err:.1e}, virtual {format_time(res.elapsed)}")
+
+    # 2. FEM (Alya pattern)
+    res = world(4).run(fem_miniapp, cells=4)
+    x_seq, _, _ = sequential_fem(4)
+    err = np.abs(res.rank_results[0]["x"] - x_seq).max()
+    print(f"  FEM (Alya)      : {res.rank_results[0]['iterations']} PCG iters, "
+          f"err vs sequential {err:.1e}, virtual {format_time(res.elapsed)}")
+
+    # 3. stencil (NEMO/WRF pattern)
+    res = world(4).run(stencil_miniapp, global_shape=(64, 64), steps=6)
+    glued = np.zeros((64, 64))
+    for r in res.rank_results:
+        (y0, y1), (x0, x1) = r["rows"], r["cols"]
+        glued[y0:y1, x0:x1] = r["block"]
+    err = np.abs(glued - sequential_stencil((64, 64), steps=6)).max()
+    print(f"  stencil (NEMO)  : halo exchange err {err:.1e}, "
+          f"virtual {format_time(res.elapsed)}")
+
+    # 4. MD (Gromacs pattern)
+    res = world(3).run(md_miniapp, n_side=7, steps=4, seed=9)
+    ref = MDSystem.lattice(7, seed=9)
+    velocity_verlet(ref, dt=0.002, steps=4, cutoff=2.5)
+    pos = np.zeros((343, 3))
+    for r in res.rank_results:
+        pos[r["ids"]] = r["positions"]
+    err = np.abs(pos - ref.positions).max()
+    print(f"  MD (Gromacs)    : slab DD + migration, pos err {err:.1e}, "
+          f"virtual {format_time(res.elapsed)}")
+
+    # 5. spectral (OpenIFS pattern)
+    n, steps = 32, 3
+    res = world(4).run(spectral_miniapp, n=n, steps=steps, seed=2)
+    full = np.zeros((n, n), dtype=complex)
+    for r in res.rank_results:
+        full[:, r["col0"]: r["col0"] + n // 4] = r["block"]
+    grid = SpectralGrid(n)
+    z = initial_vorticity(grid, seed=2)
+    for _ in range(steps):
+        z = step_rk3(z, grid, dt=1e-3, nu=0.0)
+    err = np.abs(full - z).max() / np.abs(z).max()
+    print(f"  spectral (OIFS) : transpose-FFT RK3, err {err:.1e}, "
+          f"virtual {format_time(res.elapsed)}")
+
+    # bonus: the bare transpose validated against fft2
+    res = world(4).run(fft_transpose_miniapp, n=32)
+    print(f"  fft transpose   : alltoall vs np.fft.fft2, "
+          f"err {res.rank_results[0]['error']:.1e}")
+
+    print("\nEvery halo face, panel broadcast, ghost pulse, and transpose")
+    print("moved real numpy data through the DES engine; virtual times come")
+    print("from the TofuD network model and the A64FX compute model.")
+
+
+if __name__ == "__main__":
+    main()

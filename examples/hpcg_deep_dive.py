@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""HPCG deep dive: the real algorithm plus the Fig. 6/7 models.
+
+Runs the *actual* HPCG computation (27-point operator, symmetric
+Gauss-Seidel, multigrid-preconditioned CG) at host scale, verifies
+convergence, counts flops with the official accounting — then prints the
+modeled Fig. 6 (LINPACK) and Fig. 7 (HPCG) campaigns, and the blocked-LU
+LINPACK kernel with its HPL residual check.
+
+Run:  python examples/hpcg_deep_dive.py
+"""
+
+import numpy as np
+
+from repro.bench.hpcg import fig7_data
+from repro.bench.linpack import fig6_data
+from repro.kernels.lu import blocked_lu, hpl_flops, hpl_residual, lu_solve
+from repro.kernels.multigrid import hpcg_solve
+from repro.util.tables import Table
+
+
+def main() -> None:
+    # --- real HPCG, vanilla vs optimized ------------------------------------
+    import time
+
+    print("Real HPCG (16x16x16 grid, 2 MG levels) on this host,")
+    print("vanilla (lexicographic SymGS) vs optimized (multicolor SymGS):")
+    for optimized in (False, True):
+        t0 = time.perf_counter()
+        result, flops = hpcg_solve(16, 16, 16, levels=2, tol=1e-7,
+                                   max_iter=50, optimized=optimized)
+        dt = time.perf_counter() - t0
+        label = "optimized" if optimized else "vanilla  "
+        print(f"  {label}: converged={result.converged} in "
+              f"{result.iterations} iters, {dt:.2f} s host time, "
+              f"{flops / dt / 1e6:.0f} Mflop/s")
+    print("  (the same restructuring vendors ship in their optimized")
+    print("   binaries — identical convergence, ~10x host throughput)")
+    print()
+
+    # --- real LINPACK kernel ------------------------------------------------
+    n = 256
+    rng = np.random.default_rng(7)
+    a = rng.normal(size=(n, n))
+    b = rng.normal(size=n)
+    lu, piv = blocked_lu(a.copy(), block=64)
+    x = lu_solve(lu, piv, b)
+    res = hpl_residual(a, x, b)
+    print(f"Real blocked LU (N={n}): scaled HPL residual {res:.3f} "
+          f"(HPL accepts < 16), {hpl_flops(n) / 1e6:.0f} Mflop")
+    print()
+
+    # --- modeled campaigns ---------------------------------------------------
+    t6 = Table("Fig. 6 — LINPACK (modeled)",
+               ["Cluster", "Nodes", "TFlop/s", "% of peak"])
+    for p in fig6_data():
+        if p.n_nodes in (1, 16, 64, 192):
+            t6.add_row(p.cluster, p.n_nodes, p.gflops / 1e3,
+                       f"{p.percent_of_peak:.1f}")
+    print(t6.render())
+    print()
+
+    t7 = Table("Fig. 7 — HPCG (modeled)",
+               ["Cluster", "Version", "Nodes", "GFlop/s", "% of peak"])
+    for p in fig7_data():
+        t7.add_row(p.cluster, p.version, p.n_nodes, f"{p.gflops:.1f}",
+                   f"{p.percent_of_peak:.2f}")
+    print(t7.render())
+    print()
+    print("Note the paper's closing irony, visible here: HPCG — sold as the")
+    print("'more representative' benchmark — favours the A64FX 3x, yet every")
+    print("real application favours the Intel machine.")
+
+
+if __name__ == "__main__":
+    main()

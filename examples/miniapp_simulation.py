@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Mini-apps under the simulated MPI: real numerics in virtual time.
+
+Runs the executable stencil (NEMO-like) and distributed-CG (Alya-Solver-
+like) mini-apps as SPMD rank programs on the DES-backed simulated MPI.
+Real numpy halo faces and reduction scalars move between ranks; the
+virtual clock advances per the TofuD network model and the A64FX compute
+model.  The results are validated against sequential references, and the
+same configuration is timed on both modeled clusters.
+
+Run:  python examples/miniapp_simulation.py
+"""
+
+import numpy as np
+
+from repro.apps.miniapps import (
+    cg_miniapp,
+    sequential_stencil,
+    stencil_miniapp,
+)
+from repro.machine import cte_arm, marenostrum4
+from repro.simmpi import RankMapping, World
+from repro.util.units import format_time
+
+
+def run_stencil(cluster, n_nodes=2, ranks_per_node=4):
+    mapping = RankMapping(cluster, n_nodes=n_nodes,
+                          ranks_per_node=ranks_per_node)
+    world = World(mapping)
+    result = world.run(stencil_miniapp, global_shape=(64, 64), steps=6)
+    glued = np.zeros((64, 64))
+    for r in result.rank_results:
+        (y0, y1), (x0, x1) = r["rows"], r["cols"]
+        glued[y0:y1, x0:x1] = r["block"]
+    err = float(np.abs(glued - sequential_stencil((64, 64), steps=6)).max())
+    return result, err
+
+
+def main() -> None:
+    arm = cte_arm(12)
+    mn4 = marenostrum4(12)
+
+    print("Distributed diffusion stencil, 8 ranks on 2 nodes, 6 steps:")
+    for cluster in (arm, mn4):
+        result, err = run_stencil(cluster)
+        comm = result.phase_time("stepping:sendrecv") + result.phase_time(
+            "stepping:recv")
+        print(f"  {cluster.name:14s}: virtual time "
+              f"{format_time(result.elapsed)}, max error vs sequential "
+              f"{err:.2e}")
+    print("  (identical numerics, different virtual clocks)")
+    print()
+
+    print("Distributed CG on a 1-D Laplacian, 8 ranks (Alya Solver pattern):")
+    for cluster in (arm, mn4):
+        world = World(RankMapping(cluster, n_nodes=2, ranks_per_node=4))
+        result = world.run(cg_miniapp, n=256, tol=1e-10)
+        r0 = result.rank_results[0]
+        assert all(r["iterations"] == r0["iterations"]
+                   for r in result.rank_results)
+        print(f"  {cluster.name:14s}: {r0['iterations']} iterations, "
+              f"residual {r0['residual']:.2e}, virtual time "
+              f"{format_time(result.elapsed)}")
+    print()
+    print("Every allreduce and halo message in those runs moved real data")
+    print("through the DES engine; the analytic collective-cost layer used")
+    print("by the 192-node studies is validated against these schedules in")
+    print("tests/test_collective_costs.py.")
+
+
+if __name__ == "__main__":
+    main()

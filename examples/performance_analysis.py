@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Performance analysis beyond the paper: roofline, timeline, energy.
+
+Three analyses the CLUSTER'21 paper implies but never draws:
+
+1. a **roofline chart** of the Alya phases on both machines — making the
+   "HBM compensates memory-bound phases" argument quantitative (the A64FX
+   ridge point sits at ~3.9 flop/byte vs Skylake's ~16);
+2. an ASCII **Gantt timeline** of a simulated-MPI run (the authors use
+   BSC's Paraver for this on real machines);
+3. **energy to solution** — the dimension the paper defers to its related
+   work: the A64FX's 2-4x time penalty shrinks to ~1x in energy.
+
+Run:  python examples/performance_analysis.py
+"""
+
+from repro.analysis import (
+    app_roofline,
+    ascii_gantt,
+    ascii_roofline,
+    ridge_point,
+    roofline_table,
+)
+from repro.apps import AlyaModel, NemoModel, WRFModel
+from repro.apps.miniapps import stencil_miniapp
+from repro.machine import cte_arm, marenostrum4
+from repro.power import app_energy, linpack_energy
+from repro.simmpi import RankMapping, World
+from repro.util.tables import Table
+
+
+def main() -> None:
+    arm = cte_arm()
+    mn4 = marenostrum4(192)
+
+    # --- 1. roofline --------------------------------------------------------
+    app = AlyaModel()
+    points_arm = app_roofline(app, arm, 16)
+    points_mn4 = app_roofline(app, mn4, 16)
+    print(roofline_table(points_arm + points_mn4).render())
+    print()
+    print(f"ridge points: CTE-Arm {ridge_point(arm):.1f} flop/byte, "
+          f"MareNostrum 4 {ridge_point(mn4):.1f} flop/byte")
+    print()
+    print(ascii_roofline(arm, points_arm, n_nodes=16))
+    print()
+
+    # --- 2. timeline ---------------------------------------------------------
+    world = World(RankMapping(cte_arm(12), n_nodes=2, ranks_per_node=4))
+    result = world.run(stencil_miniapp, global_shape=(64, 64), steps=5)
+    print(ascii_gantt(result.trace, width=72,
+                      title="stencil mini-app on 8 simulated A64FX ranks"))
+    print()
+
+    # --- 3. energy -----------------------------------------------------------
+    t = Table("Energy to solution @16 nodes",
+              ["workload", "CTE-Arm [kWh]", "MN4 [kWh]", "energy ratio",
+               "time ratio"])
+    for a in (AlyaModel(), NemoModel(), WRFModel()):
+        ea, em = app_energy(a, arm, 16), app_energy(a, mn4, 16)
+        t.add_row(a.name, ea.energy_kwh, em.energy_kwh,
+                  ea.energy_j / em.energy_j, ea.seconds / em.seconds)
+    print(t.render())
+    _, gfw_arm = linpack_energy(arm, 192)
+    _, gfw_mn4 = linpack_energy(mn4, 192)
+    print(f"\nHPL efficiency: CTE-Arm {gfw_arm:.1f} GFlop/s/W "
+          f"(Fugaku Green500 class) vs MareNostrum 4 {gfw_mn4:.1f}")
+    print("The 2-4x time penalty becomes a ~1-1.5x energy penalty — the")
+    print("emerging-technology cluster's real selling point.")
+
+
+if __name__ == "__main__":
+    main()

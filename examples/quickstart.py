@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: the laboratory in five minutes.
+
+Builds both cluster models, prints Table I, runs the FPU µKernel campaign
+(Fig. 1), and reproduces the paper's headline application finding — Alya
+runs ~3.4x slower on the A64FX system — with the per-phase explanation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import AlyaModel
+from repro.bench.fpu_ukernel import run_fpu_ukernel
+from repro.machine import cte_arm, marenostrum4, table1
+from repro.util.tables import Table
+
+
+def main() -> None:
+    arm = cte_arm()
+    mn4 = marenostrum4(192)
+
+    print(table1().render())
+    print()
+
+    # --- Fig. 1: the silicon itself behaves exactly as theory predicts ---
+    t = Table("FPU µKernel — one core (Fig. 1)",
+              ["Cluster", "Mode", "Precision", "GFlop/s", "% of peak"])
+    for r in run_fpu_ukernel(arm) + run_fpu_ukernel(mn4):
+        t.add_row(r.cluster, r.mode.value, r.dtype.name.lower(),
+                  f"{r.sustained_flops / 1e9:.1f}", f"{r.percent_of_peak:.0f}")
+    print(t.render())
+    print()
+
+    # --- ...but an untuned application tells a different story ----------
+    alya = AlyaModel()
+    print("Alya deployment on CTE-Arm (paper Section V-A):")
+    for compiler, outcome in alya.build_log(arm):
+        print(f"  {compiler}: {outcome}")
+    print()
+
+    n = 16
+    t_arm = alya.time_step(arm, n)
+    t_mn4 = alya.time_step(mn4, n)
+    print(f"Alya TestCaseB, {n} nodes each:")
+    for phase in t_arm.phase_seconds:
+        a, m = t_arm.phase_seconds[phase], t_mn4.phase_seconds[phase]
+        print(f"  {phase:10s} CTE-Arm {a:7.2f} s   MareNostrum4 {m:7.2f} s "
+              f"  ratio {a / m:4.2f}x")
+    print(f"  {'total':10s} CTE-Arm {t_arm.total:7.2f} s   "
+          f"MareNostrum4 {t_mn4.total:7.2f} s   ratio "
+          f"{t_arm.total / t_mn4.total:4.2f}x")
+    print()
+    print("The compute-bound Assembly pays the full vectorization deficit;")
+    print("the memory-bound Solver is rescued by the A64FX's HBM — the")
+    print("paper's central observation, emerging from the models.")
+
+
+if __name__ == "__main__":
+    main()

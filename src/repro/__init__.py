@@ -1,0 +1,28 @@
+"""repro — a cluster-evaluation laboratory in Python.
+
+Reproduction of Banchelli et al., *Cluster of emerging technology: evaluation
+of a production HPC system based on A64FX* (IEEE CLUSTER 2021).
+
+The package models two production clusters — CTE-Arm (Fujitsu A64FX, TofuD)
+and MareNostrum 4 (Intel Skylake, OmniPath) — from first principles, executes
+MPI+OpenMP workloads against the models in virtual time, provides real numpy
+kernels for every benchmark the paper runs, and regenerates every figure and
+table of the paper's evaluation.
+
+Quick start::
+
+    from repro.machine import cte_arm, marenostrum4
+    from repro.harness import run_experiment
+
+    result = run_experiment("fig6_linpack")
+    print(result.render())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+from repro.machine import cte_arm, marenostrum4, get_preset
+
+__all__ = ["cte_arm", "marenostrum4", "get_preset", "__version__"]

@@ -1,0 +1,53 @@
+"""Analysis: speedup matrices, scaling metrics, report rendering."""
+
+from repro.analysis.speedup import (
+    SpeedupCell,
+    app_speedup,
+    table4_matrix,
+    table4,
+    TABLE4_NODES,
+)
+from repro.analysis.scaling import (
+    parallel_efficiency,
+    scaling_exponent,
+    flattening_point,
+)
+from repro.analysis.roofline import (
+    RooflinePoint,
+    app_roofline,
+    ascii_roofline,
+    machine_roofs,
+    ridge_point,
+    roofline_table,
+)
+from repro.analysis.timeline import ascii_gantt, timeline_rows, trace_to_csv
+from repro.analysis.planning import (
+    Plan,
+    equivalence_table,
+    nodes_for_target,
+    plan_for_target,
+)
+
+__all__ = [
+    "RooflinePoint",
+    "app_roofline",
+    "ascii_roofline",
+    "machine_roofs",
+    "ridge_point",
+    "roofline_table",
+    "ascii_gantt",
+    "timeline_rows",
+    "trace_to_csv",
+    "Plan",
+    "equivalence_table",
+    "nodes_for_target",
+    "plan_for_target",
+    "SpeedupCell",
+    "app_speedup",
+    "table4_matrix",
+    "table4",
+    "TABLE4_NODES",
+    "parallel_efficiency",
+    "scaling_exponent",
+    "flattening_point",
+]

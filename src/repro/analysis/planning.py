@@ -1,0 +1,118 @@
+"""Capacity planning: the data-center operator's reading of the paper.
+
+The paper answers "how does CTE-Arm compare at equal node count?"; an
+operator asks the dual questions: *how many nodes of each machine deliver a
+target time-to-solution, and at what energy/node-hour budget?*  This module
+answers them from the application models — including the equivalence points
+the paper quotes (44 CTE-Arm nodes ~ 12 MareNostrum 4 nodes for Alya).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel
+from repro.machine.cluster import ClusterModel
+from repro.power.model import app_energy, power_model_for
+from repro.util.errors import ConfigurationError, OutOfMemoryError
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Resources needed on one machine for one target."""
+
+    cluster: str
+    n_nodes: int
+    seconds_per_step: float
+    node_hours_per_run: float
+    energy_kwh_per_run: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.n_nodes > 0
+
+
+def nodes_for_target(
+    app: AppModel,
+    cluster: ClusterModel,
+    target_seconds_per_step: float,
+    *,
+    max_nodes: int | None = None,
+) -> int | None:
+    """Smallest node count meeting the per-step target (None if unreachable).
+
+    Binary search over the feasible range — per-step time is monotone
+    non-increasing in nodes for these models.
+    """
+    if target_seconds_per_step <= 0:
+        raise ConfigurationError("target must be positive")
+    lo = app.min_nodes(cluster)
+    hi = max_nodes if max_nodes is not None else cluster.n_nodes
+    if lo > hi:
+        return None
+    binary = app.build(cluster)
+    if app.time_step(cluster, hi, binary=binary).total > target_seconds_per_step:
+        return None
+    while lo < hi:
+        mid = (lo + hi) // 2
+        try:
+            t = app.time_step(cluster, mid, binary=binary).total
+        except OutOfMemoryError:
+            lo = mid + 1
+            continue
+        if t <= target_seconds_per_step:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def plan_for_target(
+    app: AppModel, cluster: ClusterModel, target_seconds_per_step: float
+) -> Plan | None:
+    """Full resource plan (nodes, node-hours, energy) for one target."""
+    n = nodes_for_target(app, cluster, target_seconds_per_step)
+    if n is None:
+        return None
+    timing = app.time_step(cluster, n)
+    run_seconds = timing.total * app.steps_per_run
+    report = app_energy(app, cluster, n)
+    return Plan(
+        cluster=cluster.name,
+        n_nodes=n,
+        seconds_per_step=timing.total,
+        node_hours_per_run=n * run_seconds / 3600.0,
+        energy_kwh_per_run=report.energy_kwh,
+    )
+
+
+def equivalence_table(
+    app: AppModel,
+    cluster_a: ClusterModel,
+    cluster_b: ClusterModel,
+    b_nodes: list[int],
+    *,
+    max_nodes: int | None = None,
+) -> Table:
+    """For each ``cluster_b`` size, the matching ``cluster_a`` size and the
+    node-hour / energy ratio of choosing A over B."""
+    t = Table(
+        f"Equivalence: {cluster_a.name} vs {cluster_b.name} ({app.name})",
+        [f"{cluster_b.name} nodes", f"{cluster_a.name} nodes (match)",
+         "node ratio", "energy ratio"],
+    )
+    for nb in b_nodes:
+        try:
+            target = app.time_step(cluster_b, nb).total
+        except OutOfMemoryError:
+            t.add_row(nb, "NP", None, None)
+            continue
+        na = nodes_for_target(app, cluster_a, target, max_nodes=max_nodes)
+        if na is None:
+            t.add_row(nb, "unreachable", None, None)
+            continue
+        ea = app_energy(app, cluster_a, na)
+        eb = app_energy(app, cluster_b, nb)
+        t.add_row(nb, na, na / nb, ea.energy_j / eb.energy_j)
+    return t

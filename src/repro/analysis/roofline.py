@@ -1,0 +1,152 @@
+"""Roofline analysis of the application phases (extension).
+
+The paper's whole Section V narrative is a roofline argument told in prose:
+Alya's Assembly is compute-bound (pays the full vectorization deficit),
+its Solver is memory-bound on MareNostrum 4 but lifted by HBM on the
+A64FX.  This module makes the argument quantitative: for any application
+phase it computes operational intensity, the achieved rate, which roof
+binds on each machine, and renders an ASCII roofline chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import AppModel
+from repro.machine.cluster import ClusterModel
+from repro.util.errors import ConfigurationError
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One phase of one application on one machine."""
+
+    phase: str
+    cluster: str
+    intensity: float  # flop/byte
+    achieved_gflops: float  # aggregate, whole partition
+    roof_gflops: float  # min(compute roof, intensity * bw roof)
+    bound: str  # "memory" | "compute" | "communication"
+
+    @property
+    def roof_fraction(self) -> float:
+        return self.achieved_gflops / self.roof_gflops if self.roof_gflops else 0.0
+
+
+def machine_roofs(cluster: ClusterModel, n_nodes: int) -> tuple[float, float]:
+    """(compute roof GF, memory bandwidth GB/s) of an ``n_nodes`` partition."""
+    peak = cluster.peak_flops_nodes(n_nodes) / 1e9
+    bw = n_nodes * cluster.node.sustainable_memory_bandwidth / 1e9
+    return peak, bw
+
+
+def ridge_point(cluster: ClusterModel) -> float:
+    """Operational intensity where the roofs intersect (flop/byte).
+
+    The A64FX ridge sits far left of Skylake's — the quantitative form of
+    "HBM compensates memory-bound phases".
+    """
+    peak, bw = machine_roofs(cluster, 1)
+    return peak / bw
+
+
+def app_roofline(
+    app: AppModel, cluster: ClusterModel, n_nodes: int
+) -> list[RooflinePoint]:
+    """Roofline points for every phase of an application run."""
+    timing = app.time_step(cluster, n_nodes)
+    mapping = app.mapping(cluster, n_nodes)
+    peak, bw = machine_roofs(cluster, n_nodes)
+    points = []
+    for phase in app.phases(mapping):
+        t = timing.phase_seconds[phase.name]
+        if t <= 0:
+            continue
+        if phase.flops <= 0:
+            continue
+        intensity = (
+            phase.flops / phase.bytes_moved if phase.bytes_moved > 0 else np.inf
+        )
+        achieved = phase.flops / t / 1e9
+        mem_roof = intensity * bw if np.isfinite(intensity) else np.inf
+        roof = min(peak, mem_roof)
+        # Bound classification from the model's own roofline terms: which
+        # of the two times actually set the max() in time_step.
+        t_comm = timing.phase_comm.get(phase.name, 0.0)
+        t_flops = timing.phase_flops_time.get(phase.name, 0.0)
+        t_bytes = timing.phase_bytes_time.get(phase.name, 0.0)
+        if t_comm > 0.5 * t:
+            bound = "communication"
+        elif t_bytes > t_flops:
+            bound = "memory"
+        else:
+            bound = "compute"
+        points.append(
+            RooflinePoint(
+                phase=phase.name,
+                cluster=cluster.name,
+                intensity=float(intensity) if np.isfinite(intensity) else 1e9,
+                achieved_gflops=achieved,
+                roof_gflops=float(roof),
+                bound=bound,
+            )
+        )
+    if not points:
+        raise ConfigurationError("application produced no roofline points")
+    return points
+
+
+def roofline_table(points: list[RooflinePoint]) -> Table:
+    t = Table(
+        "Roofline analysis",
+        ["Phase", "Cluster", "AI [F/B]", "Achieved [GF]", "Roof [GF]",
+         "% of roof", "Bound"],
+    )
+    for p in points:
+        t.add_row(p.phase, p.cluster, p.intensity, p.achieved_gflops,
+                  p.roof_gflops, f"{100 * p.roof_fraction:.0f}", p.bound)
+    return t
+
+
+def ascii_roofline(
+    cluster: ClusterModel,
+    points: list[RooflinePoint],
+    *,
+    n_nodes: int = 1,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Log-log roofline chart: the roof line plus phase markers."""
+    peak, bw = machine_roofs(cluster, n_nodes)
+    ai_lo, ai_hi = 0.05, 100.0
+    gf_lo, gf_hi = bw * ai_lo * 0.5, peak * 2.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(ai: float) -> int:
+        f = (np.log10(ai) - np.log10(ai_lo)) / (np.log10(ai_hi) - np.log10(ai_lo))
+        return int(np.clip(round(f * (width - 1)), 0, width - 1))
+
+    def row(gf: float) -> int:
+        f = (np.log10(gf) - np.log10(gf_lo)) / (np.log10(gf_hi) - np.log10(gf_lo))
+        return int(np.clip(height - 1 - round(f * (height - 1)), 0, height - 1))
+
+    for c in range(width):
+        ai = 10 ** (np.log10(ai_lo) + c / (width - 1)
+                    * (np.log10(ai_hi) - np.log10(ai_lo)))
+        roof = min(peak, ai * bw)
+        grid[row(roof)][c] = "_" if roof >= peak else "/"
+    markers = "ox+*sd"
+    legend = []
+    for p, m in zip(points, markers):
+        per_node = p.achieved_gflops / max(1, n_nodes)
+        grid[row(max(gf_lo, per_node))][col(np.clip(p.intensity, ai_lo, ai_hi))] = m
+        legend.append(f"{m}={p.phase}({p.bound})")
+    lines = [f"{cluster.name} roofline (per node): peak {peak:.0f} GF, "
+             f"BW {bw:.0f} GB/s, ridge {peak / bw:.2f} F/B"]
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" AI {ai_lo} .. {ai_hi} F/B (log)   " + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Strong-scaling metrics used when analyzing the application sweeps."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+def parallel_efficiency(
+    nodes: Sequence[int], times: Sequence[float]
+) -> list[float]:
+    """Strong-scaling efficiency relative to the smallest configuration:
+    eff(n) = (t0 * n0) / (t(n) * n)."""
+    if len(nodes) != len(times) or not nodes:
+        raise ConfigurationError("nodes and times must be same non-zero length")
+    n0, t0 = nodes[0], times[0]
+    return [(t0 * n0) / (t * n) for n, t in zip(nodes, times)]
+
+
+def scaling_exponent(nodes: Sequence[int], times: Sequence[float]) -> float:
+    """Least-squares slope of log(time) vs log(nodes).
+
+    -1.0 is perfect strong scaling; values approaching 0 mean the curve has
+    flattened (NEMO beyond 128 CTE-Arm nodes in the paper).
+    """
+    if len(nodes) < 2:
+        raise ConfigurationError("need at least two points")
+    x = np.log(np.asarray(nodes, dtype=float))
+    y = np.log(np.asarray(times, dtype=float))
+    slope, _ = np.polyfit(x, y, 1)
+    return float(slope)
+
+
+def flattening_point(
+    nodes: Sequence[int], times: Sequence[float], *, threshold: float = 0.5
+) -> int | None:
+    """First node count where the local scaling exponent rises above
+    ``-threshold`` (i.e. doubling nodes buys < 2^threshold speedup).
+
+    Returns None if the curve never flattens in the measured range.
+    """
+    if len(nodes) != len(times) or len(nodes) < 2:
+        raise ConfigurationError("need matched sequences of >= 2 points")
+    for i in range(1, len(nodes)):
+        slope = math.log(times[i] / times[i - 1]) / math.log(
+            nodes[i] / nodes[i - 1]
+        )
+        if slope > -threshold:
+            return nodes[i]
+    return None

@@ -1,0 +1,105 @@
+"""Alya workload model (paper Section V-A, Figs. 8-10).
+
+Alya is BSC's multi-physics FEM code; the study runs the UEABS TestCaseB
+input — a sphere mesh of 132 million elements — MPI-only, for 20 time steps
+(the first discarded).  Each step has two dominant phases:
+
+* **Assembly** — per-element matrix computation with indirect
+  gather/scatter; compute-bound, and the phase where the GNU-SVE
+  vectorization deficit plus the A64FX irregular-access penalty bite
+  hardest (paper: 4.96x slower on 12 CTE-Arm nodes vs 12 MareNostrum 4
+  nodes);
+* **Solver** — Krylov iterations separated by collectives; on MareNostrum 4
+  it is memory-bandwidth-bound while the A64FX's HBM keeps it
+  compute-bound, which shrinks the gap to 1.79x (the paper's headline
+  observation about HBM compensating the weak scalar core).
+
+Calibration (documented per DESIGN.md Section 4): per-element assembly work
+120 kflop / 12 kB (multi-physics Navier-Stokes assembly); solver work
+1.108e13 flop/step at operational intensity 2.295 flop/byte.  With those
+two constants and the toolchain model, the paper's 3.4x step ratio, the
+4.96x/1.79x phase ratios, and the 44/62/22-node equivalence points all
+emerge.
+
+Deployment: the Fujitsu compiler hangs on Alya's most complex modules
+(modeled in :mod:`repro.toolchain.profiles`), so CTE-Arm uses GNU 8.3.1-sve.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, CommOp, PhaseWork
+from repro.simmpi.mapping import RankMapping
+from repro.toolchain.kernels import KernelClass
+from repro.util.units import GB
+
+#: TestCaseB mesh.
+N_ELEMENTS = 132_000_000
+N_NODES_MESH = 23_000_000
+DOF_PER_NODE = 5  # velocity (3) + pressure + extra scalar
+
+#: Calibrated per-element assembly cost.
+ASSEMBLY_FLOPS_PER_ELEMENT = 120_000.0
+ASSEMBLY_BYTES_PER_ELEMENT = 12_000.0
+
+#: Calibrated solver work per time step.
+SOLVER_FLOPS_PER_STEP = 1.108e13
+SOLVER_INTENSITY = 2.295  # flop/byte
+SOLVER_ITERATIONS = 40
+
+#: Paper protocol: 20 steps, first discarded.
+TIME_STEPS = 20
+MEASURED_STEPS = 19
+
+
+class AlyaModel(AppModel):
+    name = "alya"
+    language = "fortran"
+    kernels = (
+        KernelClass.FEM_ASSEMBLY,
+        KernelClass.KRYLOV,
+        KernelClass.SCALAR_PHYSICS,
+    )
+    ranks_per_node = 48
+    threads_per_rank = 1
+    #: 0.1 GB/rank replicated + 320 GB decomposed state => >= 12 CTE-Arm
+    #: nodes (32 GB HBM), matching the paper's "at least 12 A64FX nodes".
+    replicated_bytes_per_rank = int(0.1 * GB)
+    distributed_bytes_total = 320 * GB
+    steps_per_run = MEASURED_STEPS
+
+    def phases(self, mapping: RankMapping) -> list[PhaseWork]:
+        p = mapping.n_ranks
+        # Interface (halo) size per rank: surface of a ~cubic partition of
+        # the mesh, 5 unknowns of 8 bytes per interface node.
+        nodes_per_rank = N_NODES_MESH / p
+        interface_nodes = max(64.0, 6.0 * nodes_per_rank ** (2.0 / 3.0))
+        halo_bytes = int(interface_nodes * DOF_PER_NODE * 8)
+        return [
+            PhaseWork(
+                name="assembly",
+                kernel=KernelClass.FEM_ASSEMBLY,
+                flops=N_ELEMENTS * ASSEMBLY_FLOPS_PER_ELEMENT,
+                bytes_moved=N_ELEMENTS * ASSEMBLY_BYTES_PER_ELEMENT,
+                comm=(CommOp("halo", halo_bytes, count=1, neighbors=6),),
+                imbalance=1.05,  # paper reports the slowest process
+            ),
+            PhaseWork(
+                name="solver",
+                kernel=KernelClass.KRYLOV,
+                flops=SOLVER_FLOPS_PER_STEP,
+                bytes_moved=SOLVER_FLOPS_PER_STEP / SOLVER_INTENSITY,
+                comm=(
+                    CommOp("allreduce", 8, count=2 * SOLVER_ITERATIONS),
+                    CommOp("halo", halo_bytes, count=SOLVER_ITERATIONS,
+                           neighbors=6),
+                ),
+                imbalance=1.02,
+            ),
+            PhaseWork(
+                name="other",
+                kernel=KernelClass.SCALAR_PHYSICS,
+                flops=2.0e11,
+                bytes_moved=1.0e11,
+                serial_seconds=0.05,
+            ),
+        ]

@@ -1,0 +1,345 @@
+"""Application workload models: phases, per-step timing, strong scaling.
+
+An application declares, per time step, a list of :class:`PhaseWork` items
+(total flops, total main-memory bytes, per-rank communication operations).
+``time_step`` evaluates them for one (cluster, node-count) configuration:
+
+* per-phase compute follows the roofline
+  ``max(flops / aggregate_rate, bytes / aggregate_bandwidth)`` where the
+  aggregate rate uses the *toolchain-model* sustained per-core rate of the
+  phase's kernel class — this is where the GNU-SVE vectorization deficit
+  and the A64FX scalar/irregular penalties enter;
+* communication uses the analytic collective costs over the cluster's
+  network model;
+* an optional serial component models replicated/rank-0 work (Amdahl).
+
+``scaling`` sweeps node counts, marking memory-infeasible points as NP
+exactly like Table IV.  ``build_log`` replays the deployment story of
+Section V (which compilers were tried, how they failed).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.machine.cluster import ClusterModel
+from repro.network.collectives import CollectiveCosts
+from repro.network.model import NetworkModel, network_for
+from repro.sched.jobs import Job
+from repro.sched.scheduler import Scheduler
+from repro.simmpi.mapping import RankMapping
+from repro.toolchain.compiler import Binary, CompilerProfile
+from repro.toolchain.kernels import KernelClass
+from repro.toolchain.profiles import FUJITSU_1_2_26B, default_compiler_for
+from repro.util.errors import (
+    ConfigurationError,
+    OutOfMemoryError,
+    ToolchainError,
+)
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """One communication operation per rank per step."""
+
+    kind: str  # "halo" | "allreduce" | "alltoall" | "bcast" | "gather" | "p2p"
+    size: int  # bytes per message/block
+    count: float = 1.0  # operations per step
+    neighbors: int = 4  # for halo exchanges
+
+    def cost(self, costs: CollectiveCosts) -> float:
+        if self.count <= 0:
+            return 0.0
+        if self.kind == "halo":
+            one = costs.halo_exchange(self.size, n_neighbors=self.neighbors)
+        elif self.kind == "allreduce":
+            one = costs.allreduce(self.size)
+        elif self.kind == "alltoall":
+            one = costs.alltoall(self.size)
+        elif self.kind == "bcast":
+            one = costs.bcast(self.size)
+        elif self.kind == "gather":
+            one = costs.allgather(self.size)  # gather ~ allgather cost shape
+        elif self.kind == "p2p":
+            one = costs.p2p(self.size)
+        else:
+            raise ConfigurationError(f"unknown comm kind {self.kind!r}")
+        return self.count * one
+
+
+@dataclass(frozen=True)
+class PhaseWork:
+    """Work of one phase of one time step (totals across all ranks)."""
+
+    name: str
+    kernel: KernelClass
+    flops: float
+    bytes_moved: float = 0.0
+    comm: tuple[CommOp, ...] = ()
+    serial_seconds: float = 0.0
+    imbalance: float = 1.0
+
+
+@dataclass
+class StepTiming:
+    """Per-phase breakdown of one time step."""
+
+    cluster: str
+    n_nodes: int
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    phase_compute: dict[str, float] = field(default_factory=dict)
+    phase_comm: dict[str, float] = field(default_factory=dict)
+    #: the two roofline terms behind phase_compute (before imbalance):
+    phase_flops_time: dict[str, float] = field(default_factory=dict)
+    phase_bytes_time: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.phase_seconds.values())
+
+
+@dataclass
+class AppPoint:
+    """One point of a strong-scaling figure."""
+
+    cluster: str
+    n_nodes: int
+    seconds_per_step: float | None  # None == NP (infeasible)
+    timing: StepTiming | None = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.seconds_per_step is not None
+
+
+class AppModel(abc.ABC):
+    """Base class for the five application workload models."""
+
+    #: application name as used in Table III/IV.
+    name: str = "app"
+    #: source language (feeds the compiler language factor).
+    language: str = "fortran"
+    #: kernel classes the application's code contains.
+    kernels: tuple[KernelClass, ...] = ()
+    #: MPI ranks per node and OpenMP threads per rank.
+    ranks_per_node: int = 48
+    threads_per_rank: int = 1
+    #: replicated (per-rank) memory and decomposed (total) memory footprint.
+    replicated_bytes_per_rank: int = 0
+    distributed_bytes_total: int = 0
+
+    # -- deployment ---------------------------------------------------------
+
+    def compilers_tried(self, cluster: ClusterModel) -> list[CompilerProfile]:
+        """The toolchains attempted, in order (Fujitsu first on CTE-Arm)."""
+        final = default_compiler_for(self.name, cluster.name)
+        if "arm" in cluster.name.lower():
+            return [FUJITSU_1_2_26B, final]
+        return [final]
+
+    def build(self, cluster: ClusterModel) -> Binary:
+        """Build with the toolchain the paper ended up using."""
+        compiler = default_compiler_for(self.name, cluster.name)
+        return compiler.build(self.name, self.kernels, language=self.language)
+
+    def build_log(self, cluster: ClusterModel) -> list[tuple[str, str]]:
+        """Replay the build attempts: [(compiler label, outcome), ...]."""
+        log = []
+        for compiler in self.compilers_tried(cluster):
+            try:
+                binary = compiler.build(self.name, self.kernels,
+                                        language=self.language)
+                try:
+                    binary.check_runnable()
+                    log.append((compiler.label, "ok"))
+                    break
+                except ToolchainError as exc:
+                    log.append((compiler.label, f"runtime failure: {exc}"))
+            except ToolchainError as exc:
+                log.append((compiler.label, f"compile failure: {exc}"))
+        return log
+
+    # -- resources ----------------------------------------------------------
+
+    def job(self, n_nodes: int) -> Job:
+        per_node = (
+            self.replicated_bytes_per_rank * self.ranks_per_node
+            + self.distributed_bytes_total // n_nodes
+        )
+        return Job(
+            name=self.name,
+            n_nodes=n_nodes,
+            memory_per_node_bytes=per_node,
+            ranks_per_node=self.ranks_per_node,
+            threads_per_rank=self.threads_per_rank,
+        )
+
+    def min_nodes(self, cluster: ClusterModel) -> int:
+        """Smallest node count whose per-node footprint fits (NP boundary)."""
+        capacity = cluster.node.memory_bytes
+        fixed = self.replicated_bytes_per_rank * self.ranks_per_node
+        if fixed >= capacity:
+            raise OutOfMemoryError(
+                f"{self.name}: replicated footprint alone exceeds "
+                f"{cluster.name} node memory"
+            )
+        avail = capacity - fixed
+        return max(1, -(-self.distributed_bytes_total // avail))
+
+    def check_feasible(self, cluster: ClusterModel, n_nodes: int) -> None:
+        Scheduler(cluster).check_memory(self.job(n_nodes))
+
+    # -- workload -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def phases(self, mapping: RankMapping) -> list[PhaseWork]:
+        """Per-time-step work items for one configuration."""
+
+    def mapping(self, cluster: ClusterModel, n_nodes: int) -> RankMapping:
+        return RankMapping(
+            cluster,
+            n_nodes=n_nodes,
+            ranks_per_node=self.ranks_per_node,
+            threads_per_rank=self.threads_per_rank,
+        )
+
+    def _scaled_phases(
+        self, mapping: RankMapping, work_scale: float
+    ) -> list[PhaseWork]:
+        """Phases with the global problem scaled by ``work_scale``.
+
+        Volume terms (flops, bytes) scale linearly; per-rank message sizes
+        scale with the subdomain surface, ~ work_scale^(2/3) for 3-D
+        decompositions; replicated serial work stays constant.  This is the
+        weak-scaling transform (the paper only measures strong scaling).
+        """
+        import dataclasses
+
+        phases = self.phases(mapping)
+        if work_scale == 1.0:
+            return phases
+        if work_scale <= 0:
+            raise ConfigurationError("work_scale must be positive")
+        surface = work_scale ** (2.0 / 3.0)
+        return [
+            dataclasses.replace(
+                ph,
+                flops=ph.flops * work_scale,
+                bytes_moved=ph.bytes_moved * work_scale,
+                comm=tuple(
+                    dataclasses.replace(op, size=max(1, int(op.size * surface)))
+                    for op in ph.comm
+                ),
+            )
+            for ph in phases
+        ]
+
+    # -- evaluation ---------------------------------------------------------
+
+    def time_step(
+        self,
+        cluster: ClusterModel,
+        n_nodes: int,
+        *,
+        network: NetworkModel | None = None,
+        binary: Binary | None = None,
+        work_scale: float = 1.0,
+    ) -> StepTiming:
+        """Seconds per time step, broken down by phase.
+
+        ``work_scale`` multiplies the global problem (weak-scaling support).
+        Raises OutOfMemoryError for NP configurations and ToolchainError if
+        the binary cannot run.
+        """
+        if work_scale == 1.0:
+            self.check_feasible(cluster, n_nodes)
+        mapping = self.mapping(cluster, n_nodes)
+        if binary is None:
+            binary = self.build(cluster)
+        binary.check_runnable()
+        net = network if network is not None else network_for(
+            cluster, n_nodes=n_nodes
+        )
+        costs = CollectiveCosts(mapping=mapping, network=net)
+        core = cluster.node.core_model
+        n_ranks = mapping.n_ranks
+        agg_bw = n_ranks * mapping.rank_memory_bandwidth(0)
+        timing = StepTiming(cluster=cluster.name, n_nodes=n_nodes)
+        for phase in self._scaled_phases(mapping, work_scale):
+            rate = binary.sustained_flops(core, phase.kernel)
+            agg_rate = n_ranks * mapping.rank_compute_rate(0, rate)
+            t_flops = phase.flops / agg_rate if phase.flops else 0.0
+            t_bytes = phase.bytes_moved / agg_bw if phase.bytes_moved else 0.0
+            t_compute = max(t_flops, t_bytes) * phase.imbalance
+            t_comm = sum(op.cost(costs) for op in phase.comm)
+            total = t_compute + t_comm + phase.serial_seconds
+            timing.phase_seconds[phase.name] = total
+            timing.phase_compute[phase.name] = t_compute
+            timing.phase_comm[phase.name] = t_comm
+            timing.phase_flops_time[phase.name] = t_flops
+            timing.phase_bytes_time[phase.name] = t_bytes
+        return timing
+
+    def scaling(
+        self, cluster: ClusterModel, nodes: list[int]
+    ) -> list[AppPoint]:
+        """Strong-scaling sweep; infeasible points are returned as NP."""
+        binary = self.build(cluster)
+        out = []
+        for n in nodes:
+            if n > cluster.n_nodes:
+                continue
+            try:
+                timing = self.time_step(cluster, n, binary=binary)
+            except OutOfMemoryError:
+                out.append(AppPoint(cluster=cluster.name, n_nodes=n,
+                                    seconds_per_step=None))
+                continue
+            out.append(
+                AppPoint(
+                    cluster=cluster.name,
+                    n_nodes=n,
+                    seconds_per_step=timing.total,
+                    timing=timing,
+                )
+            )
+        return out
+
+    def weak_scaling(
+        self, cluster: ClusterModel, nodes: list[int], *, base_nodes: int | None = None
+    ) -> list[AppPoint]:
+        """Weak-scaling sweep: the problem grows with the node count.
+
+        At ``base_nodes`` the problem is the paper's; at n nodes it is
+        scaled by ``n / base_nodes``, so per-node work is constant and a
+        perfectly scaling code holds a flat time per step.
+        """
+        base = base_nodes if base_nodes is not None else max(
+            1, self.min_nodes(cluster))
+        binary = self.build(cluster)
+        out = []
+        for n in nodes:
+            if n > cluster.n_nodes or n < base:
+                continue
+            timing = self.time_step(cluster, n, binary=binary,
+                                    work_scale=n / base)
+            out.append(AppPoint(cluster=cluster.name, n_nodes=n,
+                                seconds_per_step=timing.total, timing=timing))
+        return out
+
+    def nodes_to_match(
+        self, cluster_a: ClusterModel, cluster_b: ClusterModel, n_nodes_b: int,
+        *, max_nodes: int | None = None,
+    ) -> int | None:
+        """Smallest node count on ``cluster_a`` at least as fast as
+        ``n_nodes_b`` nodes of ``cluster_b`` (the paper's '44 A64FX nodes
+        match 12 MareNostrum 4 nodes' comparisons)."""
+        target = self.time_step(cluster_b, n_nodes_b).total
+        limit = max_nodes if max_nodes is not None else cluster_a.n_nodes
+        binary = self.build(cluster_a)
+        lo = self.min_nodes(cluster_a)
+        for n in range(lo, limit + 1):
+            if self.time_step(cluster_a, n, binary=binary).total <= target:
+                return n
+        return None

@@ -1,0 +1,115 @@
+"""Registry of the paper's input sets, with provenance.
+
+The paper runs publicly available inputs (most from the PRACE UEABS); this
+module records each one — what it is, where the paper says to get it, how
+big it is, and the minimum CTE-Arm nodes the 32 GB/node memory admits —
+as structured data the application models and the documentation both
+reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InputSet:
+    """One benchmark input as used in the paper."""
+
+    name: str
+    application: str
+    description: str
+    source: str  # URL or provenance note from the paper's footnotes
+    scale_note: str  # the size quantity the paper quotes
+    min_cte_arm_nodes: int  # the memory-feasibility boundary (Table IV NP)
+    figures: tuple[str, ...]  # figures this input appears in
+
+
+INPUT_SETS: dict[str, InputSet] = {
+    "TestCaseB": InputSet(
+        name="TestCaseB",
+        application="alya",
+        description="Sphere mesh, incompressible flow (UEABS Alya case B)",
+        source="https://repository.prace-ri.eu/ueabs/ALYA/2.1/TestCaseB.tar.gz",
+        scale_note="132 million elements, 20 time steps (first discarded)",
+        min_cte_arm_nodes=12,
+        figures=("fig8", "fig9", "fig10"),
+    ),
+    "BENCH-ORCA1": InputSet(
+        name="BENCH-ORCA1",
+        application="nemo",
+        description="NEMO BENCH configuration at ORCA1 (1-degree) resolution",
+        source="https://bit.ly/nemo-bench (Ticco et al.)",
+        scale_note="362x292x75 Arakawa-C grid, three averaged runs",
+        min_cte_arm_nodes=8,
+        figures=("fig11",),
+    ),
+    "lignocellulose-rf": InputSet(
+        name="lignocellulose-rf",
+        application="gromacs",
+        description="Lignocellulose with reaction-field electrostatics "
+                    "(UEABS Gromacs case B)",
+        source="https://repository.prace-ri.eu/ueabs/GROMACS/1.2/"
+               "GROMACS_TestCaseB.tar.gz",
+        scale_note="3.3 million atoms, 10000 MD steps, 6 OpenMP threads/rank",
+        min_cte_arm_nodes=1,
+        figures=("fig12", "fig13"),
+    ),
+    "TL255L91": InputSet(
+        name="TL255L91",
+        application="openifs",
+        description="OpenIFS medium-resolution forecast (single-node study)",
+        source="ECMWF OpenIFS release oifs43r3v1 (licensed distribution)",
+        scale_note="T255 spectral truncation, 91 levels",
+        min_cte_arm_nodes=1,
+        figures=("fig14",),
+    ),
+    "TC0511L91": InputSet(
+        name="TC0511L91",
+        application="openifs",
+        description="OpenIFS cubic-octahedral high-resolution forecast "
+                    "(multi-node study)",
+        source="ECMWF OpenIFS release oifs43r3v1 (licensed distribution)",
+        scale_note="Tco511 truncation, 91 levels",
+        min_cte_arm_nodes=32,
+        figures=("fig15",),
+    ),
+    "Iberia-4km": InputSet(
+        name="Iberia-4km",
+        application="wrf",
+        description="WRF mesoscale forecast over the Iberian peninsula",
+        source="BSC operational configuration (paper Section V-E)",
+        scale_note="4 km resolution, 56 simulated hours, 54 output frames",
+        min_cte_arm_nodes=1,
+        figures=("fig16",),
+    ),
+}
+
+
+def get_input(name: str) -> InputSet:
+    if name not in INPUT_SETS:
+        raise ConfigurationError(
+            f"unknown input set {name!r}; known: {sorted(INPUT_SETS)}"
+        )
+    return INPUT_SETS[name]
+
+
+def inputs_for(application: str) -> list[InputSet]:
+    """All registered inputs of one application."""
+    return [i for i in INPUT_SETS.values()
+            if i.application == application.lower()]
+
+
+def inputs_table():
+    """Render the registry (documentation/harness helper)."""
+    from repro.util.tables import Table
+
+    t = Table("Input sets used in the paper",
+              ["Input", "Application", "Scale", "min CTE-Arm nodes",
+               "Figures"])
+    for inp in INPUT_SETS.values():
+        t.add_row(inp.name, inp.application, inp.scale_note,
+                  inp.min_cte_arm_nodes, ", ".join(inp.figures))
+    return t

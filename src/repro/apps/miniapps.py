@@ -1,0 +1,214 @@
+"""Executable mini-apps: real numerics running under the simulated MPI.
+
+Each function is a rank program for :meth:`repro.simmpi.world.World.run`.
+They move real numpy data between ranks (halo faces, reduction scalars),
+compute with the kernels of :mod:`repro.kernels`, and charge modeled
+compute time — so a small-scale run both *validates numerics* (the halo
+exchange really produces the sequential answer) and *exercises the same
+communication schedule* the workload models price analytically.
+
+These are deliberately small (tens of ranks, host-sized grids); the
+192-node figures come from the workload models in the sibling modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.stencil import (
+    grid_partition,
+    laplacian_step,
+    pack_halos,
+    unpack_halos,
+)
+from repro.simmpi.comm import Comm, ReduceOp
+from repro.util.errors import ConfigurationError
+
+#: neighbour directions and their opposites for the 2-D halo exchange.
+_OPPOSITE = {"north": "south", "south": "north", "west": "east", "east": "west"}
+
+
+def _neighbors(coords, py, px):
+    """rank coords -> {direction: neighbor rank} (non-periodic grid)."""
+    iy, ix = coords
+    out = {}
+    if iy > 0:
+        out["north"] = (iy - 1) * px + ix
+    if iy < py - 1:
+        out["south"] = (iy + 1) * px + ix
+    if ix > 0:
+        out["west"] = iy * px + (ix - 1)
+    if ix < px - 1:
+        out["east"] = iy * px + (ix + 1)
+    return out
+
+
+def halo_exchange(comm: Comm, block: np.ndarray, neighbors: dict[str, int]):
+    """One full 4-neighbour halo exchange with real face payloads.
+
+    Non-blocking-style: all sends are initiated before the receives are
+    drained, preventing the cyclic deadlock a naive ordered exchange has.
+    """
+    faces = pack_halos(block)
+    tags = {"north": 1, "south": 2, "west": 3, "east": 4}
+    pending = []
+    for direction, peer in neighbors.items():
+        pending.append(
+            comm._isend(peer, faces[direction], tags[direction], None)
+        )
+    received = {}
+    for direction, peer in neighbors.items():
+        # Neighbour sends from its perspective: my 'north' neighbour sends
+        # me its 'south' face, tagged with *its* direction label.
+        opp = _OPPOSITE[direction]
+        payload = yield comm._get(peer, tags[opp])
+        received[direction] = payload
+    for ev in pending:
+        yield ev
+    unpack_halos(block, received)
+
+
+def stencil_miniapp(
+    comm: Comm,
+    *,
+    global_shape: tuple[int, int] = (64, 64),
+    steps: int = 5,
+    px: int | None = None,
+    alpha: float = 0.1,
+):
+    """NEMO/WRF-style mini-app: distributed explicit diffusion.
+
+    Returns this rank's interior block after ``steps``; the harness glues
+    blocks together and compares against the sequential evolution.
+    """
+    p = comm.size
+    if px is None:
+        px = int(np.sqrt(p))
+        while p % px:
+            px -= 1
+    py = p // px
+    ny, nx = global_shape
+    parts = grid_partition(ny, nx, py, px)
+    me = parts[comm.rank]
+    (y0, y1), (x0, x1) = me["rows"], me["cols"]
+    # Global initial condition: deterministic bump, reproducible per rank.
+    yy, xx = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+    global_field = np.exp(
+        -((yy - ny / 2.0) ** 2 + (xx - nx / 2.0) ** 2) / (0.1 * ny * nx)
+    )
+    block = np.zeros((y1 - y0 + 2, x1 - x0 + 2))
+    block[1:-1, 1:-1] = global_field[y0:y1, x0:x1]
+    neighbors = _neighbors(me["coords"], py, px)
+    comm.set_phase("stepping")
+    for _ in range(steps):
+        yield from halo_exchange(comm, block, neighbors)
+        interior = block[1:-1, 1:-1]
+        flops = 6.0 * interior.size
+        yield from comm.compute(flops=flops, flops_per_core=4.6e9,
+                                label="stencil")
+        block = laplacian_step(block, alpha=alpha)
+    # Global diagnostic, as NEMO does every step: total heat.
+    local_sum = float(block[1:-1, 1:-1].sum())
+    total = yield from comm.allreduce(np.array([local_sum]), op=ReduceOp.SUM)
+    return {"rows": (y0, y1), "cols": (x0, x1),
+            "block": block[1:-1, 1:-1].copy(), "total": float(total[0])}
+
+
+def sequential_stencil(
+    global_shape: tuple[int, int] = (64, 64), steps: int = 5, alpha: float = 0.1
+) -> np.ndarray:
+    """Reference: the same evolution on one big array with zero halo."""
+    ny, nx = global_shape
+    yy, xx = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+    field = np.exp(
+        -((yy - ny / 2.0) ** 2 + (xx - nx / 2.0) ** 2) / (0.1 * ny * nx)
+    )
+    padded = np.zeros((ny + 2, nx + 2))
+    padded[1:-1, 1:-1] = field
+    for _ in range(steps):
+        padded = laplacian_step(padded, alpha=alpha)
+    return padded[1:-1, 1:-1]
+
+
+def cg_miniapp(
+    comm: Comm,
+    *,
+    n: int = 128,
+    tol: float = 1e-8,
+    max_iter: int = 200,
+    seed: int = 3,
+):
+    """Alya-Solver-style mini-app: distributed CG on a 1-D Laplacian.
+
+    Rows are block-distributed; the matrix-vector product needs one halo
+    element from each side, and the dot products are allreduces — the exact
+    communication skeleton of Alya's Solver phase.  Returns the residual
+    norm and iteration count (identical on every rank).
+    """
+    p, rank = comm.size, comm.rank
+    if n % p:
+        raise ConfigurationError("n must be divisible by the rank count")
+    local_n = n // p
+    lo = rank * local_n
+    rng = np.random.default_rng(seed)
+    b_global = rng.normal(size=n)
+    b = b_global[lo : lo + local_n].copy()
+    x = np.zeros(local_n)
+
+    def matvec(v):
+        """Distributed tridiagonal (2, -1, -1) product — a generator."""
+        left = right = 0.0
+        if p > 1:
+            pend = []
+            if rank > 0:
+                pend.append(comm._isend(rank - 1, v[0], 10, None))
+            if rank < p - 1:
+                pend.append(comm._isend(rank + 1, v[-1], 10, None))
+            if rank > 0:
+                left = yield comm._get(rank - 1, 10)
+            if rank < p - 1:
+                right = yield comm._get(rank + 1, 10)
+            for ev in pend:
+                yield ev
+        out = 2.0 * v
+        out[:-1] -= v[1:]
+        out[1:] -= v[:-1]
+        out[0] -= left
+        out[-1] -= right
+        # Dirichlet boundaries at global ends are implicit (halo = 0).
+        yield from comm.compute(flops=5.0 * v.size, flops_per_core=5.4e9,
+                                label="spmv")
+        return out
+
+    def pdot(a_vec, b_vec):
+        local = float(a_vec @ b_vec)
+        total = yield from comm.allreduce(np.array([local]), op=ReduceOp.SUM)
+        return float(total[0])
+
+    comm.set_phase("solver")
+    r = b - (yield from matvec(x))
+    pvec = r.copy()
+    rr = yield from pdot(r, r)
+    b_norm = np.sqrt((yield from pdot(b, b))) or 1.0
+    iterations = 0
+    for it in range(1, max_iter + 1):
+        Ap = yield from matvec(pvec)
+        pAp = yield from pdot(pvec, Ap)
+        alpha = rr / pAp
+        x += alpha * pvec
+        r -= alpha * Ap
+        rr_new = yield from pdot(r, r)
+        iterations = it
+        if np.sqrt(rr_new) <= tol * b_norm:
+            rr = rr_new
+            break
+        pvec = r + (rr_new / rr) * pvec
+        rr = rr_new
+    return {"iterations": iterations, "residual": float(np.sqrt(rr)),
+            "x_local": x}
+
+
+def ring_allreduce_check(comm: Comm, value: float):
+    """Tiny correctness program used by tests: sum a value over ranks."""
+    total = yield from comm.allreduce(np.array([value]), op=ReduceOp.SUM)
+    return float(total[0])

@@ -1,0 +1,102 @@
+"""OpenIFS workload model (paper Section V-D, Figs. 14-15).
+
+OpenIFS (oifs43r3v1) advances a spectral-transform dynamical core plus
+grid-point physics.  Two inputs are studied: TL255L91 within one node
+(Fig. 14) and TC0511L91 across nodes (Fig. 15, >= 32 CTE-Arm nodes for
+memory).  Per step: spectral computations (Fourier/Legendre transforms —
+regular, moderately vectorizable) and physics parameterizations (branchy,
+barely vectorizable), joined by the spectral<->grid transpositions, which
+are alltoalls whose per-block size shrinks with the square of the rank
+count — the latency-dominated regime at 128 nodes is what pulls the
+CTE-Arm/MareNostrum 4 gap from 3.55x down to 2.56x in the paper.
+
+Calibration: 60/40 flop split spectral/physics; TL255 8e11 flop/step,
+TC0511 1.2e13 flop/step with 9.5 GB of transposed state per step across
+four transpositions.
+
+Deployment: OpenIFS *compiles* under Fujitsu after minor source changes but
+aborts at run time (modeled as a poisoned binary); CTE-Arm therefore uses
+GNU 8.3.1-sve (Table III).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, CommOp, PhaseWork
+from repro.simmpi.mapping import RankMapping
+from repro.toolchain.kernels import KernelClass
+from repro.util.errors import ConfigurationError
+from repro.util.units import GB
+
+#: per-input calibration: (flops/step, transposed bytes/step, steps/sim-day)
+INPUTS = {
+    "TL255L91": dict(flops=8.0e11, transpose_bytes=1.2e9, steps_per_day=96),
+    "TC0511L91": dict(flops=1.2e13, transpose_bytes=9.5e9, steps_per_day=192),
+}
+
+SPECTRAL_FRACTION = 0.60
+TRANSPOSES_PER_STEP = 4
+
+
+class OpenIFSModel(AppModel):
+    name = "openifs"
+    language = "fortran"
+    kernels = (KernelClass.SPECTRAL, KernelClass.SCALAR_PHYSICS)
+    ranks_per_node = 48
+    threads_per_rank = 1
+
+    def __init__(self, input_set: str = "TC0511L91"):
+        if input_set not in INPUTS:
+            raise ConfigurationError(
+                f"unknown OpenIFS input {input_set!r}; choose from {sorted(INPUTS)}"
+            )
+        self.input_set = input_set
+        self.params = INPUTS[input_set]
+        if input_set == "TC0511L91":
+            # 0.35 GB/rank replicated + 480 GB fields => >= 32 A64FX nodes.
+            self.replicated_bytes_per_rank = int(0.35 * GB)
+            self.distributed_bytes_total = 480 * GB
+        else:
+            self.replicated_bytes_per_rank = int(0.05 * GB)
+            self.distributed_bytes_total = 8 * GB
+        self.steps_per_run = self.params["steps_per_day"]
+
+    def phases(self, mapping: RankMapping) -> list[PhaseWork]:
+        p = mapping.n_ranks
+        flops = self.params["flops"]
+        g = self.params["transpose_bytes"]
+        block = max(8, int(g / (p * p)))
+        return [
+            PhaseWork(
+                name="spectral",
+                kernel=KernelClass.SPECTRAL,
+                flops=SPECTRAL_FRACTION * flops,
+                # Transforms are BLAS-like: high operational intensity.
+                bytes_moved=SPECTRAL_FRACTION * flops / 6.0,
+                comm=(CommOp("alltoall", block, count=TRANSPOSES_PER_STEP),),
+                imbalance=1.02,
+            ),
+            PhaseWork(
+                name="physics",
+                kernel=KernelClass.SCALAR_PHYSICS,
+                flops=(1.0 - SPECTRAL_FRACTION) * flops,
+                bytes_moved=(1.0 - SPECTRAL_FRACTION) * flops / 2.5,
+                imbalance=1.05,
+            ),
+        ]
+
+    def seconds_per_simulated_day(self, cluster, n_nodes: int, **kwargs) -> float:
+        """The paper's Fig. 14/15 metric: time to simulate one forecast day."""
+        t = self.time_step(cluster, n_nodes, **kwargs).total
+        return t * self.params["steps_per_day"]
+
+    def single_node_sweep(self, cluster, ranks: list[int] | None = None):
+        """Fig. 14: MPI ranks within one node; [(ranks, s/sim-day), ...]."""
+        if self.input_set != "TL255L91":
+            raise ConfigurationError("single-node sweep uses TL255L91")
+        ranks = ranks or [1, 2, 4, 8, 16, 24, 48]
+        out = []
+        for r in ranks:
+            model = OpenIFSModel("TL255L91")
+            model.ranks_per_node = r
+            out.append((r, model.seconds_per_simulated_day(cluster, 1)))
+        return out

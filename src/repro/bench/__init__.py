@@ -1,0 +1,50 @@
+"""Benchmark drivers reproducing the paper's measurement campaigns.
+
+Each module drives one of the paper's benchmark sections and returns plain
+data records (lists of dataclasses) that the harness renders as the
+corresponding figure/table:
+
+* :mod:`repro.bench.fpu_ukernel` — Fig. 1 (FPU µKernel, 6 variants);
+* :mod:`repro.bench.stream_bench` — Figs. 2-3 + Table II (STREAM);
+* :mod:`repro.bench.osu` — Figs. 4-5 (network point-to-point campaigns);
+* :mod:`repro.bench.linpack` — Fig. 6 (HPL scalability);
+* :mod:`repro.bench.hpcg` — Fig. 7 (HPCG vanilla/optimized).
+"""
+
+from repro.bench.fpu_ukernel import FPUResult, run_fpu_ukernel, fig1_data
+from repro.bench.stream_bench import (
+    StreamPoint,
+    stream_openmp_sweep,
+    stream_hybrid_points,
+    fig2_data,
+    fig3_data,
+)
+from repro.bench.osu import (
+    pairwise_bandwidth_map,
+    bandwidth_distribution,
+    fig4_data,
+    fig5_data,
+)
+from repro.bench.linpack import LinpackPoint, linpack_scaling, fig6_data
+from repro.bench.hpcg import HPCGPoint, hpcg_points, fig7_data
+
+__all__ = [
+    "FPUResult",
+    "run_fpu_ukernel",
+    "fig1_data",
+    "StreamPoint",
+    "stream_openmp_sweep",
+    "stream_hybrid_points",
+    "fig2_data",
+    "fig3_data",
+    "pairwise_bandwidth_map",
+    "bandwidth_distribution",
+    "fig4_data",
+    "fig5_data",
+    "LinpackPoint",
+    "linpack_scaling",
+    "fig6_data",
+    "HPCGPoint",
+    "hpcg_points",
+    "fig7_data",
+]

@@ -1,0 +1,88 @@
+"""Host self-validation: measure this machine, compare against the models.
+
+"Calibrate on your machine": runs the *real* kernels (FMA throughput,
+STREAM, blocked GEMM) on the host and reports where the host lands
+relative to the two modeled systems.  Useful both as a sanity check that
+the real-kernel layer is healthy and as a template for adding a third
+machine model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.fpu import measure_fma_throughput
+from repro.kernels.gemm import blocked_gemm, gemm_flops
+from repro.kernels.stream import run_stream
+from repro.machine.presets import cte_arm, marenostrum4
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """Measured characteristics of the host running the test suite."""
+
+    fma_gflops: float  # single-core numpy FMA-chain throughput
+    stream_gbs: dict[str, float]  # per-kernel best bandwidth
+    gemm_gflops: float  # blocked GEMM throughput
+
+    @property
+    def triad_gbs(self) -> float:
+        return self.stream_gbs["triad"]
+
+
+def measure_host(
+    *, stream_elements: int = 2_000_000, gemm_n: int = 384
+) -> HostProfile:
+    """Run the measurement battery (a few hundred milliseconds)."""
+    fma = measure_fma_throughput(n=4096, iters=100, repeats=3)
+    stream = run_stream(stream_elements, iterations=5)
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(gemm_n, gemm_n))
+    b = rng.normal(size=(gemm_n, gemm_n))
+    blocked_gemm(a, b, block=96)  # warm-up
+    t0 = time.perf_counter()
+    blocked_gemm(a, b, block=96)
+    dt = time.perf_counter() - t0
+    return HostProfile(
+        fma_gflops=fma / 1e9,
+        stream_gbs={k: v / 1e9 for k, v in stream.items()},
+        gemm_gflops=gemm_flops(gemm_n, gemm_n, gemm_n) / dt / 1e9,
+    )
+
+
+def comparison_table(profile: HostProfile) -> Table:
+    """Host measurements next to the modeled per-core/per-node numbers."""
+    arm, mn4 = cte_arm(), marenostrum4()
+    t = Table(
+        "Host vs modeled machines",
+        ["metric", "this host", "A64FX (model)", "Skylake (model)"],
+    )
+    t.add_row("FMA throughput, 1 core [GF]", profile.fma_gflops,
+              arm.node.core_model.peak_flops() / 1e9,
+              mn4.node.core_model.peak_flops() / 1e9)
+    t.add_row("STREAM triad [GB/s]", profile.triad_gbs,
+              arm.node.domains[0].memory.sustainable_bandwidth / 1e9,
+              mn4.node.domains[0].memory.sustainable_bandwidth / 1e9)
+    t.add_row("blocked GEMM, 1 core [GF]", profile.gemm_gflops,
+              0.9 * arm.node.core_model.peak_flops() / 1e9,
+              0.85 * mn4.node.core_model.peak_flops() / 1e9)
+    return t
+
+
+def sanity_check(profile: HostProfile) -> list[str]:
+    """Gross-health assertions about the host measurements; returns
+    human-readable problems (empty = healthy)."""
+    problems = []
+    if profile.fma_gflops < 0.1:
+        problems.append("FMA throughput implausibly low")
+    if profile.triad_gbs < 0.5:
+        problems.append("STREAM triad below 0.5 GB/s — memory trouble")
+    if profile.gemm_gflops < profile.fma_gflops / 50:
+        problems.append("GEMM far below FMA rate — BLAS misconfigured?")
+    if profile.stream_gbs["copy"] < profile.stream_gbs["triad"] / 4:
+        problems.append("copy much slower than triad — inconsistent timing")
+    return problems

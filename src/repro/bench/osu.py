@@ -1,0 +1,195 @@
+"""OSU-style network campaigns (paper Section III-C, Figs. 4-5).
+
+The paper's custom benchmark loops N MPI_Sendrecv calls of a fixed size
+between one rank on each of two nodes and reports B = s*N / (t_e - t_s).
+Fig. 4 runs it for *all* node pairs at 256 B and maps the bandwidth; Fig. 5
+histograms all pairs across message sizes from 1 B to 16 MiB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.cluster import ClusterModel
+from repro.machine.presets import cte_arm
+from repro.network.model import NetworkModel, network_for
+from repro.util.errors import ConfigurationError
+
+#: message sizes swept in Fig. 5: powers of two, 1 B .. 16 MiB.
+FIG5_SIZES = [2**k for k in range(0, 25)]
+FIG4_SIZE = 256
+
+
+def pairwise_bandwidth_map(
+    network: NetworkModel, *, size: int = FIG4_SIZE, n_nodes: int | None = None
+) -> np.ndarray:
+    """Matrix M[sender, receiver] of measured bandwidth (B/s).
+
+    The diagonal (self-pairs) is NaN, as in the paper's map.
+    """
+    n = network.n_nodes if n_nodes is None else n_nodes
+    if n > network.n_nodes:
+        raise ConfigurationError("more nodes requested than the fabric has")
+    m = np.full((n, n), np.nan)
+    for a in range(n):
+        for b in range(n):
+            if a != b:
+                m[a, b] = network.measured_bandwidth(a, b, size)
+    return m
+
+
+def bandwidth_distribution(
+    network: NetworkModel,
+    *,
+    sizes: list[int] | None = None,
+    max_pairs: int | None = 4000,
+    seed: int = 7,
+) -> dict[int, np.ndarray]:
+    """Per-size arrays of all-pairs bandwidth samples (Fig. 5's histogram).
+
+    ``max_pairs`` subsamples the 192*191 ordered pairs deterministically to
+    keep sweeps fast; ``None`` uses every pair.
+    """
+    sizes = FIG5_SIZES if sizes is None else sizes
+    n = network.n_nodes
+    pairs = [(a, b) for a in range(n) for b in range(n) if a != b]
+    if max_pairs is not None and len(pairs) > max_pairs:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(pairs), size=max_pairs, replace=False)
+        pairs = [pairs[i] for i in idx]
+    out: dict[int, np.ndarray] = {}
+    for size in sizes:
+        out[size] = np.array(
+            [network.measured_bandwidth(a, b, size) for a, b in pairs]
+        )
+    return out
+
+
+@dataclass
+class WeakLinkReport:
+    """Nodes whose receive or send bandwidth is anomalously low."""
+
+    weak_receivers: list[int] = field(default_factory=list)
+    weak_senders: list[int] = field(default_factory=list)
+
+
+def find_weak_links(
+    bandwidth_map: np.ndarray, *, threshold: float = 0.5
+) -> WeakLinkReport:
+    """Detect asymmetric weak nodes from an all-pairs map.
+
+    A node is flagged as a weak receiver (sender) when the median bandwidth
+    of its column (row) is below ``threshold`` times the global median —
+    the automated version of the paper's visual identification of
+    ``arms0b1-11c``.
+    """
+    if bandwidth_map.ndim != 2 or bandwidth_map.shape[0] != bandwidth_map.shape[1]:
+        raise ConfigurationError("bandwidth map must be square")
+    global_median = float(np.nanmedian(bandwidth_map))
+    report = WeakLinkReport()
+    for node in range(bandwidth_map.shape[0]):
+        col = float(np.nanmedian(bandwidth_map[:, node]))
+        row = float(np.nanmedian(bandwidth_map[node, :]))
+        if col < threshold * global_median:
+            report.weak_receivers.append(node)
+        if row < threshold * global_median:
+            report.weak_senders.append(node)
+    return report
+
+
+def diagonal_banding_score(bandwidth_map: np.ndarray) -> float:
+    """Quantify Fig. 4's diagonal patterns.
+
+    Computes the variance of per-diagonal means relative to the global
+    variance: near 1 means bandwidth is a function of |sender - receiver|
+    (strong banding, as a torus produces); near 0 means no structure (as a
+    non-blocking fat tree produces).
+    """
+    n = bandwidth_map.shape[0]
+    values = bandwidth_map[~np.isnan(bandwidth_map)]
+    total_var = float(np.var(values))
+    if total_var == 0:
+        return 0.0
+    diag_means = []
+    weights = []
+    for off in range(1, n):
+        d1 = np.diagonal(bandwidth_map, offset=off)
+        d2 = np.diagonal(bandwidth_map, offset=-off)
+        d = np.concatenate([d1[~np.isnan(d1)], d2[~np.isnan(d2)]])
+        if d.size:
+            diag_means.append(float(np.mean(d)))
+            weights.append(d.size)
+    between_var = float(
+        np.average(
+            (np.array(diag_means) - np.mean(values)) ** 2, weights=np.array(weights)
+        )
+    )
+    return between_var / total_var
+
+
+# ---------------------------------------------------------------------------
+# Additional OSU-suite style tests (extensions beyond the paper's Fig. 4-5)
+# ---------------------------------------------------------------------------
+
+
+def latency(network: NetworkModel, a: int, b: int, *, size: int = 8) -> float:
+    """osu_latency: one-way small-message latency in seconds."""
+    return network.p2p_time(a, b, size)
+
+
+def bidirectional_bandwidth(
+    network: NetworkModel, a: int, b: int, *, size: int = 1 << 20
+) -> float:
+    """osu_bibw: both directions active; full-duplex links double the rate."""
+    return 2.0 * size / network.sendrecv_time(a, b, size)
+
+
+def message_rate(
+    network: NetworkModel, a: int, b: int, *, size: int = 8, window: int = 64,
+    injection_overhead_s: float = 0.2e-6,
+) -> float:
+    """osu_mbw_mr-style message rate (messages/second).
+
+    A window of eager messages is injected back-to-back (one injection
+    overhead each) and the window completes when the last message lands.
+    """
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    t_window = window * injection_overhead_s + network.p2p_time(a, b, size)
+    return window / t_window
+
+
+def allreduce_scaling(
+    cluster, node_counts: list[int], *, size: int = 8, ranks_per_node: int = 48
+) -> dict[int, float]:
+    """Allreduce latency vs partition size (extension campaign).
+
+    Returns seconds per allreduce at each node count, through the analytic
+    collective model on the cluster's fabric.
+    """
+    from repro.network.collectives import CollectiveCosts
+    from repro.simmpi.mapping import RankMapping
+
+    out = {}
+    for n in node_counts:
+        mapping = RankMapping(cluster, n_nodes=n, ranks_per_node=ranks_per_node)
+        costs = CollectiveCosts(mapping=mapping,
+                                network=network_for(cluster, n_nodes=n))
+        out[n] = costs.allreduce(size)
+    return out
+
+
+def fig4_data(*, n_nodes: int = 192, healthy: bool = False) -> np.ndarray:
+    """The 192x192 CTE-Arm map at 256 B."""
+    network = network_for(cte_arm(n_nodes), n_nodes=n_nodes, healthy=healthy)
+    return pairwise_bandwidth_map(network, size=FIG4_SIZE)
+
+
+def fig5_data(
+    *, n_nodes: int = 192, max_pairs: int | None = 2000
+) -> dict[int, np.ndarray]:
+    """Per-size bandwidth distributions on CTE-Arm."""
+    network = network_for(cte_arm(n_nodes), n_nodes=n_nodes)
+    return bandwidth_distribution(network, max_pairs=max_pairs)

@@ -1,0 +1,159 @@
+"""Variability campaigns: the paper's uniformity checks as a diagnostic tool.
+
+Section III-A: "We verified there is no variability of the performance
+within a node ... and no variability across the nodes."  That check only
+earns its keep if it *would* catch a problem, so this module pairs the
+campaign with a heterogeneity model — per-node frequency spread (thermal /
+binning), straggler cores, duty-cycling — and detection logic, mirroring
+how the Fig. 4 network campaign caught the weak receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.cluster import ClusterModel
+from repro.machine.isa import DType, ExecMode
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+
+@dataclass
+class HeterogeneityModel:
+    """Per-node/core performance deviations (1.0 = nominal).
+
+    ``node_factors[node]`` scales every core of a node (e.g. a node stuck
+    in a low P-state); ``core_factors[(node, core)]`` scales one core
+    (e.g. a core sharing its FP pipeline with a stuck SMT sibling).
+    """
+
+    node_factors: dict[int, float] = field(default_factory=dict)
+    core_factors: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def factor(self, node: int, core: int) -> float:
+        return (self.node_factors.get(node, 1.0)
+                * self.core_factors.get((node, core), 1.0))
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.node_factors or self.core_factors)
+
+
+def healthy() -> HeterogeneityModel:
+    return HeterogeneityModel()
+
+
+def random_heterogeneity(
+    n_nodes: int,
+    cores_per_node: int,
+    *,
+    slow_nodes: int = 0,
+    slow_cores: int = 0,
+    factor_range: tuple[float, float] = (0.5, 0.9),
+    seed: int | None = None,
+) -> HeterogeneityModel:
+    """Inject random slow nodes and/or slow cores."""
+    lo, hi = factor_range
+    if not 0.0 < lo <= hi < 1.0:
+        raise ConfigurationError("degradation factors must be in (0, 1)")
+    rng = make_rng(seed, "hetero", n_nodes, slow_nodes, slow_cores)
+    model = HeterogeneityModel()
+    if slow_nodes:
+        for node in rng.choice(n_nodes, size=slow_nodes, replace=False):
+            model.node_factors[int(node)] = float(rng.uniform(lo, hi))
+    if slow_cores:
+        picks = rng.choice(n_nodes * cores_per_node, size=slow_cores,
+                           replace=False)
+        for flat in picks:
+            key = (int(flat) // cores_per_node, int(flat) % cores_per_node)
+            model.core_factors[key] = float(rng.uniform(lo, hi))
+    return model
+
+
+def ukernel_sweep(
+    cluster: ClusterModel,
+    *,
+    n_nodes: int | None = None,
+    heterogeneity: HeterogeneityModel | None = None,
+) -> np.ndarray:
+    """Per-core µKernel throughput over the partition: shape (nodes, cores).
+
+    On a healthy cluster every entry equals the core's ukernel rate (the
+    paper's verified uniformity); heterogeneity shows up as depressed rows
+    (slow nodes) or isolated cells (slow cores).
+    """
+    n = cluster.n_nodes if n_nodes is None else n_nodes
+    het = heterogeneity if heterogeneity is not None else healthy()
+    base = cluster.node.core_model.ukernel_flops(DType.DOUBLE, ExecMode.VECTOR)
+    cores = cluster.node.cores
+    out = np.empty((n, cores))
+    for node in range(n):
+        for core in range(cores):
+            out[node, core] = base * het.factor(node, core)
+    return out
+
+
+@dataclass
+class VariabilityReport:
+    """Outcome of the uniformity analysis."""
+
+    coefficient_of_variation: float
+    slow_nodes: list[int]
+    slow_cores: list[tuple[int, int]]
+
+    @property
+    def uniform(self) -> bool:
+        return (self.coefficient_of_variation < 1e-6
+                and not self.slow_nodes and not self.slow_cores)
+
+
+def analyze_sweep(matrix: np.ndarray, *, threshold: float = 0.95) -> VariabilityReport:
+    """Detect slow nodes/cores from a per-core throughput matrix.
+
+    A node is slow when its *median* core falls below ``threshold`` of the
+    global median (whole-node effect); a core is slow when it falls below
+    the threshold relative to its own node's median (isolated effect).
+    """
+    if matrix.ndim != 2:
+        raise ConfigurationError("sweep matrix must be (nodes, cores)")
+    global_median = float(np.median(matrix))
+    cv = float(np.std(matrix) / np.mean(matrix))
+    slow_nodes = []
+    slow_cores = []
+    for node in range(matrix.shape[0]):
+        row = matrix[node]
+        row_median = float(np.median(row))
+        if row_median < threshold * global_median:
+            slow_nodes.append(node)
+            continue
+        for core in range(matrix.shape[1]):
+            if row[core] < threshold * row_median:
+                slow_cores.append((node, core))
+    return VariabilityReport(
+        coefficient_of_variation=cv,
+        slow_nodes=slow_nodes,
+        slow_cores=slow_cores,
+    )
+
+
+def stream_repetition_cv(
+    cluster: ClusterModel, *, repetitions: int = 5, noise: float = 0.0,
+    seed: int | None = None,
+) -> float:
+    """Coefficient of variation across repeated STREAM runs.
+
+    The paper "repeated each test several times and verified that the
+    variability across different executions is negligible"; ``noise``
+    injects run-to-run jitter to show the check has teeth.
+    """
+    from repro.smp import PagePolicy, bind_threads, stream_bandwidth
+
+    if repetitions < 2:
+        raise ConfigurationError("need at least two repetitions")
+    base = stream_bandwidth(bind_threads(cluster.node, cluster.node.cores),
+                            PagePolicy.FIRST_TOUCH)
+    rng = make_rng(seed, "stream-reps")
+    samples = base * (1.0 + noise * rng.standard_normal(repetitions))
+    return float(np.std(samples) / np.mean(samples))

@@ -1,0 +1,28 @@
+"""Discrete-event simulation core.
+
+A minimal, dependency-free process-based DES in the style of SimPy:
+processes are Python generators that yield :class:`Event` objects (or plain
+floats, read as delays in virtual seconds) and are resumed when the event
+fires.  The engine keeps a binary-heap event calendar and a virtual clock.
+
+The simulated MPI (:mod:`repro.simmpi`) builds rendezvous channels and
+collectives on these primitives; real numpy payloads flow between rank
+programs while the clock advances according to the hardware models.
+"""
+
+from repro.des.engine import Engine, Event, Process, Timeout
+from repro.des.resources import Resource, Channel, AllOf, AnyOf
+from repro.des.trace import TraceRecorder, TraceRecord
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "Timeout",
+    "Resource",
+    "Channel",
+    "AllOf",
+    "AnyOf",
+    "TraceRecorder",
+    "TraceRecord",
+]

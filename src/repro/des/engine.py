@@ -1,0 +1,219 @@
+"""Event calendar, virtual clock, and generator-based processes.
+
+Design notes
+------------
+* Events fire in (time, sequence) order; sequence numbers make the engine
+  deterministic under simultaneous events (FIFO among equals), which the
+  test suite and the reproducibility guarantees rely on.
+* A process is a generator; ``yield event`` suspends until the event fires
+  and evaluates to the event's value.  ``yield 1.5e-6`` is sugar for a
+  :class:`Timeout`.
+* Deadlock is an error, not a hang: if live processes remain but the
+  calendar is empty, :class:`~repro.util.errors.DeadlockError` is raised —
+  this is how mismatched sends/receives in simulated MPI programs surface.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.util.errors import DeadlockError, SimulationError
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    __slots__ = (
+        "engine",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_triggered",
+        "_resolved",
+        "label",
+    )
+
+    def __init__(self, engine: "Engine", label: str = ""):
+        self.engine = engine
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._resolved = False
+        self.label = label
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self.label!r} read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule this event to fire now with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"event {self.label!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.engine._dispatch(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule this event to raise ``exception`` in waiters."""
+        if self._triggered:
+            raise SimulationError(f"event {self.label!r} triggered twice")
+        self._triggered = True
+        self._value = exception
+        self._ok = False
+        self.engine._dispatch(self)
+        return self
+
+    def _resolve(self) -> None:
+        self._resolved = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual delay."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        super().__init__(engine, label=f"timeout({delay:g})")
+        self._triggered = True  # a timeout cannot be succeeded externally
+        self._value = value
+        engine._schedule(engine.now + delay, self)
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process(Event):
+    """A running generator; also an Event that fires when it returns.
+
+    The event's value is the generator's return value, so processes can
+    ``yield`` other processes to join them.
+    """
+
+    __slots__ = ("generator",)
+
+    def __init__(self, engine: "Engine", generator: ProcessGen, label: str = ""):
+        super().__init__(engine, label=label or getattr(generator, "__name__", "proc"))
+        self.generator = generator
+        engine._live += 1
+        # Bootstrap at the current time.
+        boot = Event(engine, label=f"start:{self.label}")
+        boot.callbacks.append(self._step)
+        boot._triggered = True
+        engine._schedule(engine.now, boot)
+
+    def _step(self, trigger: Event) -> None:
+        engine = self.engine
+        try:
+            if trigger._ok:
+                target = self.generator.send(trigger._value)
+            else:
+                target = self.generator.throw(trigger._value)
+        except StopIteration as stop:
+            engine._live -= 1
+            super().succeed(stop.value)
+            return
+        except BaseException as exc:
+            engine._live -= 1
+            if self.callbacks:
+                super().fail(exc)
+                return
+            raise
+        if isinstance(target, (int, float)):
+            target = Timeout(engine, float(target))
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.label!r} yielded {type(target).__name__}, "
+                "expected an Event or a delay in seconds"
+            )
+        if target._resolved:
+            # The event already fired and ran its callbacks; a late waiter
+            # must be resumed explicitly or it would sleep forever.
+            resume = Event(engine, label=f"resume:{self.label}")
+            resume._triggered = True
+            resume._value = target._value
+            resume._ok = target._ok
+            resume.callbacks.append(self._step)
+            engine._schedule(engine.now, resume)
+        else:
+            target.callbacks.append(self._step)
+
+
+class Engine:
+    """The event calendar and virtual clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._live = 0  # processes started and not yet finished
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, at: float, event: Event) -> None:
+        if at < self._now:
+            raise SimulationError(f"cannot schedule event in the past ({at} < {self._now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (at, self._seq, event))
+
+    def _dispatch(self, event: Event) -> None:
+        """Queue an externally triggered event at the current time."""
+        self._schedule(self._now, event)
+
+    # -- public API ---------------------------------------------------------
+
+    def event(self, label: str = "") -> Event:
+        return Event(self, label)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGen, label: str = "") -> Process:
+        """Register a generator as a process starting at the current time."""
+        return Process(self, generator, label=label)
+
+    def run(self, until: float | None = None) -> float:
+        """Execute events until the calendar drains (or ``until`` is reached).
+
+        Returns the final virtual time.  Raises DeadlockError if processes
+        remain alive with nothing scheduled.
+        """
+        while self._heap:
+            at, _, event = self._heap[0]
+            if until is not None and at > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = at
+            event._resolve()
+        if self._live > 0:
+            raise DeadlockError(
+                f"{self._live} process(es) blocked forever at t={self._now:g}s "
+                "(mismatched send/recv or un-triggered event)"
+            )
+        return self._now
+
+    def run_all(self, generators: Iterable[ProcessGen]) -> float:
+        """Convenience: register all generators, run to completion."""
+        for i, gen in enumerate(generators):
+            self.process(gen, label=f"proc{i}")
+        return self.run()

@@ -1,0 +1,78 @@
+"""Execution tracing for simulated runs.
+
+A :class:`TraceRecorder` collects (time, actor, phase, duration, detail)
+records; the analysis layer aggregates them into per-phase timings — this is
+how the Alya Assembly/Solver split (Figs. 9-10) is measured, mirroring the
+paper's use of the application's internal timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced interval of one actor (rank, thread, node)."""
+
+    start: float
+    duration: float
+    actor: str
+    phase: str
+    detail: str = ""
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class TraceRecorder:
+    """Append-only trace with per-phase aggregation helpers."""
+
+    enabled: bool = True
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def record(
+        self, start: float, duration: float, actor: str, phase: str, detail: str = ""
+    ) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(start, duration, actor, phase, detail))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def phases(self) -> set[str]:
+        return {r.phase for r in self.records}
+
+    def total_time(self, phase: str, actor: str | None = None) -> float:
+        """Summed duration of a phase (optionally for one actor)."""
+        return sum(
+            r.duration
+            for r in self.records
+            if r.phase == phase and (actor is None or r.actor == actor)
+        )
+
+    def per_actor(self, phase: str) -> dict[str, float]:
+        """Total phase time keyed by actor."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            if r.phase == phase:
+                out[r.actor] = out.get(r.actor, 0.0) + r.duration
+        return out
+
+    def slowest_actor(self, phase: str) -> tuple[str, float]:
+        """The actor with the largest total time in a phase.
+
+        The paper reports 'the elapsed time of the slowest process' for the
+        Alya phase plots; this is that reduction.
+        """
+        per = self.per_actor(phase)
+        if not per:
+            raise KeyError(f"no records for phase {phase!r}")
+        actor = max(per, key=per.__getitem__)
+        return actor, per[actor]

@@ -1,0 +1,92 @@
+"""Conjugate-gradient solver over abstract operators.
+
+Used by the Alya mini-app's Solver phase and by HPCG (preconditioned
+variant).  The operator is any callable ``y = A(x)``; an optional
+preconditioner ``z = M(r)`` turns it into PCG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+Operator = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class CGResult:
+    """Solution and convergence history of one CG run."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norms: list[float]
+    converged: bool
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1]
+
+
+def conjugate_gradient(
+    A: Operator,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    max_iter: int = 500,
+    M: Operator | None = None,
+) -> CGResult:
+    """(Preconditioned) conjugate gradients for SPD operators.
+
+    Converges when ``||r|| <= tol * ||b||``.  Raises if the operator turns
+    out not to be positive definite (non-positive curvature).
+    """
+    if max_iter <= 0:
+        raise ConfigurationError("max_iter must be positive")
+    b = np.asarray(b, dtype=float)
+    x = np.zeros_like(b) if x0 is None else x0.astype(float, copy=True)
+    r = b - A(x)
+    z = M(r) if M is not None else r
+    p = z.copy()
+    rz = float(r @ z)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    history = [float(np.linalg.norm(r))]
+    if history[0] <= tol * b_norm:
+        return CGResult(x=x, iterations=0, residual_norms=history, converged=True)
+    for it in range(1, max_iter + 1):
+        Ap = A(p)
+        pAp = float(p @ Ap)
+        if pAp <= 0:
+            raise ConfigurationError(
+                "operator is not positive definite (p.Ap <= 0)"
+            )
+        alpha = rz / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        r_norm = float(np.linalg.norm(r))
+        history.append(r_norm)
+        if r_norm <= tol * b_norm:
+            return CGResult(x=x, iterations=it, residual_norms=history,
+                            converged=True)
+        z = M(r) if M is not None else r
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+    return CGResult(x=x, iterations=max_iter, residual_norms=history,
+                    converged=False)
+
+
+def cg_flops_per_iteration(nnz: int, n: int, *, preconditioned: bool = False,
+                           mg_flops: float = 0.0) -> float:
+    """Flop count of one CG iteration (HPCG accounting).
+
+    SpMV: 2*nnz; two dots: 4*n; three AXPY-like updates: 6*n; plus the
+    preconditioner's flops when present.
+    """
+    base = 2.0 * nnz + 10.0 * n
+    return base + (mg_flops if preconditioned else 0.0)

@@ -1,0 +1,111 @@
+"""STREAM kernels (McCalpin): Copy, Scale, Add, Triad.
+
+Real numpy implementations with the canonical byte accounting:
+Copy/Scale move 2 arrays per element (16 B for doubles), Add/Triad move 3
+(24 B).  ``run_stream`` reproduces the benchmark protocol: repeat each
+kernel, report the best bandwidth, and verify the arithmetic afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+#: bytes moved per element for each kernel (double precision)
+BYTES_PER_ELEMENT = {"copy": 16, "scale": 16, "add": 24, "triad": 24}
+SCALAR = 3.0
+
+
+@dataclass
+class StreamArrays:
+    """The three STREAM arrays, initialized per the reference code."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+
+    @classmethod
+    def allocate(cls, n: int, dtype: np.dtype = np.float64) -> "StreamArrays":
+        if n <= 0:
+            raise ConfigurationError("array length must be positive")
+        return cls(
+            a=np.full(n, 1.0, dtype=dtype),
+            b=np.full(n, 2.0, dtype=dtype),
+            c=np.full(n, 0.0, dtype=dtype),
+        )
+
+    @property
+    def n(self) -> int:
+        return self.a.size
+
+
+def stream_copy(arr: StreamArrays) -> None:
+    np.copyto(arr.c, arr.a)
+
+
+def stream_scale(arr: StreamArrays) -> None:
+    np.multiply(arr.c, SCALAR, out=arr.b)
+
+
+def stream_add(arr: StreamArrays) -> None:
+    np.add(arr.a, arr.b, out=arr.c)
+
+
+def stream_triad(arr: StreamArrays) -> None:
+    # a = b + scalar*c, fused without temporaries.
+    np.multiply(arr.c, SCALAR, out=arr.a)
+    arr.a += arr.b
+
+
+def stream_kernels() -> dict[str, callable]:
+    return {
+        "copy": stream_copy,
+        "scale": stream_scale,
+        "add": stream_add,
+        "triad": stream_triad,
+    }
+
+
+def verify(arr: StreamArrays, iterations: int) -> float:
+    """Max relative error against the analytically propagated values."""
+    a, b, c = 1.0, 2.0, 0.0
+    for _ in range(iterations):
+        c = a
+        b = SCALAR * c
+        c = a + b
+        a = b + SCALAR * c
+    err = 0.0
+    for ref, got in ((a, arr.a), (b, arr.b), (c, arr.c)):
+        err = max(err, float(np.max(np.abs(got - ref)) / abs(ref)))
+    return err
+
+
+def run_stream(
+    n: int = 2_000_000, iterations: int = 10, dtype: np.dtype = np.float64
+) -> dict[str, float]:
+    """Run the STREAM protocol on the host; best bandwidth per kernel (B/s).
+
+    One warm-up sweep, then ``iterations`` timed sweeps in the canonical
+    copy->scale->add->triad order; correctness is checked at the end.
+    """
+    if iterations < 1:
+        raise ConfigurationError("need at least one iteration")
+    arr = StreamArrays.allocate(n, dtype)
+    kernels = stream_kernels()
+    times: dict[str, list[float]] = {k: [] for k in kernels}
+    for k in kernels.values():  # warm-up, untimed
+        k(arr)
+    for _ in range(iterations):
+        for name, k in kernels.items():
+            t0 = time.perf_counter()
+            k(arr)
+            times[name].append(time.perf_counter() - t0)
+    err = verify(arr, iterations + 1)
+    if err > 1e-8:
+        raise ConfigurationError(f"STREAM verification failed, rel. err {err:g}")
+    bytes_per = {k: BYTES_PER_ELEMENT[k] * n for k in kernels}
+    return {k: bytes_per[k] / min(ts) for k, ts in times.items()}

@@ -1,0 +1,62 @@
+"""Hardware models of the two evaluated systems.
+
+The model hierarchy mirrors the physical hierarchy of Table I:
+
+``ISA`` (vector extensions)  →  ``CoreModel``  →  ``NUMADomain`` (CMG or
+socket)  →  ``NodeModel``  →  ``ClusterModel``.
+
+All peak quantities are first-principles (frequency x pipes x lanes x 2 for
+FMA); sustained quantities are produced by the behaviour models in
+:mod:`repro.smp`, :mod:`repro.network` and :mod:`repro.des`, not hard-coded
+here.  :mod:`repro.machine.presets` instantiates CTE-Arm and MareNostrum 4.
+"""
+
+from repro.machine.isa import (
+    DType,
+    ExecMode,
+    VectorISA,
+    SCALAR,
+    NEON,
+    SVE512,
+    AVX512,
+    lanes,
+)
+from repro.machine.core import CoreModel
+from repro.machine.cache import CacheLevel, CacheHierarchy
+from repro.machine.memory import MemoryModel
+from repro.machine.numa import NUMADomain, OnChipInterconnect
+from repro.machine.node import NodeModel
+from repro.machine.cluster import ClusterModel
+from repro.machine.presets import (
+    cte_arm,
+    fugaku,
+    marenostrum4,
+    table1,
+    PRESETS,
+    get_preset,
+)
+
+__all__ = [
+    "DType",
+    "ExecMode",
+    "VectorISA",
+    "SCALAR",
+    "NEON",
+    "SVE512",
+    "AVX512",
+    "lanes",
+    "CoreModel",
+    "CacheLevel",
+    "CacheHierarchy",
+    "MemoryModel",
+    "NUMADomain",
+    "OnChipInterconnect",
+    "NodeModel",
+    "ClusterModel",
+    "cte_arm",
+    "fugaku",
+    "marenostrum4",
+    "table1",
+    "PRESETS",
+    "get_preset",
+]

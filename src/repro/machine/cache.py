@@ -1,0 +1,79 @@
+"""Cache hierarchy model.
+
+Used for (i) Table I reporting, (ii) the STREAM working-set rule of
+Section III-B — arrays must exceed four times the aggregate last-level
+cache — and (iii) blocking-factor heuristics in the LU / stencil kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One cache level.
+
+    ``shared_by`` is the number of cores sharing one instance (1 for private
+    L1/L2, 12 for the A64FX per-CMG L2, 24 for the Skylake per-socket L3).
+    ``count`` is the number of instances in the whole node.
+    """
+
+    name: str
+    size_bytes: int
+    shared_by: int
+    count: int
+    line_bytes: int = 64
+    latency_cycles: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.count <= 0 or self.shared_by <= 0:
+            raise ConfigurationError(f"invalid cache level {self.name}")
+
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate capacity of this level across the node."""
+        return self.size_bytes * self.count
+
+    @property
+    def per_core_bytes(self) -> float:
+        """Capacity available per sharing core (Table I's 'per core' column)."""
+        return self.size_bytes / self.shared_by
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """Ordered cache levels, L1 first."""
+
+    levels: tuple[CacheLevel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigurationError("cache hierarchy needs at least one level")
+
+    @property
+    def last_level(self) -> CacheLevel:
+        return self.levels[-1]
+
+    def level(self, name: str) -> CacheLevel:
+        for lvl in self.levels:
+            if lvl.name == name:
+                return lvl
+        raise ConfigurationError(f"no cache level named {name!r}")
+
+    def llc_total_bytes(self) -> int:
+        """Sum of all last-level-cache instances — 'S' in the STREAM rule."""
+        return self.last_level.total_bytes
+
+    def stream_min_elements(self, element_bytes: int = 8) -> int:
+        """Minimum STREAM array length: E >= max(1e7, 4*S / element_bytes).
+
+        Section III-B:  ``E >= max{10^7 ; 4*S/8}`` for 8-byte elements.
+        """
+        return max(10**7, 4 * self.llc_total_bytes() // element_bytes)
+
+    def fits_in(self, working_set_bytes: int, level_name: str) -> bool:
+        """Whether a working set fits within one instance of a level."""
+        return working_set_bytes <= self.level(level_name).size_bytes

@@ -1,0 +1,116 @@
+"""Instruction-set models: scalar pipelines and SIMD vector extensions.
+
+The FPU µKernel of the paper (Section III-A) has six variants —
+{scalar, vector} x {half, single, double} — and its theoretical peak is
+
+    P_v = s * i * f * o
+
+where ``s`` is the SIMD element count, ``i`` the instructions issued per
+cycle, ``f`` the core frequency and ``o`` the flops per instruction (2 for
+FMA).  This module provides ``s`` (:func:`lanes`) and the supported-dtype
+rules; :class:`repro.machine.core.CoreModel` supplies ``i`` and ``f``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class DType(enum.Enum):
+    """Floating-point element precisions exercised by the µKernel."""
+
+    HALF = 2
+    SINGLE = 4
+    DOUBLE = 8
+
+    @property
+    def bytes(self) -> int:
+        return self.value
+
+    @property
+    def bits(self) -> int:
+        return self.value * 8
+
+
+class ExecMode(enum.Enum):
+    """Scalar vs vector instruction streams."""
+
+    SCALAR = "scalar"
+    VECTOR = "vector"
+
+
+@dataclass(frozen=True)
+class VectorISA:
+    """A SIMD extension: register width and which precisions it supports.
+
+    ``native_dtypes`` lists precisions with full-rate arithmetic.  A dtype
+    outside this set is *promoted*: executed at the rate of ``promote_to``
+    (e.g. AVX-512 has no FP16 arithmetic, so half-precision work runs through
+    single-precision pipes after conversion).
+    """
+
+    name: str
+    vector_bits: int
+    native_dtypes: frozenset[DType] = field(
+        default_factory=lambda: frozenset({DType.SINGLE, DType.DOUBLE})
+    )
+    promote_to: DType = DType.SINGLE
+    has_fma: bool = True
+    has_predication: bool = False
+
+    def supports(self, dtype: DType) -> bool:
+        return dtype in self.native_dtypes
+
+    def effective_dtype(self, dtype: DType) -> DType:
+        """The precision the hardware actually computes in."""
+        return dtype if self.supports(dtype) else self.promote_to
+
+    def lanes(self, dtype: DType) -> int:
+        """Elements processed per instruction for ``dtype`` (post-promotion)."""
+        eff = self.effective_dtype(dtype)
+        return self.vector_bits // eff.bits
+
+
+ALL_DTYPES = frozenset({DType.HALF, DType.SINGLE, DType.DOUBLE})
+
+#: Scalar pipeline pseudo-ISA: one element per instruction regardless of dtype.
+SCALAR = VectorISA(
+    name="scalar",
+    vector_bits=64,
+    native_dtypes=ALL_DTYPES,
+)
+
+#: Armv8 NEON — 128-bit, FP16 arithmetic available on Armv8.2+ (A64FX has it).
+NEON = VectorISA(
+    name="NEON",
+    vector_bits=128,
+    native_dtypes=ALL_DTYPES,
+)
+
+#: SVE at the A64FX implementation width of 512 bits, with predication.
+SVE512 = VectorISA(
+    name="SVE",
+    vector_bits=512,
+    native_dtypes=ALL_DTYPES,
+    has_predication=True,
+)
+
+#: Intel AVX-512 — no native FP16 FMA on Skylake-SP; half promotes to single.
+AVX512 = VectorISA(
+    name="AVX512",
+    vector_bits=512,
+    native_dtypes=frozenset({DType.SINGLE, DType.DOUBLE}),
+    promote_to=DType.SINGLE,
+)
+
+
+def lanes(isa: VectorISA, dtype: DType, mode: ExecMode) -> int:
+    """Elements per instruction for (isa, dtype) in the given mode.
+
+    Scalar mode always processes one element; vector mode processes a full
+    register of the effective (possibly promoted) precision.
+    """
+    if mode is ExecMode.SCALAR:
+        return 1
+    return isa.lanes(dtype)

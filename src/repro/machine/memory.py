@@ -1,0 +1,59 @@
+"""Main-memory model: technology, channels, peak and sustainable bandwidth.
+
+Peak bandwidth is channels x per-channel rate (Table I: 1024 GB/s HBM2 on
+A64FX, 256 GB/s DDR4-2666 on MareNostrum 4).  Sustainable STREAM bandwidth is
+a technology-dependent fraction of peak: HBM sustains ~84 % with one rank per
+CMG (Fig. 3), DDR4 ~79 % (Fig. 2's 201.2 GB/s on 256 GB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Memory attached to one NUMA domain (one HBM stack / one socket's DDR4).
+
+    Parameters
+    ----------
+    technology:
+        "HBM2" or "DDR4-2666" (reporting only).
+    channels / channel_bw:
+        peak = channels * channel_bw.  A64FX: one HBM2 stack per CMG modeled
+        as one 256 GB/s channel.  MN4: six 21.33 GB/s DDR4 channels/socket.
+    capacity_bytes:
+        8 GB per CMG on A64FX (32 GB/node), 48 GB per socket on MN4.
+    stream_efficiency:
+        sustainable fraction of peak for stream-like access with good
+        locality and software prefetch.
+    latency_s:
+        idle load-to-use latency; HBM trades latency for bandwidth.
+    """
+
+    technology: str
+    channels: int
+    channel_bw: float
+    capacity_bytes: int
+    stream_efficiency: float = 0.8
+    latency_s: float = 100e-9
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.channel_bw <= 0:
+            raise ConfigurationError("memory channels and bandwidth must be positive")
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("memory capacity must be positive")
+        if not 0 < self.stream_efficiency <= 1:
+            raise ConfigurationError("stream_efficiency must be in (0, 1]")
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Theoretical peak bandwidth of this domain's memory, B/s."""
+        return self.channels * self.channel_bw
+
+    @property
+    def sustainable_bandwidth(self) -> float:
+        """STREAM-like sustainable bandwidth with all-local accesses, B/s."""
+        return self.peak_bandwidth * self.stream_efficiency

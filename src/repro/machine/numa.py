@@ -1,0 +1,72 @@
+"""NUMA domains (A64FX Core Memory Groups / Skylake sockets) and the
+on-chip interconnect between them.
+
+The A64FX groups its 48 cores into four CMGs of 12; each CMG owns one HBM2
+stack and CMGs talk over a ring bus.  MareNostrum 4 nodes have two Skylake
+sockets connected by UPI.  Remote memory accesses cross the on-chip
+interconnect and are capped by its bandwidth — this cap is what produces the
+paper's STREAM anomaly (OpenMP-only 29 % of peak vs hybrid 84 %, Figs. 2-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.core import CoreModel
+from repro.machine.memory import MemoryModel
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OnChipInterconnect:
+    """Ring bus (A64FX) or UPI links (Skylake) between NUMA domains.
+
+    ``link_bandwidth`` is the sustainable bandwidth of one directed link;
+    ``total_bandwidth`` caps simultaneous cross-domain traffic of the whole
+    chip.  A64FX ring: ~115 GB/s per link, ~290 GB/s aggregate sustained
+    (calibrated to Fig. 2's 292 GB/s OpenMP-only plateau).  Skylake UPI:
+    3 links x ~20.8 GB/s.
+    """
+
+    name: str
+    link_bandwidth: float
+    total_bandwidth: float
+    hop_latency_s: float = 40e-9
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth <= 0 or self.total_bandwidth <= 0:
+            raise ConfigurationError("interconnect bandwidths must be positive")
+
+
+@dataclass(frozen=True)
+class NUMADomain:
+    """One NUMA domain: a core group plus its locally attached memory."""
+
+    index: int
+    kind: str  # "CMG" or "socket"
+    cores: int
+    core_model: CoreModel
+    memory: MemoryModel
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError("NUMA domain needs at least one core")
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate double-precision vector peak of the domain's cores."""
+        return self.cores * self.core_model.peak_flops()
+
+    def local_stream_bw(self, n_threads: int) -> float:
+        """Sustainable bandwidth for ``n_threads`` local threads.
+
+        Below saturation each thread contributes its per-core limit; the
+        domain roof is the memory's sustainable bandwidth.
+        """
+        if n_threads < 0:
+            raise ConfigurationError("thread count must be non-negative")
+        if n_threads == 0:
+            return 0.0
+        n = min(n_threads, self.cores)
+        return min(n * self.core_model.per_core_stream_bw,
+                   self.memory.sustainable_bandwidth)

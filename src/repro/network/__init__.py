@@ -1,0 +1,40 @@
+"""Interconnect models: topologies, link timing, faults, contention.
+
+CTE-Arm uses the Fujitsu TofuD six-dimensional torus (peak 6.8 GB/s per
+link, Ajima et al.); MareNostrum 4 uses Intel OmniPath (100 Gbit/s) in a
+fat-tree.  Point-to-point time follows a LogGP-style model with per-hop
+latency and message-size-dependent effective bandwidth; protocol effects
+produce the bimodal mid-size distribution and the large-message variability
+of Fig. 5, and a fault model reproduces Fig. 4's weak-receiver node.
+"""
+
+from repro.network.topology import Topology
+from repro.network.torus import TorusTopology, tofu_d
+from repro.network.fattree import FatTreeTopology
+from repro.network.linkmodel import LinkModel, ProtocolModel
+from repro.network.faults import FaultModel
+from repro.network.model import NetworkModel, network_for
+from repro.network.collectives import CollectiveCosts
+from repro.network.routing import (
+    analyze_congestion,
+    dimension_order_route,
+    link_loads,
+    valiant_route,
+)
+
+__all__ = [
+    "Topology",
+    "TorusTopology",
+    "tofu_d",
+    "FatTreeTopology",
+    "LinkModel",
+    "ProtocolModel",
+    "FaultModel",
+    "NetworkModel",
+    "network_for",
+    "CollectiveCosts",
+    "analyze_congestion",
+    "dimension_order_route",
+    "link_loads",
+    "valiant_route",
+]

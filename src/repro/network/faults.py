@@ -1,0 +1,87 @@
+"""Fault injection: per-node directional bandwidth degradation.
+
+Fig. 4 revealed one CTE-Arm node (``arms0b1-11c``) with severely degraded
+bandwidth *as a receiver* while behaving normally as a sender.  The fault
+model generalizes that observation: any node can be degraded independently
+in its send and receive directions, and the extension experiments sweep the
+number of injected faults to study how such asymmetric weak links distort
+all-pairs diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+
+@dataclass
+class FaultModel:
+    """Directional per-node bandwidth factors (1.0 = healthy)."""
+
+    recv_factors: dict[int, float] = field(default_factory=dict)
+    send_factors: dict[int, float] = field(default_factory=dict)
+
+    def _check(self, factor: float) -> None:
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError("fault factor must be in (0, 1]")
+
+    def degrade_receiver(self, node: int, factor: float) -> "FaultModel":
+        self._check(factor)
+        self.recv_factors[node] = factor
+        return self
+
+    def degrade_sender(self, node: int, factor: float) -> "FaultModel":
+        self._check(factor)
+        self.send_factors[node] = factor
+        return self
+
+    def pair_factor(self, src: int, dst: int) -> float:
+        """Combined bandwidth multiplier for a (sender, receiver) pair."""
+        return self.send_factors.get(src, 1.0) * self.recv_factors.get(dst, 1.0)
+
+    @property
+    def degraded_nodes(self) -> set[int]:
+        return set(self.recv_factors) | set(self.send_factors)
+
+    def is_healthy(self) -> bool:
+        return not self.degraded_nodes
+
+
+#: Index CTE-Arm's weak node is mapped to (name ``arms0b1-11c`` suggests
+#: board 1, slot 11 of rack segment 0b1; we place it mid-cluster).
+WEAK_NODE_INDEX = 107
+#: Receive-direction factor calibrated to Fig. 4's visibly dark row.
+WEAK_NODE_RECV_FACTOR = 0.25
+
+
+def cte_arm_faults() -> FaultModel:
+    """The fault state observed on CTE-Arm: one weak receiver."""
+    return FaultModel().degrade_receiver(WEAK_NODE_INDEX, WEAK_NODE_RECV_FACTOR)
+
+
+def random_faults(
+    n_nodes: int,
+    n_faults: int,
+    *,
+    factor_range: tuple[float, float] = (0.2, 0.6),
+    directions: str = "recv",
+    seed: int | None = None,
+) -> FaultModel:
+    """Inject ``n_faults`` random directional faults (extension experiments)."""
+    if n_faults < 0 or n_faults > n_nodes:
+        raise ConfigurationError("fault count out of range")
+    lo, hi = factor_range
+    if not (0.0 < lo <= hi <= 1.0):
+        raise ConfigurationError("invalid factor range")
+    rng = make_rng(seed, "faults", n_nodes, n_faults)
+    fm = FaultModel()
+    nodes = rng.choice(n_nodes, size=n_faults, replace=False)
+    for node in nodes:
+        factor = float(rng.uniform(lo, hi))
+        if directions in ("recv", "both"):
+            fm.degrade_receiver(int(node), factor)
+        if directions in ("send", "both"):
+            fm.degrade_sender(int(node), factor)
+    return fm

@@ -1,0 +1,104 @@
+"""NetworkModel facade: topology + link timing + faults for one cluster.
+
+This is the object the simulated MPI and the OSU-style benchmark drivers
+talk to.  It answers "how long does a message of s bytes from node a to
+node b take?" and "what bandwidth would the OSU loop report for this pair?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.cluster import ClusterModel
+from repro.network.faults import FaultModel, cte_arm_faults
+from repro.network.fattree import FatTreeTopology
+from repro.network.linkmodel import LinkModel, OMNIPATH_LINK, TOFUD_LINK
+from repro.network.topology import Topology
+from repro.network.torus import tofu_d
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class NetworkModel:
+    """Point-to-point timing for one cluster's fabric."""
+
+    topology: Topology
+    link: LinkModel
+    faults: FaultModel = field(default_factory=FaultModel)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.topology.n_nodes
+
+    def p2p_time(self, src: int, dst: int, size: int) -> float:
+        """One-way message time between two *nodes* (seconds).
+
+        A degraded endpoint slows both the bandwidth term and the
+        latency term (a sick receiver drains its NIC slowly at every
+        message size — that is why Fig. 4 shows the weak node even at
+        256 B messages).
+        """
+        self.topology.check_node(src)
+        self.topology.check_node(dst)
+        if size <= 0:
+            raise ConfigurationError("message size must be positive")
+        hops = self.topology.hops(src, dst)
+        base = self.link.p2p_time(size, hops, src, dst)
+        factor = self.faults.pair_factor(src, dst)
+        return base / factor
+
+    def sendrecv_time(self, a: int, b: int, size: int) -> float:
+        """One MPI_Sendrecv iteration between nodes a and b.
+
+        Both directions proceed concurrently on full-duplex links; the
+        iteration completes when the slower direction completes.
+        """
+        return max(self.p2p_time(a, b, size), self.p2p_time(b, a, size))
+
+    def measured_bandwidth(self, src: int, dst: int, size: int) -> float:
+        """Bandwidth the paper's OSU-style loop reports: B = s*N / t_total.
+
+        The loop timestamps N sendrecv iterations; N cancels out of the
+        ratio, so one iteration suffices.
+        """
+        return size / self.p2p_time(src, dst, size)
+
+    def hops(self, a: int, b: int) -> int:
+        return self.topology.hops(a, b)
+
+
+def network_for(
+    cluster: ClusterModel,
+    *,
+    n_nodes: int | None = None,
+    faults: FaultModel | None = None,
+    healthy: bool = False,
+) -> NetworkModel:
+    """Build the fabric model matching a cluster preset.
+
+    ``healthy=True`` suppresses the documented CTE-Arm weak-receiver fault
+    (for ablations); ``faults`` overrides the fault state entirely.
+    """
+    n = cluster.n_nodes if n_nodes is None else n_nodes
+    if n <= 0:
+        raise ConfigurationError("network needs at least one node")
+    name = cluster.name.lower()
+    if "arm" in name or cluster.interconnect_name.lower().startswith("tofu"):
+        # The fabric exists at allocation granularity: TofuD unit groups
+        # hold 12 nodes, so partitions round up to the next multiple of 12.
+        fabric_nodes = max(12, -(-n // 12) * 12)
+        topo: Topology = tofu_d(fabric_nodes)
+        link = TOFUD_LINK
+        default_faults = FaultModel() if healthy else cte_arm_faults()
+        weak = max(default_faults.degraded_nodes, default=-1)
+        if weak >= n:
+            default_faults = FaultModel()  # weak node outside the partition
+    else:
+        topo = FatTreeTopology(n, nodes_per_leaf=24)
+        link = OMNIPATH_LINK
+        default_faults = FaultModel()
+    return NetworkModel(
+        topology=topo,
+        link=link,
+        faults=default_faults if faults is None else faults,
+    )

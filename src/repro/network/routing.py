@@ -1,0 +1,147 @@
+"""Explicit routes and per-link utilization on the torus.
+
+The latency model in :mod:`repro.network.linkmodel` only needs hop counts;
+this module computes the actual dimension-order routes so traffic patterns
+can be folded onto physical links — which links a pattern saturates, how
+unbalanced the load is, and how a scattered allocation inflates it (the
+quantitative face of the paper's scheduler-topology discussion).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.torus import TorusTopology
+from repro.util.errors import ConfigurationError
+
+#: a directed physical link: (node, axis, direction) with direction +/-1.
+Link = tuple[int, int, int]
+
+
+def dimension_order_route(topo: TorusTopology, src: int, dst: int) -> list[Link]:
+    """The sequence of directed links a packet traverses, X-first.
+
+    Each ring is traversed the short way (ties broken toward +).
+    """
+    topo.check_node(src)
+    topo.check_node(dst)
+    links: list[Link] = []
+    coords = list(topo.coords(src))
+    target = topo.coords(dst)
+    for axis, radix in enumerate(topo.dims):
+        while coords[axis] != target[axis]:
+            fwd = (target[axis] - coords[axis]) % radix
+            step = 1 if fwd <= radix - fwd else -1
+            here = topo.node_at(tuple(coords))
+            links.append((here, axis, step))
+            coords[axis] = (coords[axis] + step) % radix
+    return links
+
+
+def valiant_route(
+    topo: TorusTopology, src: int, dst: int, *, seed: int = 0
+) -> list[Link]:
+    """Valiant (randomized two-phase) route: src -> random waypoint -> dst.
+
+    The classic congestion-spreading alternative to dimension-order
+    routing: worst-case patterns lose their hotspots at the cost of up to
+    2x the link traffic.  The waypoint is drawn deterministically per
+    (src, dst, seed) so analyses are reproducible.
+    """
+    from repro.util.rng import make_rng
+
+    if src == dst:
+        return []
+    rng = make_rng(seed, "valiant", src, dst)
+    waypoint = int(rng.integers(0, topo.n_nodes))
+    return (dimension_order_route(topo, src, waypoint)
+            + dimension_order_route(topo, waypoint, dst))
+
+
+def link_loads(
+    topo: TorusTopology,
+    flows: list[tuple[int, int, float]],
+    *,
+    routing: str = "dimension-order",
+    seed: int = 0,
+) -> Counter:
+    """Fold traffic onto links: flows are (src, dst, bytes).
+
+    ``routing`` selects "dimension-order" (default) or "valiant".
+    Returns Counter[link] = total bytes crossing that directed link.
+    """
+    if routing == "dimension-order":
+        router = lambda s, d: dimension_order_route(topo, s, d)  # noqa: E731
+    elif routing == "valiant":
+        router = lambda s, d: valiant_route(topo, s, d, seed=seed)  # noqa: E731
+    else:
+        raise ConfigurationError(f"unknown routing {routing!r}")
+    loads: Counter = Counter()
+    for src, dst, volume in flows:
+        if volume < 0:
+            raise ConfigurationError("flow volume must be non-negative")
+        for link in router(src, dst):
+            loads[link] += volume
+    return loads
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """Utilization statistics of one traffic pattern."""
+
+    max_load: float
+    mean_load: float
+    hot_links: list[Link]
+    n_links_used: int
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean load over used links — 1.0 is perfectly balanced."""
+        return self.max_load / self.mean_load if self.mean_load else 0.0
+
+
+def analyze_congestion(
+    topo: TorusTopology,
+    flows: list[tuple[int, int, float]],
+    *,
+    hot_fraction: float = 0.95,
+) -> CongestionReport:
+    """Hotspot analysis of a traffic pattern on the torus."""
+    loads = link_loads(topo, flows)
+    if not loads:
+        return CongestionReport(0.0, 0.0, [], 0)
+    values = np.array(list(loads.values()), dtype=float)
+    max_load = float(values.max())
+    hot = [link for link, load in loads.items()
+           if load >= hot_fraction * max_load]
+    return CongestionReport(
+        max_load=max_load,
+        mean_load=float(values.mean()),
+        hot_links=sorted(hot),
+        n_links_used=len(loads),
+    )
+
+
+def alltoall_flows(nodes: list[int], volume_per_pair: float = 1.0
+                   ) -> list[tuple[int, int, float]]:
+    """The all-to-all traffic pattern among an allocation's nodes."""
+    return [(a, b, volume_per_pair) for a in nodes for b in nodes if a != b]
+
+
+def halo_flows(
+    topo: TorusTopology, nodes: list[int], volume_per_face: float = 1.0
+) -> list[tuple[int, int, float]]:
+    """Nearest-neighbour traffic: each node to its closest allocated peers.
+
+    'Closest' = minimum hop distance within the allocation, up to 6 peers —
+    what a stencil application's rank grid induces after placement.
+    """
+    flows = []
+    for a in nodes:
+        dists = sorted((topo.hops(a, b), b) for b in nodes if b != a)
+        for _, b in dists[:6]:
+            flows.append((a, b, volume_per_face))
+    return flows

@@ -1,0 +1,35 @@
+"""Node power and energy-to-solution models (extension).
+
+The paper's related work ([2] ThunderX2, [4] A64FX power/performance/area)
+evaluates the energy dimension the CLUSTER'21 paper leaves out.  This
+package adds it: a per-node power model (idle + active-core + bandwidth-
+proportional memory/NIC terms) calibrated against public numbers — Fugaku's
+Green500 efficiency (~15 GFlop/s/W under HPL) and Skylake-SP node power
+(~400 W under load) — plus energy-to-solution accounting for the modeled
+benchmark and application runs.
+
+The headline extension finding (``repro-lab run ext_energy``): the A64FX
+node draws less than half the power, so although the untuned applications
+run 2-4x *slower* on CTE-Arm, their *energy* penalty is only ~1-1.7x —
+and LINPACK/HPCG are strictly cheaper in energy on the A64FX.
+"""
+
+from repro.power.model import (
+    PowerModel,
+    EnergyReport,
+    a64fx_power,
+    skylake_power,
+    power_model_for,
+    app_energy,
+    linpack_energy,
+)
+
+__all__ = [
+    "PowerModel",
+    "EnergyReport",
+    "a64fx_power",
+    "skylake_power",
+    "power_model_for",
+    "app_energy",
+    "linpack_energy",
+]

@@ -1,0 +1,153 @@
+"""Per-node power and energy-to-solution accounting.
+
+Node power = idle + active_cores * core_active_w
+           + memory_traffic_GBs * mem_w_per_gbs
+           + nic_traffic_GBs * nic_w_per_gbs
+
+Calibration anchors (public data, see package docstring):
+
+* A64FX node under HPL ~190 W (Fugaku Green500, Nov 2020: ~15 GF/W with
+  the whole-system overheads; a bare node lands near
+  2872 GF / 15 GF/W ~ 190 W);
+* dual-Skylake-8160 node under load ~400 W (2 x 150 W TDP + DDR4 + board).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel
+from repro.machine.cluster import ClusterModel
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Power characteristics of one node."""
+
+    name: str
+    idle_w: float
+    core_active_w: float
+    mem_w_per_gbs: float
+    nic_w_per_gbs: float = 0.25
+
+    def __post_init__(self) -> None:
+        if min(self.idle_w, self.core_active_w, self.mem_w_per_gbs) < 0:
+            raise ConfigurationError("power terms must be non-negative")
+
+    def node_power(
+        self,
+        active_cores: int,
+        *,
+        mem_bw_gbs: float = 0.0,
+        nic_bw_gbs: float = 0.0,
+    ) -> float:
+        """Instantaneous node power draw in watts."""
+        if active_cores < 0 or mem_bw_gbs < 0 or nic_bw_gbs < 0:
+            raise ConfigurationError("activity must be non-negative")
+        return (
+            self.idle_w
+            + active_cores * self.core_active_w
+            + mem_bw_gbs * self.mem_w_per_gbs
+            + nic_bw_gbs * self.nic_w_per_gbs
+        )
+
+
+#: A64FX node: 48 cores, HBM2; full-load ~190 W.
+A64FX_POWER = PowerModel(
+    name="A64FX node",
+    idle_w=60.0,
+    core_active_w=2.2,
+    mem_w_per_gbs=0.030,
+)
+
+#: Dual Skylake 8160 node: full-load ~400 W.
+SKYLAKE_POWER = PowerModel(
+    name="Skylake node",
+    idle_w=120.0,
+    core_active_w=5.2,
+    mem_w_per_gbs=0.150,
+)
+
+
+def a64fx_power() -> PowerModel:
+    return A64FX_POWER
+
+
+def skylake_power() -> PowerModel:
+    return SKYLAKE_POWER
+
+
+def power_model_for(cluster: ClusterModel) -> PowerModel:
+    """The power model matching a cluster preset (by CPU, not by name)."""
+    if cluster.node.core_model.name.startswith("A64FX"):
+        return A64FX_POWER
+    return SKYLAKE_POWER
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy-to-solution of one run."""
+
+    cluster: str
+    n_nodes: int
+    seconds: float
+    mean_node_power_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        return self.mean_node_power_w * self.n_nodes
+
+    @property
+    def energy_j(self) -> float:
+        return self.total_power_w * self.seconds
+
+    @property
+    def energy_kwh(self) -> float:
+        return self.energy_j / 3.6e6
+
+
+def app_energy(
+    app: AppModel, cluster: ClusterModel, n_nodes: int, *, steps: int | None = None
+) -> EnergyReport:
+    """Energy-to-solution of an application run.
+
+    The node's memory traffic during the run is estimated from the phase
+    byte totals; all allocated cores count as active (MPI ranks spin in
+    collectives — the realistic accounting for these codes).
+    """
+    timing = app.time_step(cluster, n_nodes)
+    n_steps = app.steps_per_run if steps is None else steps
+    seconds = timing.total * n_steps
+    mapping = app.mapping(cluster, n_nodes)
+    total_bytes = sum(ph.bytes_moved for ph in app.phases(mapping))
+    mem_gbs_per_node = (total_bytes / timing.total) / n_nodes / 1e9
+    pm = power_model_for(cluster)
+    active = mapping.ranks_per_node * mapping.threads_per_rank
+    power = pm.node_power(active, mem_bw_gbs=mem_gbs_per_node)
+    return EnergyReport(
+        cluster=cluster.name,
+        n_nodes=n_nodes,
+        seconds=seconds,
+        mean_node_power_w=power,
+    )
+
+
+def linpack_energy(cluster: ClusterModel, n_nodes: int) -> tuple[EnergyReport, float]:
+    """Energy of one HPL run and the resulting GFlop/s/W."""
+    from repro.bench.linpack import linpack_point
+
+    point = linpack_point(cluster, n_nodes)
+    pm = power_model_for(cluster)
+    # HPL saturates the cores and streams panels: assume ~40 % of the
+    # node's sustainable bandwidth during the GEMM-dominated run.
+    mem_gbs = 0.4 * cluster.node.sustainable_memory_bandwidth / 1e9
+    power = pm.node_power(cluster.node.cores, mem_bw_gbs=mem_gbs)
+    report = EnergyReport(
+        cluster=cluster.name,
+        n_nodes=n_nodes,
+        seconds=point.elapsed_seconds,
+        mean_node_power_w=power,
+    )
+    gflops_per_w = point.gflops / (power * n_nodes)
+    return report, gflops_per_w

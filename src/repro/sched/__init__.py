@@ -1,0 +1,13 @@
+"""Topology-aware job scheduler model.
+
+The paper notes (Section VI, restriction iv) that CTE-Arm's scheduler is
+aware of the TofuD topology and allocates nodes to exploit proximity, but
+does not let users pick specific nodes or bindings.  This package models
+both behaviours: compact (topology-aware) and scattered allocation, plus
+the memory-feasibility check behind the "NP" entries of Table IV.
+"""
+
+from repro.sched.jobs import Job
+from repro.sched.scheduler import Scheduler, AllocationPolicy
+
+__all__ = ["Job", "Scheduler", "AllocationPolicy"]

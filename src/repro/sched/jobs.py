@@ -1,0 +1,48 @@
+"""Job descriptions submitted to the scheduler model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Job:
+    """A resource request: nodes, per-node memory footprint, rank shape.
+
+    ``memory_per_node_bytes`` is the job's working set divided by the node
+    count — the quantity that makes Alya/NEMO/OpenIFS infeasible on few
+    32 GB A64FX nodes (the paper's "NP" entries).
+    """
+
+    name: str
+    n_nodes: int
+    memory_per_node_bytes: int = 0
+    ranks_per_node: int = 1
+    threads_per_rank: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ConfigurationError("job needs at least one node")
+        if self.memory_per_node_bytes < 0:
+            raise ConfigurationError("memory footprint must be non-negative")
+        if self.ranks_per_node <= 0 or self.threads_per_rank <= 0:
+            raise ConfigurationError("rank shape must be positive")
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return self.memory_per_node_bytes * self.n_nodes
+
+    def with_nodes(self, n_nodes: int) -> "Job":
+        """Same job rescaled to a different node count (strong scaling):
+        the total working set stays constant, so per-node memory shrinks."""
+        if n_nodes <= 0:
+            raise ConfigurationError("node count must be positive")
+        return Job(
+            name=self.name,
+            n_nodes=n_nodes,
+            memory_per_node_bytes=self.total_memory_bytes // n_nodes,
+            ranks_per_node=self.ranks_per_node,
+            threads_per_rank=self.threads_per_rank,
+        )

@@ -1,0 +1,37 @@
+"""Simulated MPI: rank programs execute against the hardware models.
+
+Rank programs are Python generators taking a :class:`Comm` handle and using
+``yield from`` for every communication or modeled-compute operation::
+
+    def program(comm):
+        data = np.ones(1000)
+        total = yield from comm.allreduce(data)
+        yield from comm.compute(flops=1e9, rate=3.2e9)
+        return total.sum()
+
+Real numpy payloads move between ranks (collectives really reduce,
+gathers really gather) while virtual time advances according to the
+network model (topology hops, LogGP link timing, protocol effects) and the
+machine model (per-rank roofline compute).  :class:`World` wires a rank
+mapping, a network, and a DES engine together and runs the program SPMD.
+
+Collectives are implemented as explicit algorithms over point-to-point
+messages (binomial trees, recursive doubling, ring), so their cost emerges
+from the same link model the paper's OSU measurements exercise.
+"""
+
+from repro.simmpi.payload import VirtualPayload, payload_size
+from repro.simmpi.mapping import RankMapping
+from repro.simmpi.comm import Comm, ReduceOp, Request
+from repro.simmpi.world import World, WorldResult
+
+__all__ = [
+    "VirtualPayload",
+    "payload_size",
+    "RankMapping",
+    "Comm",
+    "ReduceOp",
+    "Request",
+    "World",
+    "WorldResult",
+]

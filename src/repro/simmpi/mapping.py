@@ -1,0 +1,123 @@
+"""Rank-to-hardware mapping: which node, NUMA domain, and cores each MPI
+rank owns, and the memory bandwidth / compute share available to it.
+
+The paper's runs use three mapping shapes, all expressible here:
+
+* MPI-only, one rank per core (HPCG, Alya, NEMO): ``ranks_per_node=48,
+  threads_per_rank=1``;
+* hybrid with one rank per NUMA domain (STREAM hybrid, LINPACK on CTE-Arm):
+  ``ranks_per_node=4 (CMGs) or 2 (sockets), threads_per_rank=12/24``;
+* hybrid with fewer threads (Gromacs: 8 ranks x 6 threads per node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.machine.cluster import ClusterModel
+from repro.machine.node import NodeModel
+from repro.smp.binding import ThreadPlacement, bind_threads
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RankMapping:
+    """SPMD process grid over a cluster partition."""
+
+    cluster: ClusterModel
+    n_nodes: int
+    ranks_per_node: int
+    threads_per_rank: int = 1
+
+    def __post_init__(self) -> None:
+        node = self.cluster.node
+        if not 1 <= self.n_nodes <= self.cluster.n_nodes:
+            raise ConfigurationError(
+                f"{self.n_nodes} nodes requested of {self.cluster.n_nodes}"
+            )
+        if self.ranks_per_node < 1:
+            raise ConfigurationError("need at least one rank per node")
+        if self.ranks_per_node * self.threads_per_rank > node.cores:
+            raise ConfigurationError(
+                f"{self.ranks_per_node} ranks x {self.threads_per_rank} threads "
+                f"exceed {node.cores} cores per node"
+            )
+
+    @property
+    def node_model(self) -> NodeModel:
+        return self.cluster.node
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_nodes * self.ranks_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Cluster node index hosting ``rank`` (block distribution)."""
+        self._check_rank(rank)
+        return rank // self.ranks_per_node
+
+    def local_rank(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank % self.ranks_per_node
+
+    def domain_of(self, rank: int) -> int:
+        """NUMA domain index a rank's first core lives in.
+
+        Ranks are packed across domains in order, so with one rank per
+        domain the r-th local rank owns domain r (the paper's pinning).
+        """
+        node = self.node_model
+        cores_per_rank = node.cores // self.ranks_per_node
+        first_core = self.local_rank(rank) * cores_per_rank
+        return node.domain_of_core(first_core).index
+
+    def placement_of(self, rank: int) -> ThreadPlacement:
+        """Thread placement of one rank (threads packed inside its domain
+        when they fit, spilling to adjacent cores otherwise)."""
+        node = self.node_model
+        cores_per_rank = node.cores // self.ranks_per_node
+        first_core = self.local_rank(rank) * cores_per_rank
+        cores = tuple(
+            first_core + t for t in range(min(self.threads_per_rank, cores_per_rank))
+        )
+        if len(cores) < self.threads_per_rank:
+            # Oversubscribed block: fall back to domain binding.
+            return bind_threads(
+                node, self.threads_per_rank, domain=self.domain_of(rank)
+            )
+        return ThreadPlacement(node, cores)
+
+    @cached_property
+    def _ranks_per_domain(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for lr in range(self.ranks_per_node):
+            d = self.domain_of(lr)
+            counts[d] = counts.get(d, 0) + 1
+        return counts
+
+    def rank_memory_bandwidth(self, rank: int) -> float:
+        """Sustainable main-memory bandwidth available to one rank (B/s).
+
+        The rank's domain bandwidth is shared equally among co-resident
+        ranks; each rank is additionally limited by its threads' combined
+        per-core stream capability.
+        """
+        node = self.node_model
+        d = self.domain_of(rank)
+        domain = node.domains[d]
+        share = domain.memory.sustainable_bandwidth / self._ranks_per_domain[d]
+        thread_cap = self.threads_per_rank * node.core_model.per_core_stream_bw
+        return min(share, thread_cap)
+
+    def rank_compute_rate(self, rank: int, flops_per_core: float) -> float:
+        """Sustained flop/s of one rank: threads x per-core kernel rate."""
+        if flops_per_core <= 0:
+            raise ConfigurationError("flops_per_core must be positive")
+        return self.threads_per_rank * flops_per_core
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigurationError(
+                f"rank {rank} out of range 0..{self.n_ranks - 1}"
+            )

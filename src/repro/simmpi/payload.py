@@ -1,0 +1,48 @@
+"""Message payloads: real data or virtual byte counts.
+
+Mini-apps running at host scale send real numpy arrays (their ``nbytes``
+drives the timing); full-scale workload models send :class:`VirtualPayload`
+placeholders that carry only a size, so a 192-node run does not allocate
+192 nodes worth of memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VirtualPayload:
+    """A message that exists only as a byte count."""
+
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ConfigurationError("payload size must be non-negative")
+
+
+def payload_size(payload: Any, override: int | None = None) -> int:
+    """Bytes on the wire for a payload (explicit ``override`` wins)."""
+    if override is not None:
+        if override < 0:
+            raise ConfigurationError("size override must be non-negative")
+        return override
+    if isinstance(payload, VirtualPayload):
+        return payload.nbytes
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (int, float, complex, np.number)):
+        return 8
+    if payload is None:
+        return 0
+    # Structured python objects: approximate with repr length (rare path,
+    # used only for small control messages in tests).
+    return len(repr(payload))

@@ -1,0 +1,163 @@
+"""World: wires a rank mapping, a network model and a DES engine together
+and runs SPMD rank programs to completion in virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.des.engine import Engine
+from repro.des.resources import Channel, Resource
+from repro.des.trace import TraceRecorder
+from repro.network.model import NetworkModel, network_for
+from repro.simmpi.comm import Comm
+from repro.simmpi.mapping import RankMapping
+from repro.util.errors import ConfigurationError
+from repro.util.units import KIB
+
+RankProgram = Callable[..., Generator[Any, Any, Any]]
+
+
+@dataclass
+class WorldResult:
+    """Outcome of one simulated SPMD execution."""
+
+    elapsed: float  # virtual seconds from start to last rank finishing
+    rank_results: list[Any]
+    trace: TraceRecorder
+
+    def phase_time(self, phase: str, *, reduction: str = "max") -> float:
+        """Aggregate a traced phase over ranks.
+
+        ``max`` reproduces the paper's 'slowest process' reduction used for
+        the Alya phase plots; ``mean`` averages; ``sum`` totals.
+        """
+        per = {}
+        for record in self.trace:
+            if record.phase.startswith(phase):
+                per[record.actor] = per.get(record.actor, 0.0) + record.duration
+        if not per:
+            return 0.0
+        values = list(per.values())
+        if reduction == "max":
+            return max(values)
+        if reduction == "mean":
+            return sum(values) / len(values)
+        if reduction == "sum":
+            return sum(values)
+        raise ConfigurationError(f"unknown reduction {reduction!r}")
+
+
+class World:
+    """A simulated MPI world over a cluster partition."""
+
+    def __init__(
+        self,
+        mapping: RankMapping,
+        *,
+        network: NetworkModel | None = None,
+        eager_threshold: int = 32 * KIB,
+        send_overhead_s: float = 0.2e-6,
+        trace: bool = True,
+        nic_contention: bool = False,
+        compute_noise: float = 0.0,
+        noise_seed: int = 0,
+        heterogeneity=None,
+    ):
+        self.mapping = mapping
+        self.network = network if network is not None else network_for(
+            mapping.cluster, n_nodes=mapping.n_nodes
+        )
+        if self.network.n_nodes < mapping.n_nodes:
+            raise ConfigurationError(
+                f"network has {self.network.n_nodes} nodes, mapping needs "
+                f"{mapping.n_nodes}"
+            )
+        self.eager_threshold = eager_threshold
+        self.send_overhead_s = send_overhead_s
+        self.engine = Engine()
+        self.trace = TraceRecorder(enabled=trace)
+        self._channels: dict[int, Channel] = {}
+        self._comm_ids: dict[tuple, int] = {}
+        #: serialize rendezvous injections per node (real NICs do).
+        self.nic_contention = nic_contention
+        self._nics: dict[int, Resource] = {}
+        #: relative OS-jitter amplitude on compute phases (0 = none).
+        if not 0.0 <= compute_noise < 1.0:
+            raise ConfigurationError("compute_noise must be in [0, 1)")
+        self.compute_noise = compute_noise
+        self._noise_seed = noise_seed
+        self._noise_draws = 0
+        #: optional per-node/core performance deviations
+        #: (:class:`repro.bench.variability.HeterogeneityModel`).
+        self.heterogeneity = heterogeneity
+
+    def compute_slowdown(self, rank: int) -> float:
+        """1/performance-factor of the node hosting ``rank`` (>= 1 slow)."""
+        if self.heterogeneity is None:
+            return 1.0
+        node = self.mapping.node_of(rank)
+        first_core = self.mapping.placement_of(rank).cores[0]
+        factor = self.heterogeneity.factor(node, first_core)
+        if factor <= 0:
+            raise ConfigurationError("heterogeneity factor must be positive")
+        return 1.0 / factor
+
+    def nic(self, node: int) -> Resource:
+        """The injection port of one node (capacity-1 resource)."""
+        res = self._nics.get(node)
+        if res is None:
+            res = Resource(self.engine, capacity=1, label=f"nic{node}")
+            self._nics[node] = res
+        return res
+
+    def noise_factor(self) -> float:
+        """Deterministic multiplicative jitter for one compute phase."""
+        if self.compute_noise == 0.0:
+            return 1.0
+        from repro.util.rng import make_rng
+
+        self._noise_draws += 1
+        rng = make_rng(self._noise_seed, "noise", self._noise_draws)
+        return 1.0 + self.compute_noise * float(rng.random())
+
+    def comm_id_for(self, key: tuple) -> int:
+        """Deterministically allocate a communicator id for a split key.
+
+        All ranks performing the same logical split request the same key and
+        therefore receive the same id, regardless of request order.
+        """
+        if key not in self._comm_ids:
+            self._comm_ids[key] = len(self._comm_ids) + 1
+        return self._comm_ids[key]
+
+    def channel(self, rank: int) -> Channel:
+        ch = self._channels.get(rank)
+        if ch is None:
+            ch = Channel(self.engine, label=f"rank{rank}")
+            self._channels[rank] = ch
+        return ch
+
+    def comm(self, rank: int) -> Comm:
+        return Comm(self, rank)
+
+    def run(self, program: RankProgram, *args: Any, **kwargs: Any) -> WorldResult:
+        """Run ``program(comm, *args, **kwargs)`` on every rank.
+
+        The program is a generator function; per-rank return values are
+        collected in rank order.  Raises DeadlockError on mismatched
+        communication.
+        """
+        n = self.mapping.n_ranks
+        processes = []
+        for rank in range(n):
+            comm = self.comm(rank)
+            gen = program(comm, *args, **kwargs)
+            processes.append(self.engine.process(gen, label=f"rank{rank}"))
+        elapsed = self.engine.run()
+        return WorldResult(
+            elapsed=elapsed,
+            rank_results=[p.value for p in processes],
+            trace=self.trace,
+        )

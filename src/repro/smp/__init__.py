@@ -1,0 +1,40 @@
+"""Intra-node shared-memory execution model (OpenMP + NUMA placement).
+
+The model has three ingredients:
+
+* **thread binding** — which core (and therefore which NUMA domain) each
+  OpenMP thread runs on (the paper binds threads ``spread``);
+* **page placement** — which domain's memory backs each thread's data.
+  CTE-Arm's Fujitsu OS defaults to *prepaging* (pages materialized at
+  allocation time, round-robin across CMGs), which destroys thread-page
+  affinity for single-process OpenMP runs; Linux demand paging plus
+  parallel first touch keeps pages local on MareNostrum 4.  The HPCG runs
+  in the paper explicitly set ``XOS_MMM_L_PAGING_POLICY=demand:demand:demand``
+  — evidence that prepage is the CTE-Arm default;
+* **bandwidth contention** — per-thread streams are capped by their
+  domain's sustainable memory bandwidth, and remote accesses additionally
+  share the on-chip ring/UPI.
+
+Together these make the paper's STREAM results *emerge*: OpenMP-only STREAM
+on the A64FX plateaus at ~292 GB/s (29 % of peak, Fig. 2) because prepaged
+pages force 3/4 of all traffic across the ring bus, while the hybrid
+MPI+OpenMP run with one rank per CMG keeps every page local and reaches
+~862 GB/s (84 %, Fig. 3).
+"""
+
+from repro.smp.binding import ThreadBinding, ThreadPlacement, bind_threads
+from repro.smp.pages import PagePolicy, page_locality
+from repro.smp.contention import stream_bandwidth, node_stream_bandwidth
+from repro.smp.openmp import OpenMPModel, parallel_region_time
+
+__all__ = [
+    "ThreadBinding",
+    "ThreadPlacement",
+    "bind_threads",
+    "PagePolicy",
+    "page_locality",
+    "stream_bandwidth",
+    "node_stream_bandwidth",
+    "OpenMPModel",
+    "parallel_region_time",
+]

@@ -1,0 +1,63 @@
+"""OpenMP runtime cost model: parallel-region timing with fork/join overhead.
+
+``parallel_region_time`` evaluates a roofline for one parallel region on one
+process: compute-limited time versus memory-limited time (through the
+contention solver), plus a fork/join constant and a static-scheduling
+imbalance factor.  Application phase models are built on this primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.smp.binding import ThreadPlacement
+from repro.smp.contention import stream_bandwidth
+from repro.smp.pages import PagePolicy
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OpenMPModel:
+    """Runtime constants of the OpenMP implementation.
+
+    ``fork_join_s`` — cost of opening+closing one parallel region;
+    ``imbalance`` — multiplicative inflation of the critical path from
+    static scheduling on non-uniform iterations (1.0 = perfectly balanced).
+    """
+
+    fork_join_s: float = 3.0e-6
+    imbalance: float = 1.05
+
+    def __post_init__(self) -> None:
+        if self.fork_join_s < 0 or self.imbalance < 1.0:
+            raise ConfigurationError("invalid OpenMP model constants")
+
+
+DEFAULT_OPENMP = OpenMPModel()
+
+
+def parallel_region_time(
+    placement: ThreadPlacement,
+    *,
+    flops: float,
+    bytes_moved: float,
+    flops_per_core: float,
+    policy: PagePolicy = PagePolicy.FIRST_TOUCH,
+    omp: OpenMPModel = DEFAULT_OPENMP,
+) -> float:
+    """Time of one parallel region (seconds), roofline style.
+
+    ``flops_per_core`` is the sustained per-core rate the toolchain model
+    produced for this kernel class; ``bytes_moved`` is main-memory traffic.
+    """
+    if flops < 0 or bytes_moved < 0:
+        raise ConfigurationError("work must be non-negative")
+    if flops_per_core <= 0:
+        raise ConfigurationError("flops_per_core must be positive")
+    n = placement.n_threads
+    t_compute = flops / (n * flops_per_core)
+    t_memory = 0.0
+    if bytes_moved > 0:
+        bw = stream_bandwidth(placement, policy)
+        t_memory = bytes_moved / bw
+    return max(t_compute, t_memory) * omp.imbalance + omp.fork_join_s

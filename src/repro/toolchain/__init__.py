@@ -1,0 +1,55 @@
+"""Compiler/toolchain models.
+
+The paper's central deployment finding (Section V and VI) is that the
+toolchain, not the silicon, determines application performance on A64FX:
+
+* the Fujitsu compiler could not build most applications (hangs on Alya,
+  errors on NEMO and Gromacs, runtime abort for OpenIFS);
+* the GNU fallback builds everything but cannot auto-vectorize for SVE, so
+  applications run on the weak scalar core — the 2-4x slowdown;
+* Intel's compiler on MareNostrum 4 vectorizes reasonably with AVX-512.
+
+This package models compilers as *profiles*: which applications they can
+build (``build`` raises the documented failure otherwise) and, per kernel
+class, which fraction of the work they vectorize and at what efficiency.
+"""
+
+from repro.toolchain.kernels import KernelClass
+from repro.toolchain.flags import FlagSet, STREAM_BUILDS, APP_BUILDS, table2, table3
+from repro.toolchain.compiler import CompilerProfile, Binary, VectorizationResult
+from repro.toolchain.profiles import (
+    FUJITSU_1_1_18,
+    FUJITSU_1_2_26B,
+    GNU_8_3_1_SVE,
+    GNU_8_4_2,
+    GNU_11_0_0,
+    INTEL_2017_4,
+    INTEL_2018_4,
+    INTEL_19_1,
+    COMPILERS,
+    get_compiler,
+    default_compiler_for,
+)
+
+__all__ = [
+    "KernelClass",
+    "FlagSet",
+    "STREAM_BUILDS",
+    "APP_BUILDS",
+    "table2",
+    "table3",
+    "CompilerProfile",
+    "Binary",
+    "VectorizationResult",
+    "FUJITSU_1_1_18",
+    "FUJITSU_1_2_26B",
+    "GNU_8_3_1_SVE",
+    "GNU_8_4_2",
+    "GNU_11_0_0",
+    "INTEL_2017_4",
+    "INTEL_2018_4",
+    "INTEL_19_1",
+    "COMPILERS",
+    "get_compiler",
+    "default_compiler_for",
+]

@@ -1,0 +1,65 @@
+"""Kernel classes — the vocabulary shared by the toolchain and the workloads.
+
+Every compute phase of a benchmark or application declares the *class* of its
+inner loops; the compiler profile maps (kernel class, target ISA) to a
+vectorization outcome.  The classes are coarse on purpose: they capture the
+distinctions that mattered in the paper (regular streaming loops vectorize
+everywhere; irregular gather/scatter FEM and MD loops only vectorize where
+the compiler is mature for the ISA).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class KernelClass(enum.Enum):
+    """Inner-loop categories for vectorization modeling."""
+
+    #: hand-written FMA assembly — bypasses the compiler entirely (FPU µKernel)
+    ASM_FMA = "asm-fma"
+    #: simple unit-stride streaming loops (STREAM copy/scale/add/triad)
+    STREAM = "stream"
+    #: dense BLAS-3 linear algebra (HPL panel updates; vendor libraries)
+    DENSE_LINALG = "dense-linalg"
+    #: sparse matrix-vector / symmetric Gauss-Seidel (HPCG)
+    SPMV = "spmv"
+    #: structured-grid stencils with halo regions (NEMO, WRF dynamics)
+    STENCIL = "stencil"
+    #: unstructured FEM element assembly — indirect gather/scatter (Alya)
+    FEM_ASSEMBLY = "fem-assembly"
+    #: Krylov solver kernels — dot products, AXPYs, sparse ops (Alya solver)
+    KRYLOV = "krylov"
+    #: molecular-dynamics non-bonded pair kernels (Gromacs)
+    MD_NONBONDED = "md-nonbonded"
+    #: spectral transforms — FFT butterflies, Legendre matrices (OpenIFS)
+    SPECTRAL = "spectral"
+    #: branchy physics/chemistry parameterizations — barely vectorizable
+    SCALAR_PHYSICS = "scalar-physics"
+    #: file output / serialization — no floating-point to vectorize
+    IO = "io"
+
+
+#: Kernel classes dominated by *data-dependent indirect addressing*
+#: (gather/scatter chains).  These pay the A64FX's high cache latency on
+#: top of their vectorization deficit (``irregular_access_efficiency`` in
+#: the core model).  MD is deliberately NOT here: Gromacs' cluster pair
+#: lists regularize its memory access; nor is branchy physics, whose
+#: arrays are contiguous.
+IRREGULAR = frozenset(
+    {
+        KernelClass.FEM_ASSEMBLY,
+        KernelClass.SPMV,
+    }
+)
+
+#: Regular, unit-stride kernel classes every mature vectorizer handles.
+REGULAR = frozenset(
+    {
+        KernelClass.STREAM,
+        KernelClass.DENSE_LINALG,
+        KernelClass.STENCIL,
+        KernelClass.KRYLOV,
+        KernelClass.SPECTRAL,
+    }
+)

@@ -1,0 +1,77 @@
+"""Shared utilities: units, deterministic RNG, statistics, tables, ASCII plots.
+
+These modules are dependency-free (numpy only) and are used by every other
+subpackage.  Nothing in here knows about machines, networks, or benchmarks.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    SimulationError,
+    ToolchainError,
+    CompileError,
+    RuntimeFailure,
+    AllocationError,
+)
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    KB,
+    MB,
+    GB,
+    GIGA,
+    MEGA,
+    KILO,
+    format_bytes,
+    format_flops,
+    format_bandwidth,
+    format_time,
+    parse_size,
+)
+from repro.util.rng import make_rng, derive_seed
+from repro.util.stats import (
+    RunningStats,
+    summarize,
+    geometric_mean,
+    harmonic_mean,
+    percentile_summary,
+)
+from repro.util.tables import Table, format_table
+from repro.util.asciiplot import ascii_line_plot, ascii_heatmap, ascii_histogram
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ToolchainError",
+    "CompileError",
+    "RuntimeFailure",
+    "AllocationError",
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "GIGA",
+    "MEGA",
+    "KILO",
+    "format_bytes",
+    "format_flops",
+    "format_bandwidth",
+    "format_time",
+    "parse_size",
+    "make_rng",
+    "derive_seed",
+    "RunningStats",
+    "summarize",
+    "geometric_mean",
+    "harmonic_mean",
+    "percentile_summary",
+    "Table",
+    "format_table",
+    "ascii_line_plot",
+    "ascii_heatmap",
+    "ascii_histogram",
+]

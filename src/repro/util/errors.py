@@ -1,0 +1,66 @@
+"""Exception hierarchy for the repro cluster-evaluation laboratory.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.  The
+toolchain errors intentionally mirror the deployment failures reported in
+Section V of the paper (compiler hangs, cmake errors, runtime aborts).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine, network, or experiment configuration."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All simulated processes are blocked and no events are pending."""
+
+
+class ToolchainError(ReproError):
+    """Base class for compiler/toolchain failures (paper Section V)."""
+
+    def __init__(self, message: str, *, compiler: str = "", application: str = ""):
+        super().__init__(message)
+        self.compiler = compiler
+        self.application = application
+
+
+class CompileError(ToolchainError):
+    """The modeled compiler refused or failed to build an application.
+
+    Mirrors e.g. the Fujitsu compiler hanging on Alya's most complex Fortran
+    modules or erroring out on NEMO (paper Sections V-A and V-B).
+    """
+
+
+class CompileHang(CompileError):
+    """The modeled compiler hangs (never terminates) on this input."""
+
+
+class RuntimeFailure(ToolchainError):
+    """The application built but aborts at run time.
+
+    Mirrors OpenIFS built with the Fujitsu compiler failing during execution
+    (paper Section V-D).
+    """
+
+
+class AllocationError(ReproError):
+    """The scheduler cannot satisfy a job's node/memory request."""
+
+
+class OutOfMemoryError(AllocationError):
+    """A job's per-node working set exceeds node memory.
+
+    Mirrors the "NP" entries of Table IV: Alya, OpenIFS and NEMO cannot run
+    on a low number of A64FX nodes because each node only has 32 GB.
+    """

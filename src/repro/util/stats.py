@@ -1,0 +1,151 @@
+"""Small statistics helpers used by the benchmark drivers and analysis layer.
+
+The paper reports averages across repetitions (e.g. NEMO times averaged over
+three runs, Alya time steps averaged over 19 iterations discarding the first)
+and distributions (Fig. 5's bandwidth histogram).  These helpers centralize
+that arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class RunningStats:
+    """Welford online mean/variance accumulator.
+
+    Numerically stable for long benchmark loops; avoids storing every sample.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+    min: float = math.inf
+    max: float = -math.inf
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        self.min = min(self.min, x)
+        self.max = max(self.max, x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); zero for fewer than two samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (parallel Welford merge)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return self
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / n
+        self.mean += delta * other.count / n
+        self.count = n
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+
+def summarize(samples: Sequence[float]) -> RunningStats:
+    """Build a RunningStats from a sequence in one call."""
+    rs = RunningStats()
+    rs.extend(samples)
+    return rs
+
+
+def geometric_mean(xs: Sequence[float]) -> float:
+    """Geometric mean; the canonical aggregate for speedup ratios."""
+    arr = np.asarray(xs, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def harmonic_mean(xs: Sequence[float]) -> float:
+    """Harmonic mean; the correct aggregate for rates over equal work."""
+    arr = np.asarray(xs, dtype=float)
+    if arr.size == 0:
+        raise ValueError("harmonic_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("harmonic_mean requires positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def percentile_summary(
+    samples: Sequence[float], percentiles: Sequence[float] = (0, 25, 50, 75, 100)
+) -> dict[float, float]:
+    """Percentile table of a sample set (used for Fig. 5 style distributions)."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile_summary of empty sequence")
+    values = np.percentile(arr, percentiles)
+    return {float(p): float(v) for p, v in zip(percentiles, values)}
+
+
+def coefficient_of_variation(samples: Sequence[float]) -> float:
+    """stddev/mean — the paper's 'variability is negligible' check."""
+    rs = summarize(samples)
+    if rs.mean == 0:
+        raise ValueError("coefficient of variation undefined for zero mean")
+    return rs.stddev / abs(rs.mean)
+
+
+def is_bimodal(samples: Sequence[float], *, n_bins: int = 32, min_sep: int = 3) -> bool:
+    """Crude bimodality detector used to characterize Fig. 5 distributions.
+
+    Histograms the samples and looks for two local maxima separated by at
+    least ``min_sep`` bins with a valley between them at most half the
+    smaller peak.  Deliberately simple: it classifies the paper's clearly
+    bimodal mid-size-message distributions without fitting mixtures.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 8:
+        return False
+    hist, _ = np.histogram(arr, bins=n_bins)
+    peaks = [
+        i
+        for i in range(1, n_bins - 1)
+        if hist[i] >= hist[i - 1] and hist[i] >= hist[i + 1] and hist[i] > 0
+    ]
+    # Merge plateau-adjacent peaks.
+    merged: list[int] = []
+    for i in peaks:
+        if merged and i - merged[-1] == 1 and hist[i] == hist[merged[-1]]:
+            continue
+        merged.append(i)
+    for a_idx in range(len(merged)):
+        for b_idx in range(a_idx + 1, len(merged)):
+            a, b = merged[a_idx], merged[b_idx]
+            if b - a < min_sep:
+                continue
+            valley = hist[a + 1 : b].min()
+            if valley <= 0.5 * min(hist[a], hist[b]):
+                return True
+    return False

@@ -1,0 +1,76 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them as aligned monospace tables (and optionally Markdown) so
+EXPERIMENTS.md entries can be generated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table with a title."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self, *, markdown: bool = False) -> str:
+        return format_table(self.title, self.columns, self.rows, markdown=markdown)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    markdown: bool = False,
+) -> str:
+    """Render rows as an aligned text or Markdown table."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt_row(items: Sequence[str]) -> str:
+        body = " | ".join(item.ljust(w) for item, w in zip(items, widths))
+        return f"| {body} |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(columns)))
+    if markdown:
+        lines.append(fmt_row(["-" * w for w in widths]))
+    else:
+        lines.append("+" + "+".join("-" * (w + 2) for w in widths) + "+")
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)

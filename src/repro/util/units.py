@@ -1,0 +1,100 @@
+"""Unit constants and human-readable formatting helpers.
+
+Conventions used throughout the package:
+
+* byte counts — plain ints; ``KIB/MIB/GIB`` are binary, ``KB/MB/GB`` decimal.
+  Memory sizes follow the paper's usage (cache sizes binary, bandwidths and
+  memory capacity decimal, matching Table I).
+* flops — double-precision floating-point operations, decimal prefixes.
+* time — seconds as floats (virtual time in the simulator is also seconds).
+"""
+
+from __future__ import annotations
+
+KILO = 10**3
+MEGA = 10**6
+GIGA = 10**9
+TERA = 10**12
+
+KB = KILO
+MB = MEGA
+GB = GIGA
+TB = TERA
+
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+TIB = 2**40
+
+_DEC = [(TERA, "T"), (GIGA, "G"), (MEGA, "M"), (KILO, "k")]
+_BIN = [(TIB, "Ti"), (GIB, "Gi"), (MIB, "Mi"), (KIB, "Ki")]
+
+
+def _scale(value: float, table) -> tuple[float, str]:
+    for factor, prefix in table:
+        if abs(value) >= factor:
+            return value / factor, prefix
+    return value, ""
+
+
+def format_bytes(n: float, *, binary: bool = True, digits: int = 2) -> str:
+    """Format a byte count, e.g. ``format_bytes(64*KIB) == '64.00 KiB'``."""
+    value, prefix = _scale(float(n), _BIN if binary else _DEC)
+    return f"{value:.{digits}f} {prefix}B"
+
+
+def format_flops(n: float, *, digits: int = 2) -> str:
+    """Format a flop/s rate, e.g. ``'70.40 GFlop/s'``."""
+    value, prefix = _scale(float(n), _DEC)
+    return f"{value:.{digits}f} {prefix}Flop/s"
+
+
+def format_bandwidth(bytes_per_s: float, *, digits: int = 1) -> str:
+    """Format a bandwidth, decimal prefixes as in the paper (GB/s)."""
+    value, prefix = _scale(float(bytes_per_s), _DEC)
+    return f"{value:.{digits}f} {prefix}B/s"
+
+
+def format_time(seconds: float, *, digits: int = 3) -> str:
+    """Format a duration with a sensible SI prefix (s, ms, us, ns)."""
+    s = float(seconds)
+    if s == 0.0:
+        return "0 s"
+    for factor, unit in [(1.0, "s"), (1e-3, "ms"), (1e-6, "us"), (1e-9, "ns")]:
+        if abs(s) >= factor:
+            return f"{s / factor:.{digits}f} {unit}"
+    return f"{s / 1e-9:.{digits}f} ns"
+
+
+_SUFFIXES = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+    "tib": TIB,
+    "k": KIB,
+    "m": MIB,
+    "g": GIB,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string (``'64KiB'``, ``'32 GB'``, ``'256'``) to bytes.
+
+    Bare ``K/M/G`` suffixes are interpreted as binary, matching common HPC
+    benchmark conventions (OSU message sizes are powers of two).
+    """
+    s = text.strip().lower().replace(" ", "")
+    i = len(s)
+    while i > 0 and not s[i - 1].isdigit():
+        i -= 1
+    num, suffix = s[:i], s[i:]
+    if not num:
+        raise ValueError(f"no numeric part in size string {text!r}")
+    if suffix and suffix not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(float(num) * _SUFFIXES.get(suffix, 1))

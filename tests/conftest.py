@@ -1,0 +1,30 @@
+"""Shared fixtures: cluster presets and small simulated-MPI worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import cte_arm, marenostrum4
+from repro.simmpi import RankMapping, World
+
+
+@pytest.fixture(scope="session")
+def arm():
+    return cte_arm()
+
+
+@pytest.fixture(scope="session")
+def mn4():
+    return marenostrum4(192)
+
+
+@pytest.fixture(scope="session")
+def arm_small():
+    return cte_arm(12)
+
+
+@pytest.fixture()
+def small_world(arm_small):
+    """8 ranks over 4 nodes of a 12-node CTE-Arm partition."""
+    mapping = RankMapping(arm_small, n_nodes=4, ranks_per_node=2)
+    return World(mapping)

@@ -1,0 +1,102 @@
+"""Roofline analysis and timeline rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    app_roofline,
+    ascii_gantt,
+    ascii_roofline,
+    machine_roofs,
+    ridge_point,
+    roofline_table,
+    timeline_rows,
+)
+from repro.apps import AlyaModel, WRFModel
+from repro.des.trace import TraceRecorder
+from repro.simmpi import RankMapping, World
+from repro.util.errors import ConfigurationError
+
+
+class TestRoofline:
+    def test_machine_roofs_match_table1(self, arm, mn4):
+        peak, bw = machine_roofs(arm, 1)
+        assert peak == pytest.approx(3379.2)
+        assert bw == pytest.approx(862.6, rel=0.01)
+        peak_m, bw_m = machine_roofs(mn4, 1)
+        assert peak_m == pytest.approx(3225.6)
+        assert bw_m == pytest.approx(201.2, rel=0.01)
+
+    def test_ridge_points(self, arm, mn4):
+        """A64FX's HBM pushes its ridge ~4x left of Skylake's."""
+        assert ridge_point(arm) == pytest.approx(3.92, rel=0.02)
+        assert ridge_point(mn4) == pytest.approx(16.0, rel=0.02)
+
+    def test_alya_bounds_tell_the_paper_story(self, arm, mn4):
+        app = AlyaModel()
+        by = {(p.cluster, p.phase): p
+              for p in app_roofline(app, arm, 16) + app_roofline(app, mn4, 16)}
+        assert by[("CTE-Arm", "assembly")].bound == "compute"
+        assert by[("MareNostrum 4", "assembly")].bound == "compute"
+        assert by[("CTE-Arm", "solver")].bound == "compute"
+        assert by[("MareNostrum 4", "solver")].bound == "memory"
+
+    def test_mn4_solver_near_its_roof(self, mn4):
+        points = app_roofline(AlyaModel(), mn4, 16)
+        solver = next(p for p in points if p.phase == "solver")
+        assert solver.roof_fraction > 0.9
+
+    def test_achieved_never_exceeds_theoretical_roof(self, arm, mn4):
+        for cluster in (arm, mn4):
+            for p in app_roofline(WRFModel(), cluster, 16):
+                assert p.achieved_gflops <= p.roof_gflops * 1.001
+
+    def test_table_and_chart_render(self, arm):
+        points = app_roofline(AlyaModel(), arm, 16)
+        assert "Bound" in roofline_table(points).render()
+        art = ascii_roofline(arm, points, n_nodes=16)
+        assert "ridge" in art and "/" in art
+
+
+class TestTimeline:
+    @pytest.fixture()
+    def trace(self, arm_small):
+        from repro.apps.miniapps import cg_miniapp
+
+        world = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=2))
+        return world.run(cg_miniapp, n=64, tol=1e-8).trace
+
+    def test_rows_cover_all_ranks(self, trace):
+        rows, legend, t_end = timeline_rows(trace, width=40)
+        assert set(rows) == {f"rank{r}" for r in range(4)}
+        assert all(len(chars) == 40 for chars in rows.values())
+        assert t_end > 0
+
+    def test_legend_names_activities(self, trace):
+        _, legend, _ = timeline_rows(trace, width=40)
+        assert any("allreduce" in name for name in legend.values())
+        assert any("spmv" in name for name in legend.values())
+
+    def test_gantt_renders(self, trace):
+        art = ascii_gantt(trace, width=50, title="cg")
+        assert "cg" in art and "rank0|" in art.replace(" ", "")
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            timeline_rows(TraceRecorder())
+
+    def test_imbalance_visible(self, arm_small):
+        """A rank with extra compute shows a longer busy row."""
+
+        def program(comm):
+            comm.set_phase("work")
+            yield from comm.compute(0.5 if comm.rank == 0 else 0.1,
+                                    label="busy")
+            yield from comm.barrier()
+
+        world = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=1))
+        res = world.run(program)
+        rows, _, _ = timeline_rows(res.trace, width=50)
+        busy0 = sum(c not in " !" for c in rows["rank0"])
+        busy1 = sum(c not in " !" for c in rows["rank1"])
+        assert busy0 > 3 * busy1

@@ -1,0 +1,108 @@
+"""Cross-validation: analytic collective costs vs DES-executed schedules.
+
+The 192-node application studies price collectives with the closed forms
+in :mod:`repro.network.collectives`; these tests run the *same* algorithms
+through the DES-backed simulated MPI at small scale and require agreement
+within a factor-2 band (the analytic forms use a representative pair
+distance, the DES schedule the exact ones).
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.collectives import CollectiveCosts
+from repro.network.model import network_for
+from repro.simmpi import RankMapping, VirtualPayload, World
+
+
+def _des_time(arm_small, n_nodes, rpn, program):
+    mapping = RankMapping(arm_small, n_nodes=n_nodes, ranks_per_node=rpn)
+    world = World(mapping)
+    return world.run(program).elapsed, mapping, world.network
+
+
+@pytest.mark.parametrize("size", [8, 4096, 256 * 1024])
+def test_allreduce_within_band(arm_small, size):
+    def program(comm):
+        yield from comm.allreduce(VirtualPayload(size))
+
+    elapsed, mapping, net = _des_time(arm_small, 4, 2, program)
+    analytic = CollectiveCosts(mapping=mapping, network=net).allreduce(size)
+    assert analytic / 2.5 < elapsed < analytic * 2.5
+
+
+@pytest.mark.parametrize("size", [64, 64 * 1024])
+def test_bcast_within_band(arm_small, size):
+    def program(comm):
+        yield from comm.bcast(VirtualPayload(size) if comm.rank == 0 else None,
+                              size=size)
+
+    elapsed, mapping, net = _des_time(arm_small, 4, 2, program)
+    analytic = CollectiveCosts(mapping=mapping, network=net).bcast(size)
+    assert analytic / 2.5 < elapsed < analytic * 2.5
+
+
+def test_alltoall_within_band(arm_small):
+    size = 8192
+
+    def program(comm):
+        yield from comm.alltoall([VirtualPayload(size)] * comm.size, size=size)
+
+    elapsed, mapping, net = _des_time(arm_small, 4, 2, program)
+    analytic = CollectiveCosts(mapping=mapping, network=net).alltoall(size)
+    assert analytic / 3.0 < elapsed < analytic * 3.0
+
+
+def test_barrier_within_band(arm_small):
+    def program(comm):
+        yield from comm.barrier()
+
+    elapsed, mapping, net = _des_time(arm_small, 4, 2, program)
+    analytic = CollectiveCosts(mapping=mapping, network=net).barrier()
+    assert analytic / 3.0 < elapsed < analytic * 3.0
+
+
+def test_allgather_within_band(arm_small):
+    size = 4096
+
+    def program(comm):
+        yield from comm.allgather(VirtualPayload(size), size=size)
+
+    elapsed, mapping, net = _des_time(arm_small, 4, 2, program)
+    analytic = CollectiveCosts(mapping=mapping, network=net).allgather(size)
+    assert analytic / 3.0 < elapsed < analytic * 3.0
+
+
+class TestScalingShapes:
+    """Closed forms must have the right asymptotics."""
+
+    def _costs(self, arm, n_nodes, rpn=48):
+        mapping = RankMapping(arm, n_nodes=n_nodes, ranks_per_node=rpn)
+        return CollectiveCosts(mapping=mapping,
+                               network=network_for(arm, n_nodes=n_nodes))
+
+    def test_allreduce_grows_logarithmically(self, arm):
+        t24 = self._costs(arm, 24).allreduce(8)
+        t192 = self._costs(arm, 192).allreduce(8)
+        # log2(9216)/log2(1152) ~ 1.3: must grow, but far less than 8x.
+        assert 1.0 < t192 / t24 < 2.0
+
+    def test_alltoall_latency_term_grows_linearly(self, arm):
+        t24 = self._costs(arm, 24).alltoall(64)
+        t96 = self._costs(arm, 96).alltoall(64)
+        assert 2.0 < t96 / t24 < 6.0
+
+    def test_halo_cost_shrinks_with_face_size(self, arm):
+        c = self._costs(arm, 16)
+        assert c.halo_exchange(1024) < c.halo_exchange(1024 * 1024)
+
+    def test_single_node_uses_shared_memory(self, arm):
+        c1 = self._costs(arm, 1)
+        c2 = self._costs(arm, 2)
+        assert c1.allreduce(4096) < c2.allreduce(4096)
+
+    def test_zero_ranks_edge(self, arm):
+        c = self._costs(arm, 1, rpn=1)
+        assert c.allreduce(8) == 0.0
+        assert c.barrier() == 0.0
+        assert c.alltoall(8) == 0.0

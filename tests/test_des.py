@@ -1,0 +1,303 @@
+"""Discrete-event engine: ordering, processes, deadlock, resources, channels."""
+
+import pytest
+
+from repro.des import AllOf, Channel, Engine, Resource
+from repro.util.errors import DeadlockError, SimulationError
+
+
+class TestEngineBasics:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(2.5)
+
+        eng.process(proc())
+        assert eng.run() == 2.5
+
+    def test_plain_float_yield_is_timeout(self):
+        eng = Engine()
+
+        def proc():
+            yield 1.25
+            yield 0.75
+
+        eng.process(proc())
+        assert eng.run() == 2.0
+
+    def test_negative_timeout_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.timeout(-1.0)
+
+    def test_simultaneous_events_fifo(self):
+        eng = Engine()
+        order = []
+
+        def proc(i):
+            yield eng.timeout(1.0)
+            order.append(i)
+
+        for i in range(5):
+            eng.process(proc(i))
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(10.0)
+
+        eng.process(proc())
+        assert eng.run(until=3.0) == 3.0
+        assert eng.now == 3.0
+
+    def test_process_return_value(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+            return 42
+
+        p = eng.process(proc())
+        eng.run()
+        assert p.value == 42
+
+    def test_join_process(self):
+        eng = Engine()
+
+        def child():
+            yield eng.timeout(2.0)
+            return "done"
+
+        def parent():
+            result = yield eng.process(child())
+            return (result, eng.now)
+
+        p = eng.process(parent())
+        eng.run()
+        assert p.value == ("done", 2.0)
+
+    def test_yield_garbage_raises(self):
+        eng = Engine()
+
+        def proc():
+            yield "nonsense"
+
+        eng.process(proc())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_exception_propagates_when_unwatched(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+            raise ValueError("boom")
+
+        eng.process(proc())
+        with pytest.raises(ValueError):
+            eng.run()
+
+    def test_exception_delivered_to_joiner(self):
+        eng = Engine()
+
+        def child():
+            yield eng.timeout(1.0)
+            raise ValueError("child boom")
+
+        def parent():
+            try:
+                yield eng.process(child())
+            except ValueError as e:
+                return str(e)
+
+        p = eng.process(parent())
+        eng.run()
+        assert p.value == "child boom"
+
+
+class TestEvents:
+    def test_event_value_before_trigger_raises(self):
+        eng = Engine()
+        ev = eng.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_double_trigger_rejected(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_wait_on_already_resolved_event(self):
+        """A late waiter on a resolved event must not sleep forever."""
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed("early")
+        got = []
+
+        def late():
+            yield eng.timeout(5.0)
+            value = yield ev
+            got.append((value, eng.now))
+
+        eng.process(late())
+        eng.run()
+        assert got == [("early", 5.0)]
+
+
+class TestDeadlock:
+    def test_blocked_process_detected(self):
+        eng = Engine()
+        ch = Channel(eng)
+
+        def stuck():
+            yield ch.get(0, 0)
+
+        eng.process(stuck())
+        with pytest.raises(DeadlockError):
+            eng.run()
+
+    def test_matched_processes_not_deadlocked(self):
+        eng = Engine()
+        ch = Channel(eng)
+
+        def sender():
+            yield eng.timeout(1.0)
+            ch.put(0, 0, "hi")
+
+        def receiver():
+            msg = yield ch.get(0, 0)
+            return msg
+
+        eng.process(sender())
+        r = eng.process(receiver())
+        eng.run()
+        assert r.value == "hi"
+
+
+class TestResource:
+    def test_serializes_capacity_one(self):
+        eng = Engine()
+        res = Resource(eng, 1)
+        times = []
+
+        def worker():
+            yield res.acquire()
+            times.append(eng.now)
+            yield eng.timeout(1.0)
+            res.release()
+
+        for _ in range(3):
+            eng.process(worker())
+        eng.run()
+        assert times == [0.0, 1.0, 2.0]
+
+    def test_capacity_two_overlaps(self):
+        eng = Engine()
+        res = Resource(eng, 2)
+        times = []
+
+        def worker():
+            yield res.acquire()
+            times.append(eng.now)
+            yield eng.timeout(1.0)
+            res.release()
+
+        for _ in range(4):
+            eng.process(worker())
+        eng.run()
+        assert times == [0.0, 0.0, 1.0, 1.0]
+
+    def test_release_idle_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            Resource(eng, 1).release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Engine(), 0)
+
+
+class TestChannel:
+    def test_fifo_per_source_tag(self):
+        eng = Engine()
+        ch = Channel(eng)
+        ch.put(1, 0, "a")
+        ch.put(1, 0, "b")
+        got = []
+
+        def receiver():
+            got.append((yield ch.get(1, 0)))
+            got.append((yield ch.get(1, 0)))
+
+        eng.process(receiver())
+        eng.run()
+        assert got == ["a", "b"]
+
+    def test_tag_matching(self):
+        eng = Engine()
+        ch = Channel(eng)
+        ch.put(1, 5, "tagged5")
+        ch.put(1, 7, "tagged7")
+        got = []
+
+        def receiver():
+            got.append((yield ch.get(1, 7)))
+            got.append((yield ch.get(1, 5)))
+
+        eng.process(receiver())
+        eng.run()
+        assert got == ["tagged7", "tagged5"]
+
+    def test_any_tag_wildcard(self):
+        eng = Engine()
+        ch = Channel(eng)
+        ch.put(2, 99, "whatever")
+        got = []
+
+        def receiver():
+            got.append((yield ch.get(2, None)))
+
+        eng.process(receiver())
+        eng.run()
+        assert got == ["whatever"]
+
+    def test_pending_count(self):
+        eng = Engine()
+        ch = Channel(eng)
+        ch.put(0, 0, "x")
+        ch.put(0, 1, "y")
+        assert ch.pending == 2
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        eng = Engine()
+        t1, t2 = eng.timeout(1.0, "a"), eng.timeout(3.0, "b")
+
+        def waiter():
+            values = yield AllOf(eng, [t1, t2])
+            return (values, eng.now)
+
+        p = eng.process(waiter())
+        eng.run()
+        assert p.value == (["a", "b"], 3.0)
+
+    def test_empty_completes_immediately(self):
+        eng = Engine()
+
+        def waiter():
+            values = yield AllOf(eng, [])
+            return values
+
+        p = eng.process(waiter())
+        eng.run()
+        assert p.value == []

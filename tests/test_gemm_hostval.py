@@ -1,0 +1,88 @@
+"""Blocked GEMM kernel and the host self-validation battery."""
+
+import numpy as np
+import pytest
+
+from repro.bench.host_validation import (
+    comparison_table,
+    measure_host,
+    sanity_check,
+)
+from repro.kernels.gemm import (
+    blocked_gemm,
+    choose_block,
+    gemm_flops,
+    gemm_traffic_blocked,
+)
+from repro.machine.cache import CacheLevel
+from repro.util.errors import ConfigurationError
+from repro.util.units import KIB, MIB
+
+
+class TestBlockedGEMM:
+    @pytest.mark.parametrize("m,k,n,block", [
+        (64, 64, 64, 16), (100, 50, 70, 32), (33, 17, 9, 8), (16, 16, 16, 64),
+    ])
+    def test_matches_numpy(self, m, k, n, block):
+        rng = np.random.default_rng(m * 1000 + n)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, n))
+        assert np.allclose(blocked_gemm(a, b, block=block), a @ b)
+
+    def test_accumulates_into_out(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(20, 20)), rng.normal(size=(20, 20))
+        c = np.ones((20, 20))
+        blocked_gemm(a, b, block=8, out=c)
+        assert np.allclose(c, 1.0 + a @ b)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            blocked_gemm(np.ones((3, 4)), np.ones((5, 3)))
+        with pytest.raises(ConfigurationError):
+            blocked_gemm(np.ones((3, 4)), np.ones((4, 3)), block=0)
+        with pytest.raises(ConfigurationError):
+            blocked_gemm(np.ones((3, 4)), np.ones((4, 3)),
+                         out=np.zeros((2, 2)))
+
+    def test_choose_block_fits_cache(self):
+        l1 = CacheLevel("L1", 64 * KIB, shared_by=1, count=1)
+        b = choose_block(l1)
+        assert 3 * b * b * 8 <= 64 * KIB
+        assert b % 8 == 0
+        l2 = CacheLevel("L2", 8 * MIB, shared_by=12, count=1)
+        assert choose_block(l2) > b
+
+    def test_traffic_model_blocking_wins(self):
+        naive_ish = gemm_traffic_blocked(512, 512, 512, block=1)
+        blocked = gemm_traffic_blocked(512, 512, 512, block=64)
+        assert blocked < naive_ish / 10
+        assert gemm_flops(512, 512, 512) == 2 * 512**3
+
+
+class TestHostValidation:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return measure_host(stream_elements=400_000, gemm_n=192)
+
+    def test_host_is_sane(self, profile):
+        assert sanity_check(profile) == []
+
+    def test_measurements_positive(self, profile):
+        assert profile.fma_gflops > 0.05
+        assert profile.triad_gbs > 0.5
+        assert profile.gemm_gflops > 0.5
+
+    def test_comparison_table_renders(self, profile):
+        text = comparison_table(profile).render()
+        assert "this host" in text and "A64FX" in text
+
+    def test_sanity_flags_broken_profile(self):
+        from repro.bench.host_validation import HostProfile
+
+        broken = HostProfile(
+            fma_gflops=0.01,
+            stream_gbs={"copy": 0.01, "scale": 1, "add": 1, "triad": 0.1},
+            gemm_gflops=0.00001,
+        )
+        assert len(sanity_check(broken)) >= 2

@@ -1,0 +1,26 @@
+"""Full experiment sweep: every paper table/figure's expectations must hold.
+
+This is the repository's reproduction gate — the same checks EXPERIMENTS.md
+records.  Slower experiments (all-pairs network maps, application sweeps)
+run once here; individual fast ones are covered in test_analysis_harness.
+"""
+
+import pytest
+
+from repro.harness import list_experiments, run_experiment
+
+ALL_EXPERIMENTS = list_experiments()
+
+
+@pytest.mark.parametrize("exp_id", ALL_EXPERIMENTS)
+def test_experiment_expectations_hold(exp_id):
+    result = run_experiment(exp_id)
+    assert result.expectations, f"{exp_id} asserts nothing"
+    failed = [e.render() for e in result.expectations if not e.holds]
+    assert not failed, f"{exp_id} deviations:\n" + "\n".join(failed)
+
+
+@pytest.mark.parametrize("exp_id", ALL_EXPERIMENTS)
+def test_experiment_renders_without_error(exp_id):
+    text = run_experiment(exp_id).render()
+    assert exp_id in text

@@ -1,0 +1,46 @@
+"""Input-set registry: provenance data consistent with the app models."""
+
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.apps.inputs import INPUT_SETS, get_input, inputs_for, inputs_table
+from repro.apps.openifs import OpenIFSModel
+from repro.machine import cte_arm
+from repro.util.errors import ConfigurationError
+
+
+def test_every_application_has_an_input():
+    covered = {i.application for i in INPUT_SETS.values()}
+    assert covered == set(ALL_APPS)
+
+
+def test_min_nodes_consistent_with_models(arm):
+    """The registry's NP boundaries must match what the models compute."""
+    for inp in INPUT_SETS.values():
+        if inp.application == "openifs":
+            app = OpenIFSModel(inp.name if inp.name.startswith("T") else
+                               "TC0511L91")
+        else:
+            app = get_app(inp.application)
+        assert app.min_nodes(arm) == inp.min_cte_arm_nodes, inp.name
+
+
+def test_figures_reference_known_experiments():
+    from repro.harness import list_experiments
+
+    known = {e.split("_")[0] for e in list_experiments()}
+    for inp in INPUT_SETS.values():
+        for fig in inp.figures:
+            assert fig in known, f"{inp.name} references unknown {fig}"
+
+
+def test_lookup_and_errors():
+    assert get_input("TestCaseB").application == "alya"
+    assert len(inputs_for("openifs")) == 2
+    with pytest.raises(ConfigurationError):
+        get_input("TestCaseZ")
+
+
+def test_table_renders():
+    text = inputs_table().render()
+    assert "lignocellulose-rf" in text and "132 million" in text

@@ -1,0 +1,187 @@
+"""Numerical kernels: FPU, STREAM, LU, CG, HPCG multigrid."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.kernels.cg import cg_flops_per_iteration, conjugate_gradient
+from repro.kernels.fpu import fma_chain, measure_fma_throughput
+from repro.kernels.lu import blocked_lu, hpl_flops, hpl_residual, lu_solve
+from repro.kernels.multigrid import (
+    build_hierarchy,
+    hpcg_matrix,
+    hpcg_solve,
+    symgs,
+    v_cycle,
+)
+from repro.kernels.stream import StreamArrays, run_stream, verify
+from repro.util.errors import ConfigurationError
+
+
+class TestFPU:
+    def test_fma_chain_flop_count(self):
+        _, flops = fma_chain(100, 10)
+        assert flops == 2 * 100 * 10 * 8
+
+    def test_fma_chain_values_finite(self):
+        acc, _ = fma_chain(64, 50)
+        assert np.all(np.isfinite(acc))
+
+    def test_throughput_positive(self):
+        assert measure_fma_throughput(n=256, iters=20, repeats=1) > 1e6
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            fma_chain(0, 10)
+
+
+class TestStream:
+    def test_verification_passes(self):
+        bw = run_stream(n=100_000, iterations=3)
+        assert set(bw) == {"copy", "scale", "add", "triad"}
+        assert all(v > 1e8 for v in bw.values())  # > 0.1 GB/s on any host
+
+    def test_verify_detects_corruption(self):
+        arr = StreamArrays.allocate(1000)
+        arr.a[0] = 1e9
+        assert verify(arr, 1) > 1e-8
+
+    def test_allocation_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamArrays.allocate(0)
+
+
+class TestBlockedLU:
+    @pytest.mark.parametrize("n,block", [(50, 8), (64, 64), (100, 32), (33, 7)])
+    def test_factorization_correct(self, n, block):
+        rng = np.random.default_rng(n)
+        a = rng.normal(size=(n, n))
+        b = rng.normal(size=n)
+        lu, piv = blocked_lu(a.copy(), block=block)
+        x = lu_solve(lu, piv, b)
+        assert hpl_residual(a, x, b) < 16.0  # the HPL acceptance test
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+    def test_matches_numpy_solve(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(40, 40))
+        b = rng.normal(size=40)
+        lu, piv = blocked_lu(a.copy(), block=16)
+        assert np.allclose(lu_solve(lu, piv, b), np.linalg.solve(a, b))
+
+    def test_singular_rejected(self):
+        a = np.zeros((4, 4))
+        with pytest.raises(ConfigurationError):
+            blocked_lu(a)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            blocked_lu(np.zeros((3, 4)))
+
+    def test_hpl_flops_formula(self):
+        assert hpl_flops(100) == pytest.approx(2 / 3 * 1e6 + 2e4)
+
+
+class TestCG:
+    def _spd(self, n, seed=0):
+        rng = np.random.default_rng(seed)
+        m = rng.normal(size=(n, n))
+        return m @ m.T + n * np.eye(n)
+
+    def test_solves_spd_system(self):
+        a = self._spd(50)
+        b = np.ones(50)
+        res = conjugate_gradient(lambda v: a @ v, b, tol=1e-10, max_iter=200)
+        assert res.converged
+        assert np.allclose(a @ res.x, b, atol=1e-6)
+
+    def test_residual_history_decreases_overall(self):
+        a = self._spd(30, seed=2)
+        res = conjugate_gradient(lambda v: a @ v, np.ones(30), tol=1e-12)
+        assert res.residual_norms[-1] < res.residual_norms[0] * 1e-6
+
+    def test_exact_convergence_in_n_steps(self):
+        """CG converges in at most n iterations in exact arithmetic."""
+        a = self._spd(20, seed=3)
+        res = conjugate_gradient(lambda v: a @ v, np.ones(20), tol=1e-9,
+                                 max_iter=25)
+        assert res.converged and res.iterations <= 21
+
+    def test_preconditioner_reduces_iterations(self):
+        n = 80
+        diag = np.linspace(1, 1e4, n)
+        a = np.diag(diag)
+        b = np.ones(n)
+        plain = conjugate_gradient(lambda v: a @ v, b, tol=1e-8, max_iter=500)
+        jacobi = conjugate_gradient(lambda v: a @ v, b, tol=1e-8, max_iter=500,
+                                    M=lambda r: r / diag)
+        assert jacobi.iterations < plain.iterations
+
+    def test_indefinite_rejected(self):
+        a = np.diag([1.0, -1.0])
+        with pytest.raises(ConfigurationError):
+            conjugate_gradient(lambda v: a @ v, np.ones(2))
+
+    def test_zero_rhs_converges_immediately(self):
+        a = self._spd(10)
+        res = conjugate_gradient(lambda v: a @ v, np.zeros(10))
+        assert res.converged and res.iterations == 0
+
+    def test_flops_accounting(self):
+        assert cg_flops_per_iteration(nnz=100, n=10) == 2 * 100 + 10 * 10
+        assert cg_flops_per_iteration(nnz=100, n=10, preconditioned=True,
+                                      mg_flops=500) == 200 + 100 + 500
+
+
+class TestHPCG:
+    def test_matrix_structure(self):
+        a = hpcg_matrix(4, 4, 4)
+        assert a.shape == (64, 64)
+        # interior point has 27 nonzeros, corner has 8.
+        nnz_per_row = np.diff(a.indptr)
+        assert nnz_per_row.max() == 27 and nnz_per_row.min() == 8
+        assert np.allclose(a.diagonal(), 26.0)
+
+    def test_matrix_symmetric(self):
+        a = hpcg_matrix(3, 4, 5)
+        assert (a - a.T).nnz == 0
+
+    def test_matrix_spd_rowsums_nonnegative(self):
+        a = hpcg_matrix(4, 4, 4)
+        # weakly diagonally dominant: diag >= sum of |off-diag|
+        rowsum = np.asarray(np.abs(a).sum(axis=1)).ravel() - 2 * a.diagonal()
+        assert np.all(rowsum <= 0)
+
+    def test_symgs_reduces_residual(self):
+        a = hpcg_matrix(4, 4, 4)
+        x_exact = np.ones(64)
+        b = a @ x_exact
+        x = np.zeros(64)
+        r0 = np.linalg.norm(b - a @ x)
+        symgs(a, x, b)
+        assert np.linalg.norm(b - a @ x) < 0.5 * r0
+
+    def test_hierarchy_shapes(self):
+        levels = build_hierarchy(16, 16, 16, levels=3)
+        assert [lv.shape for lv in levels] == [(16,) * 3, (8,) * 3, (4,) * 3]
+        assert levels[-1].coarse_map is None
+
+    def test_hierarchy_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            build_hierarchy(10, 16, 16, levels=3)
+
+    def test_v_cycle_beats_single_smooth(self):
+        levels = build_hierarchy(8, 8, 8, levels=2)
+        a = levels[0].a
+        b = a @ np.ones(a.shape[0])
+        x_mg = v_cycle(levels, 0, b)
+        x_gs = symgs(a, np.zeros(b.size), b)
+        r_mg = np.linalg.norm(b - a @ x_mg)
+        r_gs = np.linalg.norm(b - a @ x_gs)
+        assert r_mg < r_gs
+
+    def test_full_hpcg_converges(self):
+        result, flops = hpcg_solve(8, 8, 8, levels=2, tol=1e-6, max_iter=40)
+        assert result.converged
+        assert result.iterations < 15  # MG-preconditioned CG converges fast
+        assert flops > 0

@@ -1,0 +1,120 @@
+"""Domain-decomposed MD and distributed spectral mini-apps."""
+
+import numpy as np
+import pytest
+
+from repro.apps.miniapp_md import md_miniapp
+from repro.apps.miniapp_spectral import dfft_forward, dfft_inverse, spectral_miniapp
+from repro.kernels.md import MDSystem, velocity_verlet
+from repro.kernels.spectral import SpectralGrid, initial_vorticity, step_rk3
+from repro.simmpi import RankMapping, World
+from repro.util.errors import ConfigurationError
+
+
+def _world(arm_small, p):
+    n_nodes = min(p, 4)
+    return World(RankMapping(arm_small, n_nodes=n_nodes,
+                             ranks_per_node=-(-p // n_nodes)))
+
+
+class TestMDMiniapp:
+    @pytest.mark.parametrize("p,n_side", [(1, 6), (3, 7), (5, 8)])
+    def test_matches_sequential_integrator(self, arm_small, p, n_side):
+        world = _world(arm_small, p)
+        res = world.run(md_miniapp, n_side=n_side, steps=4, seed=9)
+        n = n_side**3
+        pos = np.zeros((n, 3))
+        vel = np.zeros((n, 3))
+        for r in res.rank_results:
+            pos[r["ids"]] = r["positions"]
+            vel[r["ids"]] = r["velocities"]
+        assert sum(r["n_owned"] for r in res.rank_results) == n
+        ref = MDSystem.lattice(n_side, seed=9)
+        velocity_verlet(ref, dt=0.002, steps=4, cutoff=2.5)
+        assert np.abs(pos - ref.positions).max() < 1e-10
+        assert np.abs(vel - ref.velocities).max() < 1e-10
+
+    def test_energy_series_matches_sequential(self, arm_small):
+        world = _world(arm_small, 3)
+        res = world.run(md_miniapp, n_side=7, steps=4, seed=9)
+        ref = MDSystem.lattice(7, seed=9)
+        hist = velocity_verlet(ref, dt=0.002, steps=4, cutoff=2.5)
+        par = np.array(res.rank_results[0]["energies"])
+        seq = np.array(hist["total"])
+        assert np.abs(par - seq).max() / abs(seq[0]) < 1e-12
+
+    def test_energies_agree_across_ranks(self, arm_small):
+        world = _world(arm_small, 3)
+        res = world.run(md_miniapp, n_side=7, steps=3, seed=9)
+        series = {tuple(np.round(r["energies"], 12)) for r in res.rank_results}
+        assert len(series) == 1
+
+    def test_too_many_slabs_rejected(self, arm_small):
+        """Cutoff spanning more than half the ring of slabs is refused
+        (ghosts would alias)."""
+        world = _world(arm_small, 4)
+        with pytest.raises(ConfigurationError):
+            world.run(md_miniapp, n_side=6, steps=1)  # slab < cutoff, 2 pulses
+
+    def test_migration_preserves_atom_count(self, arm_small):
+        world = _world(arm_small, 3)
+        res = world.run(md_miniapp, n_side=7, steps=6, seed=3)
+        ids = np.concatenate([r["ids"] for r in res.rank_results])
+        assert np.array_equal(np.sort(ids), np.arange(7**3))
+
+
+class TestSpectralMiniapp:
+    @pytest.mark.parametrize("p,n", [(2, 16), (4, 32)])
+    def test_matches_sequential_solver(self, arm_small, p, n):
+        world = _world(arm_small, p)
+        steps = 3
+        res = world.run(spectral_miniapp, n=n, steps=steps, seed=2)
+        full = np.zeros((n, n), dtype=complex)
+        nr = n // p
+        for r in res.rank_results:
+            full[:, r["col0"]: r["col0"] + nr] = r["block"]
+        grid = SpectralGrid(n)
+        z = initial_vorticity(grid, seed=2)
+        for _ in range(steps):
+            z = step_rk3(z, grid, dt=1e-3, nu=0.0)
+        assert np.abs(full - z).max() / np.abs(z).max() < 1e-12
+
+    def test_inviscid_enstrophy_conserved(self, arm_small):
+        world = _world(arm_small, 4)
+        res = world.run(spectral_miniapp, n=32, steps=5, nu=0.0)
+        e = res.rank_results[0]["enstrophy"]
+        assert abs(e[-1] - e[0]) / e[0] < 1e-8
+
+    def test_viscosity_dissipates(self, arm_small):
+        world = _world(arm_small, 2)
+        res = world.run(spectral_miniapp, n=16, steps=5, nu=0.05)
+        e = res.rank_results[0]["enstrophy"]
+        assert e[-1] < e[0]
+
+    def test_distributed_fft_roundtrip(self, arm_small):
+        n = 16
+
+        def program(comm):
+            nr = n // comm.size
+            rng = np.random.default_rng(comm.rank)
+            rows = np.random.default_rng(0).normal(size=(n, n))[
+                comm.rank * nr : (comm.rank + 1) * nr, :]
+            spec = yield from dfft_forward(comm, rows, n)
+            back = yield from dfft_inverse(comm, spec, n)
+            return float(np.abs(back - rows).max())
+
+        world = _world(arm_small, 4)
+        res = world.run(program)
+        assert max(res.rank_results) < 1e-12
+
+    def test_indivisible_grid_rejected(self, arm_small):
+        world = _world(arm_small, 3)
+        with pytest.raises(ConfigurationError):
+            world.run(spectral_miniapp, n=16)
+
+    def test_alltoall_transposes_traced(self, arm_small):
+        world = _world(arm_small, 2)
+        res = world.run(spectral_miniapp, n=16, steps=1)
+        transposes = [r for r in res.trace if r.phase.endswith(":alltoall")]
+        # 5 transposes per RK stage x 3 stages + 1 for enstrophy, per rank.
+        assert len(transposes) == 2 * 16

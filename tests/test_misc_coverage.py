@@ -1,0 +1,156 @@
+"""Coverage of corners: error hierarchy, trace reductions, world internals,
+the tutorial's build-your-own-machine path."""
+
+import numpy as np
+import pytest
+
+from repro.des.trace import TraceRecorder
+from repro.machine import (
+    CacheHierarchy,
+    CacheLevel,
+    ClusterModel,
+    CoreModel,
+    MemoryModel,
+    NEON,
+    NodeModel,
+    NUMADomain,
+    OnChipInterconnect,
+    SVE512,
+)
+from repro.util.errors import (
+    AllocationError,
+    CompileError,
+    CompileHang,
+    ConfigurationError,
+    DeadlockError,
+    OutOfMemoryError,
+    ReproError,
+    RuntimeFailure,
+    SimulationError,
+    ToolchainError,
+)
+from repro.util.units import GB, KIB, MIB
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (ConfigurationError, SimulationError, DeadlockError,
+                    ToolchainError, CompileError, CompileHang,
+                    RuntimeFailure, AllocationError, OutOfMemoryError):
+            assert issubclass(exc, ReproError)
+
+    def test_compile_hang_is_compile_error(self):
+        assert issubclass(CompileHang, CompileError)
+        assert issubclass(OutOfMemoryError, AllocationError)
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_toolchain_error_carries_context(self):
+        e = CompileError("boom", compiler="GNU/8", application="Alya")
+        assert e.compiler == "GNU/8" and e.application == "Alya"
+
+
+class TestTraceRecorder:
+    def test_slowest_actor(self):
+        tr = TraceRecorder()
+        tr.record(0.0, 1.0, "rank0", "work")
+        tr.record(0.0, 3.0, "rank1", "work")
+        tr.record(3.0, 0.5, "rank1", "work")
+        actor, total = tr.slowest_actor("work")
+        assert actor == "rank1" and total == 3.5
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(KeyError):
+            TraceRecorder().slowest_actor("nope")
+
+    def test_disabled_recorder_stays_empty(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record(0.0, 1.0, "a", "p")
+        assert len(tr) == 0
+
+    def test_phases_set(self):
+        tr = TraceRecorder()
+        tr.record(0, 1, "a", "x")
+        tr.record(0, 1, "a", "y")
+        assert tr.phases() == {"x", "y"}
+
+
+class TestBuildYourOwnMachine:
+    """The docs/TUTORIAL.md path must actually work."""
+
+    @pytest.fixture(scope="class")
+    def graviton(self):
+        core = CoreModel(
+            name="Graviton-HPC", frequency_hz=2.6e9, fma_pipes=2,
+            vector_isas=(NEON, SVE512), scalar_ooo_efficiency=0.65,
+            per_core_stream_bw=15e9, irregular_access_efficiency=0.9,
+        )
+        ddr5 = MemoryModel(technology="DDR5-5600", channels=8,
+                           channel_bw=44.8e9, capacity_bytes=64 * GB,
+                           stream_efficiency=0.82)
+        domains = tuple(
+            NUMADomain(index=i, kind="socket", cores=32, core_model=core,
+                       memory=ddr5)
+            for i in range(2)
+        )
+        node = NodeModel(
+            name="Graviton node", sockets=2, domains=domains,
+            caches=CacheHierarchy(levels=(
+                CacheLevel("L1", 64 * KIB, shared_by=1, count=64),
+                CacheLevel("L2", 1 * MIB, shared_by=1, count=64),
+            )),
+            interconnect=OnChipInterconnect(name="mesh", link_bandwidth=50e9,
+                                            total_bandwidth=100e9),
+            nic_bandwidth=25e9,
+        )
+        return ClusterModel(name="Graviton-HPC", integrator="ACME",
+                            node=node, n_nodes=256, interconnect_name="EFA")
+
+    def test_peaks(self, graviton):
+        assert graviton.node.core_model.peak_flops() / 1e9 == pytest.approx(83.2)
+        assert graviton.node.peak_memory_bandwidth / 1e9 == pytest.approx(716.8)
+
+    def test_stream_model_works(self, graviton):
+        from repro.smp import PagePolicy, bind_threads, stream_bandwidth
+
+        bw = stream_bandwidth(bind_threads(graviton.node, 64),
+                              PagePolicy.FIRST_TOUCH)
+        assert bw == pytest.approx(graviton.node.sustainable_memory_bandwidth)
+
+    def test_application_runs_on_it(self, graviton):
+        from repro.apps import WRFModel
+        from repro.network import FatTreeTopology, LinkModel, NetworkModel
+
+        net = NetworkModel(
+            topology=FatTreeTopology(256, nodes_per_leaf=16),
+            link=LinkModel(name="EFA", bandwidth=25e9, latency_s=4e-6,
+                           per_hop_latency_s=0.2e-6),
+        )
+        app = WRFModel()
+        # The app's Table III defaults only know the paper machines; a new
+        # cluster supplies its own toolchain — Intel-class as a stand-in.
+        from repro.toolchain import INTEL_2018_4
+
+        binary = INTEL_2018_4.build(app.name, app.kernels,
+                                    language=app.language)
+        t = app.time_step(graviton, 8, binary=binary, network=net)
+        assert t.total > 0
+        assert set(t.phase_seconds) == {"dynamics", "physics", "io"}
+
+    def test_simulated_mpi_on_it(self, graviton):
+        from repro.network import FatTreeTopology, LinkModel, NetworkModel
+        from repro.simmpi import RankMapping, World
+
+        net = NetworkModel(
+            topology=FatTreeTopology(4, nodes_per_leaf=2),
+            link=LinkModel(name="EFA", bandwidth=25e9, latency_s=4e-6,
+                           per_hop_latency_s=0.2e-6),
+        )
+        world = World(RankMapping(graviton, n_nodes=4, ranks_per_node=2),
+                      network=net)
+
+        def program(comm):
+            total = yield from comm.allreduce(np.array([1.0]))
+            return float(total[0])
+
+        res = world.run(program)
+        assert all(v == 8.0 for v in res.rank_results)

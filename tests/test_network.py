@@ -1,0 +1,209 @@
+"""Network models: topologies, link timing, faults, the network facade."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    FatTreeTopology,
+    FaultModel,
+    LinkModel,
+    NetworkModel,
+    TorusTopology,
+    network_for,
+    tofu_d,
+)
+from repro.network.faults import WEAK_NODE_INDEX, cte_arm_faults, random_faults
+from repro.network.linkmodel import OMNIPATH_LINK, TOFUD_LINK, ProtocolModel
+from repro.util.errors import ConfigurationError
+from repro.util.units import KIB, MIB
+
+
+class TestTorus:
+    def test_tofu_dims_for_192(self):
+        topo = tofu_d(192)
+        assert topo.n_nodes == 192
+        assert topo.dims[-3:] == (2, 3, 2)
+        assert np.prod(topo.dims) == 192
+
+    def test_coords_roundtrip(self):
+        topo = TorusTopology((3, 4, 5))
+        for node in range(topo.n_nodes):
+            assert topo.node_at(topo.coords(node)) == node
+
+    def test_hops_metric_properties(self):
+        topo = TorusTopology((4, 3))
+        for a in range(topo.n_nodes):
+            assert topo.hops(a, a) == 0
+            for b in range(topo.n_nodes):
+                assert topo.hops(a, b) == topo.hops(b, a)
+                assert topo.hops(a, b) <= topo.diameter
+
+    def test_ring_wraparound(self):
+        topo = TorusTopology((8,))
+        assert topo.hops(0, 7) == 1  # wraps
+        assert topo.hops(0, 4) == 4
+
+    def test_neighbors_are_distance_one(self):
+        topo = tofu_d(24)
+        for nb in topo.neighbors(0):
+            assert topo.hops(0, nb) == 1
+
+    def test_diameter(self):
+        assert TorusTopology((4, 4)).diameter == 4
+        assert tofu_d(192).diameter == 4 // 2 + 1 + 1 + 1 + 1 + 1
+
+    def test_tofu_rejects_non_multiple_of_12(self):
+        with pytest.raises(ConfigurationError):
+            tofu_d(100)
+
+    def test_networkx_export(self):
+        g = TorusTopology((3, 3)).to_networkx()
+        assert g.number_of_nodes() == 9
+        # 2-D torus: every node has degree 4 (radix-3 rings).
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_average_hops_positive(self):
+        assert 0 < TorusTopology((4, 4)).average_hops() <= 4
+
+
+class TestFatTree:
+    def test_hop_counts(self):
+        topo = FatTreeTopology(96, nodes_per_leaf=24)
+        assert topo.hops(0, 0) == 0
+        assert topo.hops(0, 5) == 2  # same leaf
+        assert topo.hops(0, 50) == 4  # cross leaves
+        assert topo.diameter == 4
+
+    def test_single_leaf_diameter(self):
+        assert FatTreeTopology(8, nodes_per_leaf=24).diameter == 2
+
+    def test_uplink_share(self):
+        topo = FatTreeTopology(96, nodes_per_leaf=24, oversubscription=2.0)
+        assert topo.uplink_share(1) == 1.0
+        assert topo.uplink_share(12) == 1.0  # within taper capacity
+        assert topo.uplink_share(24) == pytest.approx(0.5)
+        with pytest.raises(ConfigurationError):
+            topo.uplink_share(0)
+
+    def test_neighbors_same_leaf(self):
+        topo = FatTreeTopology(48, nodes_per_leaf=24)
+        assert set(topo.neighbors(0)) == set(range(1, 24))
+
+
+class TestLinkModel:
+    def test_time_monotone_in_size(self):
+        sizes = [64, 1024, 64 * KIB, MIB, 16 * MIB]
+        times = [TOFUD_LINK.p2p_time(s, 2) for s in sizes]
+        assert times == sorted(times)
+
+    def test_time_monotone_in_hops(self):
+        assert TOFUD_LINK.p2p_time(1024, 1) < TOFUD_LINK.p2p_time(1024, 6)
+
+    def test_bandwidth_approaches_peak(self):
+        bw = 64 * MIB / TOFUD_LINK.p2p_time(64 * MIB, 1)
+        assert 0.8 * 6.8e9 < bw < 6.8e9
+
+    def test_small_messages_latency_bound(self):
+        bw = 256 / TOFUD_LINK.p2p_time(256, 1)
+        assert bw < 0.2e9
+
+    def test_shared_memory_faster_than_network(self):
+        assert TOFUD_LINK.p2p_time(4096, 0) < TOFUD_LINK.p2p_time(4096, 1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TOFUD_LINK.p2p_time(0, 1)
+
+    def test_protocol_bimodal_window(self):
+        proto = ProtocolModel()
+        factors = {
+            proto.factor(a, b, 64 * KIB) for a in range(30) for b in range(30)
+        }
+        assert factors == {1.0, proto.slow_factor}
+
+    def test_protocol_deterministic(self):
+        proto = ProtocolModel()
+        assert proto.factor(3, 7, 8192) == proto.factor(3, 7, 8192)
+
+    def test_omnipath_no_bimodality(self):
+        factors = {
+            OMNIPATH_LINK.protocol.factor(a, b, 64 * KIB)
+            for a in range(20) for b in range(20)
+        }
+        assert factors == {1.0}
+
+    def test_large_message_jitter(self):
+        proto = ProtocolModel()
+        fs = [proto.factor(a, a + 1, 4 * MIB) for a in range(50)]
+        assert max(fs) <= 1.0 and min(fs) >= 1.0 - proto.large_jitter
+        assert len(set(fs)) > 10  # genuinely spread
+
+
+class TestFaults:
+    def test_pair_factor(self):
+        fm = FaultModel().degrade_receiver(3, 0.25).degrade_sender(5, 0.5)
+        assert fm.pair_factor(0, 3) == 0.25
+        assert fm.pair_factor(5, 0) == 0.5
+        assert fm.pair_factor(5, 3) == 0.125
+        assert fm.pair_factor(0, 1) == 1.0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            FaultModel().degrade_receiver(0, 0.0)
+        with pytest.raises(ConfigurationError):
+            FaultModel().degrade_receiver(0, 1.5)
+
+    def test_cte_arm_default_fault(self):
+        fm = cte_arm_faults()
+        assert fm.recv_factors == {WEAK_NODE_INDEX: 0.25}
+        assert not fm.send_factors
+
+    def test_random_faults_reproducible(self):
+        a = random_faults(48, 3, seed=9)
+        b = random_faults(48, 3, seed=9)
+        assert a.recv_factors == b.recv_factors
+
+    def test_random_faults_bounds(self):
+        with pytest.raises(ConfigurationError):
+            random_faults(10, 11)
+
+
+class TestNetworkModel:
+    def test_network_for_arm_has_weak_node(self, arm):
+        net = network_for(arm)
+        assert isinstance(net.topology, TorusTopology)
+        assert WEAK_NODE_INDEX in net.faults.recv_factors
+
+    def test_healthy_override(self, arm):
+        net = network_for(arm, healthy=True)
+        assert net.faults.is_healthy()
+
+    def test_small_partition_drops_fault(self, arm):
+        net = network_for(arm, n_nodes=48)
+        assert net.faults.is_healthy()  # weak node index 107 >= 48
+
+    def test_mn4_is_fat_tree(self, mn4):
+        net = network_for(mn4, n_nodes=96)
+        assert isinstance(net.topology, FatTreeTopology)
+        assert net.faults.is_healthy()
+
+    def test_weak_node_asymmetry(self, arm):
+        net = network_for(arm)
+        healthy = net.measured_bandwidth(0, 50, 256)
+        to_weak = net.measured_bandwidth(0, WEAK_NODE_INDEX, 256)
+        from_weak = net.measured_bandwidth(WEAK_NODE_INDEX, 0, 256)
+        assert to_weak < 0.5 * healthy
+        assert from_weak > 0.7 * healthy
+
+    def test_sendrecv_is_max_of_directions(self, arm):
+        net = network_for(arm)
+        t = net.sendrecv_time(0, WEAK_NODE_INDEX, 4096)
+        assert t == pytest.approx(net.p2p_time(0, WEAK_NODE_INDEX, 4096))
+
+    def test_tofu_partition_rounds_to_unit_group(self, arm):
+        net = network_for(arm, n_nodes=17)
+        assert net.n_nodes == 24
+
+    def test_invalid_partition(self, arm):
+        with pytest.raises(ConfigurationError):
+            network_for(arm, n_nodes=0)

@@ -1,0 +1,64 @@
+"""Capacity-planning analysis."""
+
+import pytest
+
+from repro.analysis.planning import (
+    equivalence_table,
+    nodes_for_target,
+    plan_for_target,
+)
+from repro.apps import AlyaModel, NemoModel, WRFModel
+from repro.util.errors import ConfigurationError
+
+
+class TestNodesForTarget:
+    def test_reproduces_paper_equivalence(self, arm, mn4):
+        """Paper: ~44 CTE-Arm nodes match 12 MareNostrum 4 nodes on Alya."""
+        alya = AlyaModel()
+        target = alya.time_step(mn4, 12).total
+        n = nodes_for_target(alya, arm, target)
+        assert n is not None and abs(n - 44) <= 6
+
+    def test_matches_linear_scan(self, arm, mn4):
+        """Binary search equals the reference linear search."""
+        app = WRFModel()
+        target = app.time_step(mn4, 8).total
+        n_binary = nodes_for_target(app, arm, target, max_nodes=64)
+        n_linear = app.nodes_to_match(arm, mn4, 8, max_nodes=64)
+        assert n_binary == n_linear
+
+    def test_unreachable_target(self, arm):
+        app = WRFModel()
+        assert nodes_for_target(app, arm, 1e-9) is None
+
+    def test_loose_target_needs_min_nodes(self, arm):
+        app = NemoModel()
+        assert nodes_for_target(app, arm, 1e9) == app.min_nodes(arm)
+
+    def test_invalid_target(self, arm):
+        with pytest.raises(ConfigurationError):
+            nodes_for_target(WRFModel(), arm, 0.0)
+
+
+class TestPlans:
+    def test_plan_fields_consistent(self, arm):
+        app = WRFModel()
+        plan = plan_for_target(app, arm, 1.0)
+        assert plan is not None
+        assert plan.seconds_per_step <= 1.0
+        assert plan.node_hours_per_run == pytest.approx(
+            plan.n_nodes * plan.seconds_per_step * app.steps_per_run / 3600.0)
+        assert plan.energy_kwh_per_run > 0
+
+    def test_equivalence_table_shape(self, arm, mn4):
+        t = equivalence_table(AlyaModel(), arm, mn4, [8, 12])
+        assert len(t.rows) == 2
+        # MN4@8 is feasible for Alya there (4-node min), Arm must match.
+        assert t.rows[1][1] not in ("NP", "unreachable")
+
+    def test_energy_ratio_below_node_ratio(self, arm, mn4):
+        """The extension finding in operator terms: matching MN4 costs 3.5x
+        the nodes but much less than 3.5x the energy."""
+        t = equivalence_table(AlyaModel(), arm, mn4, [12])
+        _, _, node_ratio, energy_ratio = t.rows[0]
+        assert energy_ratio < 0.6 * node_ratio

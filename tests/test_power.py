@@ -1,0 +1,83 @@
+"""Power and energy-to-solution models."""
+
+import pytest
+
+from repro.apps import AlyaModel, GromacsModel, WRFModel
+from repro.power import (
+    PowerModel,
+    a64fx_power,
+    app_energy,
+    linpack_energy,
+    power_model_for,
+    skylake_power,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestPowerModel:
+    def test_idle_vs_loaded(self):
+        pm = a64fx_power()
+        assert pm.node_power(0) == pm.idle_w
+        assert pm.node_power(48) > pm.node_power(24) > pm.node_power(0)
+
+    def test_bandwidth_terms_additive(self):
+        pm = skylake_power()
+        base = pm.node_power(48)
+        assert pm.node_power(48, mem_bw_gbs=100) == pytest.approx(
+            base + 100 * pm.mem_w_per_gbs)
+        assert pm.node_power(48, nic_bw_gbs=10) == pytest.approx(
+            base + 10 * pm.nic_w_per_gbs)
+
+    def test_a64fx_full_load_near_190w(self):
+        power = a64fx_power().node_power(48, mem_bw_gbs=862.6 * 0.4)
+        assert 160 < power < 210
+
+    def test_skylake_full_load_near_400w(self):
+        power = skylake_power().node_power(48, mem_bw_gbs=201.2 * 0.4)
+        assert 360 < power < 420
+
+    def test_arm_node_less_than_half_skylake(self):
+        a = a64fx_power().node_power(48, mem_bw_gbs=300)
+        s = skylake_power().node_power(48, mem_bw_gbs=150)
+        assert a < 0.55 * s
+
+    def test_model_for_cluster(self, arm, mn4):
+        assert power_model_for(arm) is a64fx_power()
+        assert power_model_for(mn4) is skylake_power()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel("x", idle_w=-1, core_active_w=1, mem_w_per_gbs=0)
+        with pytest.raises(ConfigurationError):
+            a64fx_power().node_power(-1)
+
+
+class TestEnergy:
+    def test_linpack_efficiency_classes(self, arm, mn4):
+        _, gfw_arm = linpack_energy(arm, 192)
+        _, gfw_mn4 = linpack_energy(mn4, 192)
+        # Fugaku-class vs Skylake-class GFlop/s/W, and the 3x gap between.
+        assert 12 < gfw_arm < 20
+        assert 4 < gfw_mn4 < 8
+        assert gfw_arm > 2.5 * gfw_mn4
+
+    def test_linpack_energy_favours_arm(self, arm, mn4):
+        ra, _ = linpack_energy(arm, 192)
+        rm, _ = linpack_energy(mn4, 192)
+        assert ra.energy_j < rm.energy_j
+
+    def test_app_energy_penalty_below_time_penalty(self, arm, mn4):
+        for app in (AlyaModel(), WRFModel(), GromacsModel()):
+            ea = app_energy(app, arm, 16)
+            em = app_energy(app, mn4, 16)
+            time_ratio = ea.seconds / em.seconds
+            energy_ratio = ea.energy_j / em.energy_j
+            assert time_ratio > 1.0  # Arm slower...
+            assert energy_ratio < 0.75 * time_ratio  # ...but energy-closer
+
+    def test_energy_report_units(self, arm):
+        report = app_energy(AlyaModel(), arm, 16)
+        assert report.total_power_w == pytest.approx(
+            report.mean_node_power_w * 16)
+        assert report.energy_kwh == pytest.approx(report.energy_j / 3.6e6)
+        assert report.seconds > 0

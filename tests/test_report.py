@@ -1,0 +1,31 @@
+"""Full-report generation and its scorecard."""
+
+from repro.harness.cli import main as cli_main
+from repro.harness.report import generate_report
+
+
+class TestReport:
+    def test_report_structure(self):
+        text = generate_report(include_figures=False,
+                               include_extensions=False)
+        for section in ("II. System configuration",
+                        "III-B. Memory performance",
+                        "V. Scientific applications",
+                        "VI. Conclusions", "SCORECARD"):
+            assert section in text
+        # paper-only run: extensions absent
+        assert "Extensions beyond the paper" not in text
+
+    def test_scorecard_all_green(self):
+        text = generate_report(include_figures=False,
+                               include_extensions=False)
+        line = next(l for l in text.splitlines()
+                    if "expectations held" in l)
+        held, total = line.split(":")[1].strip().split("/")
+        assert held == total
+        assert "uncovered claims" not in text
+
+    def test_cli_report(self, capsys):
+        assert cli_main(["report", "--no-figure", "--no-extensions"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCTION REPORT" in out

@@ -1,0 +1,86 @@
+"""Scheduler: allocation policies, memory feasibility, NP boundaries."""
+
+import pytest
+
+from repro.network.model import network_for
+from repro.sched import AllocationPolicy, Job, Scheduler
+from repro.util.errors import AllocationError, ConfigurationError, OutOfMemoryError
+from repro.util.units import GB
+
+
+class TestJob:
+    def test_totals(self):
+        j = Job("x", n_nodes=4, memory_per_node_bytes=8 * GB)
+        assert j.total_memory_bytes == 32 * GB
+
+    def test_with_nodes_rescales(self):
+        j = Job("x", n_nodes=4, memory_per_node_bytes=8 * GB)
+        j2 = j.with_nodes(8)
+        assert j2.memory_per_node_bytes == 4 * GB
+        assert j2.total_memory_bytes == j.total_memory_bytes
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Job("x", n_nodes=0)
+        with pytest.raises(ConfigurationError):
+            Job("x", n_nodes=1, memory_per_node_bytes=-1)
+
+
+class TestScheduler:
+    def test_memory_check_np(self, arm):
+        sched = Scheduler(arm)
+        fits = Job("ok", n_nodes=2, memory_per_node_bytes=30 * GB)
+        sched.check_memory(fits)
+        too_big = Job("np", n_nodes=2, memory_per_node_bytes=40 * GB)
+        with pytest.raises(OutOfMemoryError) as exc:
+            sched.check_memory(too_big)
+        assert "minimum feasible nodes: 3" in str(exc.value)
+
+    def test_min_feasible_nodes(self, arm):
+        sched = Scheduler(arm)
+        job = Job("x", n_nodes=1, memory_per_node_bytes=320 * GB)
+        assert sched.min_feasible_nodes(job) == 10
+
+    def test_allocate_and_release(self, arm):
+        sched = Scheduler(arm)
+        nodes = sched.allocate(Job("a", n_nodes=10))
+        assert len(nodes) == 10 and sched.free_nodes == 182
+        sched.release(nodes)
+        assert sched.free_nodes == 192
+
+    def test_exhaustion(self, arm_small):
+        sched = Scheduler(arm_small)
+        sched.allocate(Job("a", n_nodes=10))
+        with pytest.raises(AllocationError):
+            sched.allocate(Job("b", n_nodes=5))
+
+    def test_compact_is_contiguous(self, arm):
+        sched = Scheduler(arm)
+        nodes = sched.allocate(Job("a", n_nodes=6), AllocationPolicy.COMPACT)
+        assert nodes == list(range(6))
+
+    def test_scatter_deterministic_per_seed(self, arm):
+        a = Scheduler(arm, seed=3).allocate(Job("a", n_nodes=6),
+                                            AllocationPolicy.SCATTER)
+        b = Scheduler(arm, seed=3).allocate(Job("a", n_nodes=6),
+                                            AllocationPolicy.SCATTER)
+        assert a == b
+
+    def test_compact_smaller_diameter_than_scatter(self, arm):
+        topo = network_for(arm).topology
+        sched = Scheduler(arm, topo, seed=1)
+        compact = sched.allocate(Job("a", n_nodes=12), AllocationPolicy.COMPACT)
+        d_compact = sched.allocation_diameter(compact)
+        sched.release(compact)
+        scatter = sched.allocate(Job("b", n_nodes=12), AllocationPolicy.SCATTER)
+        d_scatter = sched.allocation_diameter(scatter)
+        assert d_compact < d_scatter
+
+    def test_diameter_needs_topology(self, arm):
+        sched = Scheduler(arm)
+        with pytest.raises(AllocationError):
+            sched.allocation_diameter([0, 1])
+
+    def test_single_node_diameter_zero(self, arm):
+        topo = network_for(arm).topology
+        assert Scheduler(arm, topo).allocation_diameter([5]) == 0

@@ -1,0 +1,218 @@
+"""Nonblocking requests, communicator splitting, reduce-scatter, scans."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import RankMapping, ReduceOp, Request, World
+from repro.util.errors import ConfigurationError
+
+
+class TestNonblocking:
+    def test_isend_irecv_roundtrip(self, small_world):
+        def program(comm):
+            partner = comm.rank ^ 1
+            send = comm.isend(partner, np.array([float(comm.rank)]))
+            recv = comm.irecv(partner)
+            data = yield from recv.wait()
+            yield from send.wait()
+            return float(data[0])
+
+        res = small_world.run(program)
+        assert res.rank_results == [1.0, 0.0, 3.0, 2.0, 5.0, 4.0, 7.0, 6.0]
+
+    def test_waitall_returns_recv_payloads_in_order(self, small_world):
+        def program(comm):
+            partner = comm.rank ^ 1
+            reqs = [
+                comm.isend(partner, "a", tag=1),
+                comm.irecv(partner, tag=2),
+                comm.isend(partner, "b", tag=2),
+                comm.irecv(partner, tag=1),
+            ]
+            values = yield from comm.waitall(reqs)
+            return values
+
+        res = small_world.run(program)
+        for values in res.rank_results:
+            assert values == [None, "b", None, "a"]
+
+    def test_request_complete_flag(self, small_world):
+        def program(comm):
+            partner = comm.rank ^ 1
+            recv = comm.irecv(partner)
+            before = recv.complete
+            yield from comm.send(partner, "x")
+            yield from recv.wait()
+            return (before, recv.complete)
+
+        res = small_world.run(program)
+        assert all(v == (False, True) for v in res.rank_results)
+
+    def test_overlap_shortens_time(self, arm_small):
+        """Two concurrent eager exchanges overlap; two sequential ones
+        cannot finish sooner."""
+
+        def overlapped(comm):
+            partner = comm.rank ^ 1
+            reqs = [comm.isend(partner, None, tag=t, size=512) for t in (1, 2)]
+            reqs += [comm.irecv(partner, tag=t) for t in (1, 2)]
+            yield from comm.waitall(reqs)
+
+        def sequential(comm):
+            partner = comm.rank ^ 1
+            for t in (1, 2):
+                yield from comm.sendrecv(partner, None, tag=t, size=512)
+
+        w1 = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=1))
+        w2 = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=1))
+        assert w1.run(overlapped).elapsed <= w2.run(sequential).elapsed
+
+
+class TestWaitany:
+    def test_returns_first_completion(self, small_world):
+        def program(comm):
+            partner = comm.rank ^ 1
+            reqs = [comm.irecv(partner, tag=1), comm.irecv(partner, tag=2)]
+            yield from comm.send(partner, "second", tag=2)
+            yield from comm.compute(1e-3)
+            yield from comm.send(partner, "first-but-late", tag=1)
+            idx, val = yield from comm.waitany(reqs)
+            yield from comm.waitall(reqs)
+            return (idx, val)
+
+        res = small_world.run(program)
+        # tag 2 arrives first (sent before the compute delay).
+        assert all(v == (1, "second") for v in res.rank_results)
+
+    def test_anyof_ties_resolve_to_lowest_index(self, arm_small):
+        from repro.des import AnyOf, Engine
+
+        eng = Engine()
+        t1, t2 = eng.timeout(1.0, "a"), eng.timeout(1.0, "b")
+
+        def waiter():
+            return (yield AnyOf(eng, [t1, t2]))
+
+        p = eng.process(waiter())
+        eng.run()
+        assert p.value == (0, "a")
+
+    def test_anyof_rejects_empty(self):
+        from repro.des import AnyOf, Engine
+        from repro.util.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            AnyOf(Engine(), [])
+
+
+class TestSplit:
+    def test_even_odd_split(self, small_world):
+        def program(comm):
+            sub = yield from comm.split(comm.rank % 2)
+            total = yield from sub.allreduce(np.array([float(comm.rank)]))
+            return (sub.rank, sub.size, float(total[0]))
+
+        res = small_world.run(program)
+        for world_rank, (sub_rank, sub_size, total) in enumerate(res.rank_results):
+            assert sub_size == 4
+            assert sub_rank == world_rank // 2
+            assert total == (12.0 if world_rank % 2 == 0 else 16.0)
+
+    def test_split_key_reorders(self, small_world):
+        def program(comm):
+            # reverse order within one group
+            sub = yield from comm.split(0, key=comm.size - comm.rank)
+            return sub.rank
+
+        res = small_world.run(program)
+        assert res.rank_results == [7, 6, 5, 4, 3, 2, 1, 0]
+
+    def test_traffic_isolated_between_subcomms(self, small_world):
+        """A wildcard receive in one subcomm must not steal the other's
+        messages even with identical (source, tag) pairs."""
+
+        def program(comm):
+            sub = yield from comm.split(comm.rank % 2)
+            if sub.rank == 0:
+                yield from sub.send(1, f"color{comm.rank % 2}", tag=5)
+                return None
+            if sub.rank == 1:
+                return (yield from sub.recv(0, tag=5))
+            return None
+
+        res = small_world.run(program)
+        assert res.rank_results[2] == "color0"
+        assert res.rank_results[3] == "color1"
+
+    def test_nested_split(self, small_world):
+        def program(comm):
+            half = yield from comm.split(comm.rank // 4)
+            quarter = yield from half.split(half.rank // 2)
+            total = yield from quarter.allreduce(np.array([1.0]))
+            return (quarter.size, float(total[0]))
+
+        res = small_world.run(program)
+        assert all(v == (2, 2.0) for v in res.rank_results)
+
+    def test_dup_preserves_group(self, small_world):
+        def program(comm):
+            dup = yield from comm.dup()
+            total = yield from dup.allreduce(np.array([1.0]))
+            return (dup.rank, dup.size, float(total[0]))
+
+        res = small_world.run(program)
+        for world_rank, (r, s, t) in enumerate(res.rank_results):
+            assert (r, s, t) == (world_rank, 8, 8.0)
+
+
+class TestReduceScatterAndScan:
+    def test_reduce_scatter_block_sum(self, small_world):
+        def program(comm):
+            blocks = [np.array([float(comm.rank * 10 + i)])
+                      for i in range(comm.size)]
+            mine = yield from comm.reduce_scatter_block(blocks)
+            return float(mine[0])
+
+        res = small_world.run(program)
+        # block i reduced over ranks r: sum_r (10 r + i) = 280 + 8 i
+        assert res.rank_results == [280.0 + 8 * i for i in range(8)]
+
+    def test_reduce_scatter_single_rank(self, arm_small):
+        world = World(RankMapping(arm_small, n_nodes=1, ranks_per_node=1))
+
+        def program(comm):
+            return (yield from comm.reduce_scatter_block([np.array([3.0])]))
+
+        assert float(world.run(program).rank_results[0][0]) == 3.0
+
+    def test_reduce_scatter_wrong_arity(self, small_world):
+        def program(comm):
+            yield from comm.reduce_scatter_block([1.0])
+
+        with pytest.raises(ConfigurationError):
+            small_world.run(program)
+
+    def test_inclusive_scan(self, small_world):
+        def program(comm):
+            return (yield from comm.scan(comm.rank + 1))
+
+        res = small_world.run(program)
+        assert res.rank_results == [sum(range(1, r + 2)) for r in range(8)]
+
+    def test_exclusive_scan(self, small_world):
+        def program(comm):
+            return (yield from comm.scan(comm.rank + 1, exclusive=True))
+
+        res = small_world.run(program)
+        assert res.rank_results[0] is None
+        assert res.rank_results[1:] == [sum(range(1, r + 1))
+                                        for r in range(1, 8)]
+
+    def test_scan_with_max(self, small_world):
+        def program(comm):
+            vals = [5, 1, 7, 2, 9, 0, 3, 8]
+            return int((yield from comm.scan(np.array([vals[comm.rank]]),
+                                             op=ReduceOp.MAX))[0])
+
+        res = small_world.run(program)
+        assert res.rank_results == [5, 5, 7, 7, 9, 9, 9, 9]

@@ -1,0 +1,94 @@
+"""Statistics helpers: Welford accumulator, means, bimodality."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng
+from repro.util.stats import (
+    RunningStats,
+    coefficient_of_variation,
+    geometric_mean,
+    harmonic_mean,
+    is_bimodal,
+    percentile_summary,
+    summarize,
+)
+
+
+class TestRunningStats:
+    def test_matches_numpy(self):
+        rng = make_rng(1)
+        xs = rng.normal(5.0, 2.0, 500)
+        rs = summarize(xs)
+        assert rs.count == 500
+        assert rs.mean == pytest.approx(float(np.mean(xs)))
+        assert rs.variance == pytest.approx(float(np.var(xs, ddof=1)))
+        assert rs.min == xs.min() and rs.max == xs.max()
+
+    def test_single_sample_zero_variance(self):
+        rs = summarize([3.0])
+        assert rs.variance == 0.0 and rs.stddev == 0.0
+
+    def test_merge_equals_concatenation(self):
+        rng = make_rng(2)
+        a, b = rng.normal(size=300), rng.normal(2.0, 3.0, 200)
+        merged = summarize(a).merge(summarize(b))
+        ref = summarize(np.concatenate([a, b]))
+        assert merged.count == ref.count
+        assert merged.mean == pytest.approx(ref.mean)
+        assert merged.variance == pytest.approx(ref.variance)
+
+    def test_merge_with_empty(self):
+        rs = summarize([1.0, 2.0])
+        rs.merge(RunningStats())
+        assert rs.count == 2
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_harmonic_mean(self):
+        # Two legs at 30 and 60 km/h average 40 km/h.
+        assert harmonic_mean([30.0, 60.0]) == pytest.approx(40.0)
+
+    def test_harmonic_le_geometric(self):
+        xs = [1.0, 5.0, 9.0, 2.0]
+        assert harmonic_mean(xs) <= geometric_mean(xs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+
+class TestDistributionTools:
+    def test_percentile_summary_keys(self):
+        s = percentile_summary(list(range(101)))
+        assert s[0.0] == 0 and s[50.0] == 50 and s[100.0] == 100
+
+    def test_cv(self):
+        assert coefficient_of_variation([10.0, 10.0, 10.0]) == 0.0
+        with pytest.raises(ValueError):
+            coefficient_of_variation([1.0, -1.0])
+
+    def test_bimodal_detects_two_modes(self):
+        rng = make_rng(3)
+        samples = np.concatenate(
+            [rng.normal(0.0, 0.5, 400), rng.normal(10.0, 0.5, 400)]
+        )
+        assert is_bimodal(samples)
+
+    def test_unimodal_not_flagged(self):
+        rng = make_rng(4)
+        assert not is_bimodal(rng.normal(0.0, 1.0, 800))
+
+    def test_tiny_sample_never_bimodal(self):
+        assert not is_bimodal([1.0, 2.0, 3.0])

@@ -1,0 +1,96 @@
+"""SVG chart rendering and the figure-export command."""
+
+import xml.dom.minidom
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.util.svgplot import bar_chart, heatmap, line_plot
+
+
+def _valid_svg(svg: str) -> xml.dom.minidom.Document:
+    doc = xml.dom.minidom.parseString(svg)
+    assert doc.documentElement.tagName == "svg"
+    return doc
+
+
+class TestLinePlot:
+    def test_renders_valid_xml(self):
+        svg = line_plot({"a": [(1, 2), (2, 4)], "b": [(1, 1), (2, 1)]},
+                        title="t", xlabel="x", ylabel="y")
+        doc = _valid_svg(svg)
+        assert "polyline" in svg and "circle" in svg
+
+    def test_log_axes(self):
+        svg = line_plot({"s": [(1, 10), (100, 1000)]}, logx=True, logy=True)
+        _valid_svg(svg)
+
+    def test_legend_contains_series_names(self):
+        svg = line_plot({"CTE-Arm": [(1, 2)], "MN4": [(1, 3)]})
+        assert "CTE-Arm" in svg and "MN4" in svg
+
+    def test_escapes_markup(self):
+        svg = line_plot({"a<b&c": [(1, 1), (2, 2)]}, title="x<y")
+        _valid_svg(svg)
+        assert "a<b" not in svg  # escaped
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_plot({})
+        with pytest.raises(ConfigurationError):
+            line_plot({"a": []})
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            line_plot({"a": [(0, 1), (1, 2)]}, logx=True)
+
+
+class TestBarChart:
+    def test_renders_with_labels(self):
+        svg = bar_chart(["g1", "g2"], {"s1": [1.0, 2.0], "s2": [2.0, 1.0]},
+                        labels={"s1": ["50%", "99%"]})
+        _valid_svg(svg)
+        assert "99%" in svg
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["g1"], {"s": [1.0, 2.0]})
+
+
+class TestHeatmap:
+    def test_renders_matrix(self):
+        svg = heatmap(np.arange(16.0).reshape(4, 4), title="h")
+        _valid_svg(svg)
+        assert svg.count("<rect") >= 16
+
+    def test_nan_cells_grey(self):
+        m = np.ones((3, 3))
+        m[1, 1] = np.nan
+        assert "#dddddd" in heatmap(m)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            heatmap(np.ones(4))
+
+
+class TestFigureExport:
+    def test_renders_all_figures(self, tmp_path):
+        from repro.harness.figures_svg import render_all
+
+        paths = render_all(str(tmp_path))
+        assert len(paths) == 17
+        names = {p.split("/")[-1] for p in paths}
+        assert "fig01_fpu.svg" in names
+        assert "fig16_wrf.svg" in names
+        assert "table4_speedups.svg" in names
+        for p in paths:
+            with open(p) as fh:
+                _valid_svg(fh.read())
+
+    def test_cli_figures_command(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        assert main(["figures", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig04_netmap.svg" in out

@@ -1,0 +1,77 @@
+"""Unit constants, formatting, and size parsing."""
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    format_bandwidth,
+    format_bytes,
+    format_flops,
+    format_time,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_decimal_vs_binary(self):
+        assert KB == 1000 and KIB == 1024
+        assert MB == 10**6 and MIB == 2**20
+        assert GB == 10**9 and GIB == 2**30
+
+    def test_binary_strictly_larger(self):
+        assert KIB > KB and MIB > MB and GIB > GB
+
+
+class TestFormatting:
+    def test_format_bytes_binary(self):
+        assert format_bytes(64 * KIB) == "64.00 KiB"
+        assert format_bytes(32 * MIB) == "32.00 MiB"
+
+    def test_format_bytes_decimal(self):
+        assert format_bytes(96 * GB, binary=False) == "96.00 GB"
+
+    def test_format_bytes_small(self):
+        assert format_bytes(512) == "512.00 B"
+
+    def test_format_flops(self):
+        assert format_flops(70.4e9) == "70.40 GFlop/s"
+        assert format_flops(3.3792e12) == "3.38 TFlop/s"
+
+    def test_format_bandwidth(self):
+        assert format_bandwidth(6.8e9) == "6.8 GB/s"
+        assert format_bandwidth(1024e9) == "1.0 TB/s"
+
+    def test_format_time_prefixes(self):
+        assert format_time(1.5) == "1.500 s"
+        assert format_time(2.5e-3) == "2.500 ms"
+        assert format_time(900e-9) == "900.000 ns"
+        assert format_time(0) == "0 s"
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("256", 256),
+            ("1kb", 1000),
+            ("64KiB", 64 * 1024),
+            ("32 GB", 32 * 10**9),
+            ("2M", 2 * 2**20),
+            ("1.5k", int(1.5 * 1024)),
+        ],
+    )
+    def test_roundtrip(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_rejects_garbage_suffix(self):
+        with pytest.raises(ValueError):
+            parse_size("12xyz")
+
+    def test_rejects_no_number(self):
+        with pytest.raises(ValueError):
+            parse_size("GB")

@@ -1,0 +1,85 @@
+"""Variability campaign: uniformity verification and fault recovery."""
+
+import numpy as np
+import pytest
+
+from repro.bench.variability import (
+    HeterogeneityModel,
+    analyze_sweep,
+    healthy,
+    random_heterogeneity,
+    stream_repetition_cv,
+    ukernel_sweep,
+)
+from repro.machine import cte_arm
+from repro.util.errors import ConfigurationError
+
+
+class TestHeterogeneityModel:
+    def test_healthy_all_ones(self):
+        h = healthy()
+        assert h.factor(0, 0) == 1.0 and not h.degraded
+
+    def test_factors_compose(self):
+        h = HeterogeneityModel(node_factors={1: 0.5},
+                               core_factors={(1, 3): 0.5})
+        assert h.factor(1, 3) == 0.25
+        assert h.factor(1, 0) == 0.5
+        assert h.factor(0, 3) == 1.0
+
+    def test_random_reproducible(self):
+        a = random_heterogeneity(10, 48, slow_nodes=2, seed=1)
+        b = random_heterogeneity(10, 48, slow_nodes=2, seed=1)
+        assert a.node_factors == b.node_factors
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_heterogeneity(10, 48, slow_nodes=1, factor_range=(0.0, 0.5))
+
+
+class TestSweepAndAnalysis:
+    def test_healthy_sweep_uniform(self):
+        arm = cte_arm(8)
+        m = ukernel_sweep(arm)
+        assert m.shape == (8, 48)
+        report = analyze_sweep(m)
+        assert report.uniform
+        # the paper's statement: all cores at the (same) near-peak value
+        assert np.allclose(m, m[0, 0])
+
+    def test_slow_node_detected(self):
+        arm = cte_arm(8)
+        het = HeterogeneityModel(node_factors={3: 0.7})
+        report = analyze_sweep(ukernel_sweep(arm, heterogeneity=het))
+        assert report.slow_nodes == [3]
+        assert report.slow_cores == []
+
+    def test_slow_core_detected_not_as_node(self):
+        arm = cte_arm(8)
+        het = HeterogeneityModel(core_factors={(2, 17): 0.6})
+        report = analyze_sweep(ukernel_sweep(arm, heterogeneity=het))
+        assert report.slow_nodes == []
+        assert report.slow_cores == [(2, 17)]
+
+    def test_mixed_faults_recovered(self):
+        arm = cte_arm(16)
+        het = random_heterogeneity(16, 48, slow_nodes=2, slow_cores=4, seed=7)
+        report = analyze_sweep(ukernel_sweep(arm, heterogeneity=het))
+        assert report.slow_nodes == sorted(het.node_factors)
+        assert sorted(report.slow_cores) == sorted(het.core_factors)
+
+    def test_analysis_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            analyze_sweep(np.ones(5))
+
+
+class TestStreamRepetitions:
+    def test_quiet_runs_have_zero_cv(self, arm):
+        assert stream_repetition_cv(arm, noise=0.0) == 0.0
+
+    def test_noise_raises_cv(self, arm):
+        assert stream_repetition_cv(arm, noise=0.05, seed=1) > 0.005
+
+    def test_needs_two_repetitions(self, arm):
+        with pytest.raises(ConfigurationError):
+            stream_repetition_cv(arm, repetitions=1)

@@ -1,0 +1,50 @@
+"""Weak-scaling support in the application models."""
+
+import pytest
+
+from repro.apps import AlyaModel, NemoModel
+from repro.util.errors import ConfigurationError
+
+
+class TestWeakScaling:
+    def test_flat_time_under_weak_scaling(self, arm):
+        app = NemoModel()
+        points = app.weak_scaling(arm, [8, 32, 128], base_nodes=8)
+        times = [p.seconds_per_step for p in points]
+        assert max(times) / min(times) < 1.25
+
+    def test_base_point_equals_strong_scaling_point(self, arm):
+        app = NemoModel()
+        weak = app.weak_scaling(arm, [8], base_nodes=8)[0]
+        strong = app.time_step(arm, 8).total
+        assert weak.seconds_per_step == pytest.approx(strong)
+
+    def test_strong_scaling_beats_weak_at_high_nodes(self, arm):
+        """At 128 nodes the strong-scaled (fixed) problem is much smaller
+        per rank than the weak-scaled one."""
+        app = NemoModel()
+        weak = app.weak_scaling(arm, [128], base_nodes=8)[0].seconds_per_step
+        strong = app.time_step(arm, 128).total
+        assert strong < 0.5 * weak
+
+    def test_work_scale_multiplies_compute(self, arm):
+        app = AlyaModel()
+        t1 = app.time_step(arm, 16).phase_compute["assembly"]
+        t2 = app.time_step(arm, 16, work_scale=2.0).phase_compute["assembly"]
+        assert t2 == pytest.approx(2.0 * t1, rel=0.01)
+
+    def test_comm_scales_sublinearly(self, arm):
+        app = AlyaModel()
+        c1 = app.time_step(arm, 16).phase_comm["solver"]
+        c2 = app.time_step(arm, 16, work_scale=8.0).phase_comm["solver"]
+        # message sizes grow with the 2/3 power: 8^(2/3) = 4 < 8.
+        assert c1 < c2 < 6.0 * c1
+
+    def test_invalid_scale_rejected(self, arm):
+        with pytest.raises(ConfigurationError):
+            AlyaModel().time_step(arm, 16, work_scale=-1.0)
+
+    def test_below_base_skipped(self, arm):
+        app = NemoModel()
+        points = app.weak_scaling(arm, [4, 8, 16], base_nodes=8)
+        assert [p.n_nodes for p in points] == [8, 16]

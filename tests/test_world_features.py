@@ -1,0 +1,164 @@
+"""World-level features: NIC contention and compute noise."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import RankMapping, World
+from repro.util.errors import ConfigurationError
+from repro.util.units import MIB
+
+
+def _two_senders(comm):
+    """Two ranks on node 0 each push a large message to node 1."""
+    if comm.rank in (0, 1):
+        yield from comm.send(comm.rank + 2, None, size=4 * MIB, tag=comm.rank)
+    else:
+        yield from comm.recv(comm.rank - 2, tag=comm.rank - 2)
+
+
+class TestNICContention:
+    def test_contention_serializes_same_node_sends(self, arm_small):
+        free = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=2),
+                     nic_contention=False)
+        shared = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=2),
+                       nic_contention=True)
+        t_free = free.run(_two_senders).elapsed
+        t_shared = shared.run(_two_senders).elapsed
+        # Serialized injection: roughly twice the time of free overlap.
+        assert t_shared > 1.6 * t_free
+
+    def test_contention_transparent_for_single_sender(self, arm_small):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, None, size=4 * MIB)
+            else:
+                yield from comm.recv(0)
+
+        t1 = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=1),
+                   nic_contention=False).run(program).elapsed
+        t2 = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=1),
+                   nic_contention=True).run(program).elapsed
+        assert t2 == pytest.approx(t1, rel=1e-9)
+
+    def test_eager_messages_bypass_nic_queue(self, arm_small):
+        def program(comm):
+            if comm.rank in (0, 1):
+                yield from comm.send(comm.rank + 2, None, size=512,
+                                     tag=comm.rank)
+            else:
+                yield from comm.recv(comm.rank - 2, tag=comm.rank - 2)
+
+        t_free = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=2),
+                       nic_contention=False).run(program).elapsed
+        t_shared = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=2),
+                         nic_contention=True).run(program).elapsed
+        assert t_shared == pytest.approx(t_free, rel=1e-9)
+
+    def test_payload_still_delivered(self, arm_small):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, np.arange(100000.0))
+                return None
+            return (yield from comm.recv(0))
+
+        world = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=1),
+                      nic_contention=True)
+        res = world.run(program)
+        assert np.array_equal(res.rank_results[1], np.arange(100000.0))
+
+
+class TestHeterogeneity:
+    def test_slow_node_stretches_critical_path(self, arm_small):
+        from repro.bench.variability import HeterogeneityModel
+
+        def program(comm):
+            yield from comm.compute(0.1)
+            yield from comm.barrier()
+            return comm.now
+
+        het = HeterogeneityModel(node_factors={1: 0.5})
+        healthy = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=2))
+        degraded = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=2),
+                         heterogeneity=het)
+        t_h = healthy.run(program).elapsed
+        t_d = degraded.run(program).elapsed
+        # the 0.5x node doubles its compute; the barrier drags everyone.
+        assert t_d == pytest.approx(t_h + 0.1, rel=0.05)
+
+    def test_healthy_model_is_identity(self, arm_small):
+        from repro.bench.variability import healthy
+
+        def program(comm):
+            yield from comm.compute(0.05)
+            return comm.now
+
+        w1 = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=1))
+        w2 = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=1),
+                   heterogeneity=healthy())
+        assert w1.run(program).elapsed == w2.run(program).elapsed
+
+    def test_miniapp_results_unchanged_by_straggler(self, arm_small):
+        """Heterogeneity shifts time, never numerics."""
+        import numpy as np
+
+        from repro.apps.miniapps import sequential_stencil, stencil_miniapp
+        from repro.bench.variability import HeterogeneityModel
+
+        het = HeterogeneityModel(node_factors={0: 0.4})
+        world = World(RankMapping(arm_small, n_nodes=2, ranks_per_node=2),
+                      heterogeneity=het)
+        res = world.run(stencil_miniapp, global_shape=(32, 32), steps=4)
+        glued = np.zeros((32, 32))
+        for r in res.rank_results:
+            (y0, y1), (x0, x1) = r["rows"], r["cols"]
+            glued[y0:y1, x0:x1] = r["block"]
+        assert np.abs(glued - sequential_stencil((32, 32), steps=4)).max() \
+            < 1e-13
+
+
+class TestComputeNoise:
+    def _elapsed(self, arm_small, noise, seed=1):
+        def program(comm):
+            yield from comm.compute(0.1)
+
+        world = World(RankMapping(arm_small, n_nodes=1, ranks_per_node=4),
+                      compute_noise=noise, noise_seed=seed)
+        return world.run(program).elapsed
+
+    def test_no_noise_exact(self, arm_small):
+        assert self._elapsed(arm_small, 0.0) == pytest.approx(0.1)
+
+    def test_noise_inflates_critical_path(self, arm_small):
+        noisy = self._elapsed(arm_small, 0.2)
+        assert 0.1 < noisy <= 0.12
+
+    def test_noise_deterministic_per_seed(self, arm_small):
+        assert self._elapsed(arm_small, 0.2, seed=7) == self._elapsed(
+            arm_small, 0.2, seed=7)
+        assert self._elapsed(arm_small, 0.2, seed=7) != self._elapsed(
+            arm_small, 0.2, seed=8)
+
+    def test_noise_validation(self, arm_small):
+        with pytest.raises(ConfigurationError):
+            World(RankMapping(arm_small, n_nodes=1, ranks_per_node=1),
+                  compute_noise=1.5)
+
+    def test_noise_amplifies_imbalance_at_barriers(self, arm_small):
+        """OS jitter costs more with more synchronizing ranks — the classic
+        noise-amplification effect the paper's no-variability checks guard
+        against."""
+
+        def program(comm):
+            for _ in range(10):
+                yield from comm.compute(1e-3)
+                yield from comm.barrier()
+
+        def run(rpn):
+            world = World(RankMapping(arm_small, n_nodes=2,
+                                      ranks_per_node=rpn),
+                          compute_noise=0.3, noise_seed=3)
+            base = World(RankMapping(arm_small, n_nodes=2,
+                                     ranks_per_node=rpn))
+            return world.run(program).elapsed / base.run(program).elapsed
+
+        assert run(8) >= run(1)
