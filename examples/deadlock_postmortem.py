@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""A deadlock, diagnosed: the wait-for-graph postmortem of repro.verify.
+
+Two rank programs each post a blocking receive before their send — the
+classic head-to-head deadlock.  Without verification the simulator can
+only say "all processes blocked"; with ``World.run(..., verify=True)`` the
+communication recorder lets the postmortem reconstruct the wait-for graph
+and name the cycle: which ranks, waiting on which operations, with which
+tags.  A second scenario shows the no-cycle variant (a receive whose
+sender simply forgot to send), and a third shows that the fixed program
+passes the same checks with zero findings.
+
+Run:  python examples/deadlock_postmortem.py
+"""
+
+from repro.machine import cte_arm
+from repro.simmpi import RankMapping, World
+from repro.util.errors import DeadlockError
+
+
+def head_to_head(comm):
+    """Both ranks receive first, then send: nobody ever sends."""
+    peer = 1 - comm.rank
+    data = yield from comm.recv(peer, tag=5)     # blocks forever
+    yield from comm.send(peer, b"payload", tag=5)
+    return data
+
+
+def forgotten_sender(comm):
+    """Rank 0 waits for a message rank 1 never sends (no cycle)."""
+    if comm.rank == 0:
+        yield from comm.recv(1, tag=9)
+    else:
+        yield from comm.compute(1e-6)            # ...and exits
+
+
+def fixed(comm):
+    """The repaired program: sendrecv pairs the operations atomically."""
+    peer = 1 - comm.rank
+    data = yield from comm.sendrecv(peer, b"payload", tag=5)
+    return data
+
+
+def demonstrate(title, program):
+    print(f"--- {title} ---")
+    world = World(RankMapping(cte_arm(4), n_nodes=2, ranks_per_node=1))
+    try:
+        result = world.run(program, verify=True)
+    except DeadlockError as err:
+        print(err.diagnostics.render())
+    else:
+        report = result.diagnostics
+        print(report.render())
+        print(f"clean: {report.clean}")
+    print()
+
+
+def main() -> None:
+    demonstrate("head-to-head deadlock (cyclic wait)", head_to_head)
+    demonstrate("forgotten sender (blocked, no cycle)", forgotten_sender)
+    demonstrate("the fix: sendrecv", fixed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Repository gate: lint, type check, tier-1 tests.
+#
+#     scripts/check.sh            # run everything available
+#     scripts/check.sh --fast     # skip the test suite
+#
+# ruff and mypy read their configuration from pyproject.toml.  Either tool
+# being absent from the environment is reported and skipped, not fatal —
+# the offline test container ships only the runtime toolchain — but when a
+# tool IS present, its findings fail the gate.
+set -u
+cd "$(dirname "$0")/.."
+
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+status=0
+skipped=""
+
+run_tool() {
+    local name="$1"; shift
+    if command -v "$name" >/dev/null 2>&1; then
+        echo "== $name =="
+        if ! "$name" "$@"; then
+            status=1
+        fi
+    else
+        skipped="$skipped $name"
+    fi
+}
+
+run_tool ruff check src tests examples
+run_tool mypy
+
+if [ "$fast" -eq 0 ]; then
+    echo "== pytest (tier 1) =="
+    if ! PYTHONPATH=src python -m pytest -x -q; then
+        status=1
+    fi
+fi
+
+[ -n "$skipped" ] && echo "skipped (not installed):$skipped"
+if [ "$status" -eq 0 ]; then
+    echo "check.sh: OK"
+else
+    echo "check.sh: FAILED"
+fi
+exit "$status"

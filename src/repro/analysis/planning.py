@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.apps.base import AppModel
 from repro.machine.cluster import ClusterModel
-from repro.power.model import app_energy, power_model_for
+from repro.power.model import app_energy
 from repro.util.errors import ConfigurationError, OutOfMemoryError
 from repro.util.tables import Table
 

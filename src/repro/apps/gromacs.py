@@ -27,7 +27,7 @@ from __future__ import annotations
 from repro.apps.base import AppModel, CommOp, PhaseWork
 from repro.simmpi.mapping import RankMapping
 from repro.toolchain.kernels import KernelClass
-from repro.util.units import GB, MB
+from repro.util.units import GB
 
 N_ATOMS = 3_300_000
 #: ~23 kflop/atom/step through the model's sustained rates — calibrated so

@@ -12,7 +12,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.machine.cluster import ClusterModel
 from repro.machine.presets import cte_arm
 from repro.network.model import NetworkModel, network_for
 from repro.util.errors import ConfigurationError

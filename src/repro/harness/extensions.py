@@ -29,7 +29,7 @@ from repro.harness.experiment import Expectation, ExperimentResult, register
 from repro.harness.figures import _exp
 from repro.machine.presets import cte_arm, marenostrum4
 from repro.network.collectives import CollectiveCosts
-from repro.network.faults import FaultModel, random_faults
+from repro.network.faults import random_faults
 from repro.network.fattree import FatTreeTopology
 from repro.network.linkmodel import TOFUD_LINK
 from repro.network.model import NetworkModel, network_for

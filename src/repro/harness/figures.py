@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.speedup import TABLE4_NODES, table4, table4_matrix
+from repro.analysis.speedup import table4, table4_matrix
 from repro.apps import AlyaModel, GromacsModel, NemoModel, OpenIFSModel, WRFModel
 from repro.bench.fpu_ukernel import fig1_data
 from repro.bench.hpcg import fig7_data

@@ -6,7 +6,7 @@ import os
 
 import numpy as np
 
-from repro.analysis.speedup import TABLE4_NODES, table4_matrix
+from repro.analysis.speedup import table4_matrix
 from repro.apps import AlyaModel, GromacsModel, NemoModel, WRFModel
 from repro.apps.openifs import OpenIFSModel
 from repro.bench.fpu_ukernel import fig1_data

@@ -9,7 +9,7 @@ cut-off pair interaction evaluated over cell-list neighbours.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

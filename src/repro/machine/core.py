@@ -13,7 +13,7 @@ Encodes the paper's two core-level observations:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.machine.isa import DType, ExecMode, VectorISA, SCALAR, lanes
 from repro.util.errors import ConfigurationError

@@ -17,7 +17,7 @@ from repro.machine.memory import MemoryModel
 from repro.machine.node import NodeModel
 from repro.machine.numa import NUMADomain, OnChipInterconnect
 from repro.util.tables import Table
-from repro.util.units import GB, GIB, KIB, MIB
+from repro.util.units import GB, KIB, MIB
 
 #: Calibrated: A64FX sustains ~35 % of its scalar FMA peak on dependency-rich
 #: application code (weak OOO, Section VI); Skylake sustains ~90 %.

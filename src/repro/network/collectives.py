@@ -15,7 +15,6 @@ from dataclasses import dataclass
 
 from repro.network.model import NetworkModel
 from repro.simmpi.mapping import RankMapping
-from repro.util.errors import ConfigurationError
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,6 @@ Fig. 4: node pairs at equal index offsets recur at equal hop distances.
 
 from __future__ import annotations
 
-import itertools
 import math
 
 from repro.network.topology import Topology

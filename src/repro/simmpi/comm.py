@@ -10,7 +10,7 @@ through the same link model as the paper's point-to-point measurements.
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable
+from typing import Any
 
 import numpy as np
 
@@ -100,6 +100,10 @@ class Comm:
         (``None`` matches any tag *within this communicator*)."""
         me = self.world_rank(self.rank)
         key = (self._comm_id, None) if tag is None else self._tagged(tag)
+        if self.world.recorder is not None:
+            self.world.recorder.record_recv(
+                me, self.world_rank(source), tag, self._comm_id, self._phase
+            )
         return self.world.channel(me).get(source, key)
 
     @property
@@ -120,6 +124,28 @@ class Comm:
             raise ConfigurationError(f"peer {peer} out of range 0..{self.size - 1}")
         if peer == self.rank:
             raise SimulationError(f"rank {self.rank} messaging itself")
+
+    def _rec_collective(
+        self, op: str, *, root: int | None = None, nbytes: int | None = None
+    ) -> None:
+        """Log a collective entry when a verify recorder is attached."""
+        rec = self.world.recorder
+        if rec is not None:
+            rec.record_collective(
+                self.world_rank(self.rank),
+                op,
+                self._comm_id,
+                self._phase,
+                root=root,
+                nbytes=nbytes,
+            )
+
+    @staticmethod
+    def _rec_size(payload: Any, size: int | None) -> int | None:
+        """Declared payload bytes for the recorder (None = undeclared)."""
+        if payload is None and size is None:
+            return None
+        return payload_size(payload, size)
 
     def _trace(self, start: float, phase_suffix: str) -> None:
         self.world.trace.record(
@@ -143,6 +169,15 @@ class Comm:
         self._check_peer(dest)
         nbytes = max(1, payload_size(payload, size))
         world = self.world
+        if world.recorder is not None:
+            world.recorder.record_send(
+                self.world_rank(self.rank),
+                self.world_rank(dest),
+                tag,
+                self._comm_id,
+                nbytes,
+                self._phase,
+            )
         src_node = world.mapping.node_of(self.world_rank(self.rank))
         dst_node = world.mapping.node_of(self.world_rank(dest))
         t_transfer = world.network.p2p_time(src_node, dst_node, nbytes) if (
@@ -216,6 +251,7 @@ class Comm:
 
     def barrier(self):
         """Dissemination barrier: ceil(log2(p)) rounds of 1-byte exchanges."""
+        self._rec_collective("barrier")
         p = self.size
         if p == 1:
             return
@@ -232,6 +268,8 @@ class Comm:
 
     def bcast(self, payload: Any = None, *, root: int = 0, size: int | None = None):
         """Binomial-tree broadcast; every rank returns the payload."""
+        self._rec_collective("bcast", root=root,
+                             nbytes=self._rec_size(payload, size))
         p = self.size
         if p == 1:
             return payload
@@ -269,6 +307,8 @@ class Comm:
         size: int | None = None,
     ):
         """Binomial-tree reduction; only ``root`` returns the result."""
+        self._rec_collective("reduce", root=root,
+                             nbytes=self._rec_size(payload, size))
         p = self.size
         start = self.now
         result = payload
@@ -294,6 +334,8 @@ class Comm:
         self, payload: Any, *, op: ReduceOp = ReduceOp.SUM, size: int | None = None
     ):
         """Recursive-doubling allreduce (reduce+bcast for non-powers of two)."""
+        self._rec_collective("allreduce",
+                             nbytes=self._rec_size(payload, size))
         p = self.size
         if p == 1:
             return payload
@@ -319,6 +361,8 @@ class Comm:
 
     def gather(self, payload: Any, *, root: int = 0, size: int | None = None):
         """Binomial-tree gather; root returns the list indexed by rank."""
+        self._rec_collective("gather", root=root,
+                             nbytes=self._rec_size(payload, size))
         p = self.size
         start = self.now
         collected: dict[int, Any] = {self.rank: payload}
@@ -347,6 +391,8 @@ class Comm:
 
     def allgather(self, payload: Any, *, size: int | None = None):
         """Ring allgather: p-1 steps, each forwarding one block."""
+        self._rec_collective("allgather",
+                             nbytes=self._rec_size(payload, size))
         p = self.size
         if p == 1:
             return [payload]
@@ -378,6 +424,10 @@ class Comm:
         p = self.size
         if len(payloads) != p:
             raise ConfigurationError("alltoall needs one payload per rank")
+        self._rec_collective(
+            "alltoall",
+            nbytes=self._rec_size(payloads[0] if payloads else None, size),
+        )
         start = self.now
         received: list[Any] = [None] * p
         received[self.rank] = payloads[self.rank]
@@ -394,6 +444,11 @@ class Comm:
     def scatter(self, payloads: list[Any] | None, *, root: int = 0,
                 size: int | None = None):
         """Flat scatter from root; each rank returns its block."""
+        self._rec_collective(
+            "scatter",
+            root=root,
+            nbytes=None if size is None else size,
+        )
         p = self.size
         start = self.now
         tag = -7000
@@ -499,6 +554,7 @@ class Comm:
         sharing a color form a new communicator ordered by ``key`` (default:
         current rank).  Returns the new :class:`Comm` for this rank.
         """
+        self._rec_collective("split")
         self._split_seq += 1
         entries = yield from self.allgather(
             (int(color), self.rank if key is None else int(key), self.rank)
@@ -529,6 +585,10 @@ class Comm:
         p = self.size
         if len(payloads) != p:
             raise ConfigurationError("need one payload block per rank")
+        self._rec_collective(
+            "reduce_scatter",
+            nbytes=self._rec_size(payloads[0] if payloads else None, size),
+        )
         if p == 1:
             return payloads[0]
         start = self.now
@@ -558,6 +618,7 @@ class Comm:
         Inclusive scan returns op(payload_0..payload_rank); exclusive scan
         returns op(payload_0..payload_{rank-1}) and None on rank 0.
         """
+        self._rec_collective("scan", nbytes=self._rec_size(payload, size))
         start = self.now
         tag = -9000
         prefix = None

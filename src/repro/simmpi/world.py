@@ -4,8 +4,8 @@ and runs SPMD rank programs to completion in virtual time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Generator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Generator
 
 from repro.des.engine import Engine
 from repro.des.resources import Channel, Resource
@@ -13,8 +13,12 @@ from repro.des.trace import TraceRecorder
 from repro.network.model import NetworkModel, network_for
 from repro.simmpi.comm import Comm
 from repro.simmpi.mapping import RankMapping
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, DeadlockError
 from repro.util.units import KIB
+
+if TYPE_CHECKING:
+    from repro.verify.diagnostics import DiagnosticReport
+    from repro.verify.recorder import CommRecorder
 
 RankProgram = Callable[..., Generator[Any, Any, Any]]
 
@@ -26,16 +30,24 @@ class WorldResult:
     elapsed: float  # virtual seconds from start to last rank finishing
     rank_results: list[Any]
     trace: TraceRecorder
+    #: post-run MPI checker findings (``World.run(..., verify=True)`` only).
+    diagnostics: "DiagnosticReport | None" = field(default=None)
 
     def phase_time(self, phase: str, *, reduction: str = "max") -> float:
         """Aggregate a traced phase over ranks.
+
+        Matches the phase exactly, or any sub-phase under the ``phase:``
+        hierarchy separator (``comm.set_phase`` names the phase; operations
+        append ``:send``/``:compute``/... suffixes).  A plain prefix match
+        would conflate e.g. ``solver`` with ``solver_setup``.
 
         ``max`` reproduces the paper's 'slowest process' reduction used for
         the Alya phase plots; ``mean`` averages; ``sum`` totals.
         """
         per = {}
+        prefix = phase + ":"
         for record in self.trace:
-            if record.phase.startswith(phase):
+            if record.phase == phase or record.phase.startswith(prefix):
                 per[record.actor] = per.get(record.actor, 0.0) + record.duration
         if not per:
             return 0.0
@@ -92,6 +104,9 @@ class World:
         #: optional per-node/core performance deviations
         #: (:class:`repro.bench.variability.HeterogeneityModel`).
         self.heterogeneity = heterogeneity
+        #: communication event log for the verify layer (set by
+        #: ``run(verify=True)`` or attached explicitly).
+        self.recorder: "CommRecorder | None" = None
 
     def compute_slowdown(self, rank: int) -> float:
         """1/performance-factor of the node hosting ``rank`` (>= 1 slow)."""
@@ -142,22 +157,56 @@ class World:
     def comm(self, rank: int) -> Comm:
         return Comm(self, rank)
 
-    def run(self, program: RankProgram, *args: Any, **kwargs: Any) -> WorldResult:
+    def run(
+        self,
+        program: RankProgram,
+        *args: Any,
+        verify: bool = False,
+        **kwargs: Any,
+    ) -> WorldResult:
         """Run ``program(comm, *args, **kwargs)`` on every rank.
 
         The program is a generator function; per-rank return values are
         collected in rank order.  Raises DeadlockError on mismatched
         communication.
+
+        With ``verify=True`` every communication operation is logged and the
+        MPI checker runs over the log: a completed run returns its findings
+        in ``WorldResult.diagnostics`` (unmatched messages, collective
+        divergence, ...), and a deadlock raises a :class:`DeadlockError`
+        carrying the wait-for-graph postmortem — which ranks block on which
+        operations — instead of the engine's bare message.
         """
+        if verify and self.recorder is None:
+            from repro.verify.recorder import CommRecorder
+
+            self.recorder = CommRecorder()
         n = self.mapping.n_ranks
         processes = []
         for rank in range(n):
             comm = self.comm(rank)
             gen = program(comm, *args, **kwargs)
             processes.append(self.engine.process(gen, label=f"rank{rank}"))
-        elapsed = self.engine.run()
-        return WorldResult(
+        try:
+            elapsed = self.engine.run()
+        except DeadlockError as exc:
+            if self.recorder is None:
+                raise
+            from repro.verify.deadlock import diagnose_deadlock
+
+            report = diagnose_deadlock(self.recorder)
+            err = DeadlockError(f"{exc}\n{report.render()}")
+            err.diagnostics = report
+            raise err from exc
+        result = WorldResult(
             elapsed=elapsed,
             rank_results=[p.value for p in processes],
             trace=self.trace,
         )
+        if self.recorder is not None:
+            from repro.verify.mpi_rules import check_recorded
+
+            result.diagnostics = check_recorded(
+                self.recorder, title="MPI message check"
+            )
+        return result

@@ -22,7 +22,14 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """All simulated processes are blocked and no events are pending."""
+    """All simulated processes are blocked and no events are pending.
+
+    When the failing run had a verify recorder attached
+    (``World.run(..., verify=True)``), ``diagnostics`` carries the
+    wait-for-graph postmortem (a ``repro.verify.DiagnosticReport``).
+    """
+
+    diagnostics = None
 
 
 class ToolchainError(ReproError):

@@ -1,0 +1,94 @@
+"""Correctness checking and performance lint for simulated programs.
+
+The machines in the paper offer no diagnosis layer: a mis-matched rank
+program dies with a bare error, a mis-pinned OpenMP run silently loses
+3/4 of its bandwidth, and a kernel the compiler cannot vectorize silently
+runs scalar.  This package is that missing layer for the simulator —
+three checkers emitting one unified, machine-readable diagnostic stream:
+
+* **MPI checker** (:mod:`repro.verify.mpi_rules`,
+  :mod:`repro.verify.deadlock`) — a recording mode in ``repro.simmpi``
+  (``World.run(..., verify=True)``) logs every send/receive/collective
+  per rank; passes over the log detect unmatched messages, tag and
+  payload-size mismatches, collective-ordering and root divergence, and a
+  deadlock is reported as the wait-for-graph cycle (which ranks, which
+  operations, which tags) instead of a bare ``DeadlockError``;
+* **SMP/placement lint** (:mod:`repro.verify.placement`) — static checks
+  over thread placements, page policies and rank mappings: core
+  oversubscription, threads spanning CMGs, the Fig. 2 prepage trap, rank
+  counts that do not divide the node;
+* **vectorization advisor** (:mod:`repro.verify.vectorization`) — explains
+  per (compiler profile, kernel class) why code ends up scalar or
+  inefficient and what to change, reproducing Table III as diagnostics.
+
+``repro-lab verify <app>`` runs all three on a bundled application; see
+docs/VERIFY.md for the rule catalog.
+"""
+
+from repro.verify.diagnostics import (
+    RULES,
+    Diagnostic,
+    DiagnosticReport,
+    Rule,
+    Severity,
+)
+from repro.verify.recorder import CommEvent, CommRecorder, op_for_tag
+from repro.verify.mpi_rules import (
+    check_collectives,
+    check_point_to_point,
+    check_recorded,
+    match_point_to_point,
+)
+from repro.verify.deadlock import (
+    diagnose_deadlock,
+    find_cycle,
+    pending_receives,
+    wait_for_graph,
+)
+from repro.verify.placement import (
+    check_divisibility,
+    check_domain_spill,
+    check_mapping,
+    check_oversubscription,
+    check_page_policy,
+    check_placements,
+)
+from repro.verify.vectorization import (
+    advise_app,
+    advise_build,
+    advise_build_matrix,
+    advise_kernel,
+)
+from repro.verify.runner import resolve_cluster, run_dynamic_check, verify_app
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Severity",
+    "Diagnostic",
+    "DiagnosticReport",
+    "CommEvent",
+    "CommRecorder",
+    "op_for_tag",
+    "check_point_to_point",
+    "check_collectives",
+    "check_recorded",
+    "match_point_to_point",
+    "diagnose_deadlock",
+    "find_cycle",
+    "pending_receives",
+    "wait_for_graph",
+    "check_mapping",
+    "check_oversubscription",
+    "check_placements",
+    "check_domain_spill",
+    "check_page_policy",
+    "check_divisibility",
+    "advise_kernel",
+    "advise_build",
+    "advise_app",
+    "advise_build_matrix",
+    "verify_app",
+    "run_dynamic_check",
+    "resolve_cluster",
+]

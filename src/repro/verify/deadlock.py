@@ -1,0 +1,164 @@
+"""Deadlock postmortem: wait-for-graph reconstruction from a recorded log.
+
+When the DES calendar drains while processes are still alive, the engine
+raises a bare :class:`~repro.util.errors.DeadlockError` — all it knows is
+that *something* is blocked.  With a :class:`CommRecorder` attached, this
+module reconstructs what: it replays the log's sends against its posted
+receives (mirroring the channel matching rules, including communicator
+scoping and wildcard tags), keeps the receives that never completed, builds
+the wait-for graph rank -> awaited peer, and reports either the cycle
+(MPI007: which ranks, which operations, which tags) or, when no cycle
+exists, each blocked rank and its missing sender (MPI008).
+
+The replay matches in injection order while the live channel matches in
+delivery order; with wildcard receives the *attribution* of a particular
+message can therefore differ from the engine's, but the set of unsatisfied
+receives — and hence the blocked ranks — is the same.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.verify.diagnostics import Diagnostic, DiagnosticReport
+from repro.verify.recorder import CommEvent, CommRecorder, op_for_tag
+
+
+def pending_receives(recorder: CommRecorder) -> list[CommEvent]:
+    """Posted receives that no send ever satisfied (all tags, all comms)."""
+    stored: dict[tuple[int, int, int], deque[CommEvent]] = {}
+    waiting: dict[tuple[int, int, int], deque[CommEvent]] = {}
+    for event in recorder:
+        if event.kind == "send":
+            key = (event.rank, event.peer, event.comm_id)  # type: ignore[arg-type]
+            recvq = waiting.get(key)
+            if recvq:
+                for i, recv in enumerate(recvq):
+                    if recv.tag is None or recv.tag == event.tag:
+                        del recvq[i]
+                        break
+                else:
+                    stored.setdefault(key, deque()).append(event)
+                continue
+            stored.setdefault(key, deque()).append(event)
+        elif event.kind == "recv":
+            key = (event.peer, event.rank, event.comm_id)  # type: ignore[arg-type]
+            sendq = stored.get(key)
+            if sendq:
+                for i, send in enumerate(sendq):
+                    if event.tag is None or send.tag == event.tag:
+                        del sendq[i]
+                        break
+                else:
+                    waiting.setdefault(key, deque()).append(event)
+                continue
+            waiting.setdefault(key, deque()).append(event)
+    return sorted(
+        (e for q in waiting.values() for e in q), key=lambda e: e.seq
+    )
+
+
+def wait_for_graph(pending: list[CommEvent]) -> dict[int, list[CommEvent]]:
+    """rank -> its unsatisfied receives (the edges point at ``event.peer``)."""
+    graph: dict[int, list[CommEvent]] = {}
+    for event in pending:
+        graph.setdefault(event.rank, []).append(event)
+    return graph
+
+
+def find_cycle(graph: dict[int, list[CommEvent]]) -> list[CommEvent] | None:
+    """One cycle of blocked receives, as the events along it, or None.
+
+    DFS over the edge set; an edge rank -> peer exists when the rank has an
+    unsatisfied receive from that peer *and the peer is itself blocked* (an
+    edge to a finished rank cannot be part of a deadlock cycle).
+    """
+    done: set[int] = set()  # fully explored, known cycle-free
+
+    def dfs(node: int, path: list[CommEvent], on_path: dict[int, int]):
+        on_path[node] = len(path)
+        for event in graph.get(node, []):
+            peer = event.peer
+            if peer not in graph or peer in done:
+                continue
+            if peer in on_path:
+                return path[on_path[peer]:] + [event]
+            path.append(event)
+            found = dfs(peer, path, on_path)
+            if found is not None:
+                return found
+            path.pop()
+        del on_path[node]
+        done.add(node)
+        return None
+
+    for start in sorted(graph):
+        if start in done:
+            continue
+        cycle = dfs(start, [], {})
+        if cycle is not None:
+            return cycle
+    return None
+
+
+def _describe_wait(event: CommEvent) -> str:
+    tag = "any tag" if event.tag is None else op_for_tag(event.tag)
+    return (
+        f"rank {event.rank} waits for a message from rank {event.peer} "
+        f"({tag}, phase {event.phase!r})"
+    )
+
+
+def diagnose_deadlock(
+    recorder: CommRecorder, *, title: str = "deadlock postmortem"
+) -> DiagnosticReport:
+    """Full deadlock diagnosis of one recorded (deadlocked) run."""
+    report = DiagnosticReport(title=title)
+    pending = pending_receives(recorder)
+    graph = wait_for_graph(pending)
+    cycle = find_cycle(graph)
+    if cycle is not None:
+        chain = "; ".join(_describe_wait(e) for e in cycle)
+        ranks = [e.rank for e in cycle]
+        report.add(
+            Diagnostic(
+                "MPI007",
+                f"cyclic wait among ranks {ranks}: {chain} — none can "
+                "proceed",
+                hint="break the cycle by reordering one rank's send before "
+                "its receive (or use sendrecv / nonblocking operations)",
+                location=f"ranks {ranks}",
+                details={
+                    "cycle_ranks": ranks,
+                    "ops": [e.describe() for e in cycle],
+                    "tags": [e.tag for e in cycle],
+                },
+            )
+        )
+    cycle_ranks = {e.rank for e in (cycle or [])}
+    for rank in sorted(graph):
+        if rank in cycle_ranks:
+            continue
+        for event in graph[rank]:
+            report.add(
+                Diagnostic(
+                    "MPI008",
+                    f"{_describe_wait(event)}, but rank {event.peer} never "
+                    "sends it"
+                    + (
+                        " (that rank is itself blocked)"
+                        if event.peer in graph
+                        else " (that rank ran to completion)"
+                    ),
+                    hint="add the missing send on the source rank, or "
+                    "remove the receive",
+                    location=f"rank {rank}",
+                    details={
+                        "rank": rank,
+                        "source": event.peer,
+                        "tag": event.tag,
+                        "phase": event.phase,
+                    },
+                )
+            )
+    return report

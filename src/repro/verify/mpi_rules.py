@@ -1,0 +1,262 @@
+"""MPI checker: passes over a recorded communication log.
+
+Three rule families, all pure functions of the :class:`CommRecorder` log:
+
+* **point-to-point matching** — replay sends and posted receives in
+  execution order per (source, destination, communicator) and report
+  leftovers: an unmatched send is a message nobody received (MPI001), an
+  unmatched receive never completed (MPI002), and a leftover send+receive
+  pair between the same endpoints with different tags is almost always a
+  tag typo (MPI003);
+* **collective agreement** — all ranks of a communicator must call the
+  same collectives in the same order (MPI004) with the same root (MPI005)
+  and, where declared, consistent payload sizes (MPI006);
+* the deadlock wait-for-graph analysis lives in :mod:`repro.verify.deadlock`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.verify.diagnostics import Diagnostic, DiagnosticReport
+from repro.verify.recorder import CommEvent, CommRecorder
+
+#: Rooted collectives: ranks must agree on the root argument.
+_ROOTED = {"bcast", "reduce", "gather", "scatter"}
+
+
+def match_point_to_point(
+    recorder: CommRecorder,
+) -> tuple[list[CommEvent], list[CommEvent]]:
+    """Replay user-level p2p traffic; return (unmatched sends, unmatched recvs).
+
+    Collective-internal messages (negative tags) are excluded — collectives
+    are checked at the entry-record level by :func:`check_collectives`.
+    """
+    pending_sends: dict[tuple[int, int, int], deque[CommEvent]] = {}
+    pending_recvs: dict[tuple[int, int, int], deque[CommEvent]] = {}
+    for event in recorder:
+        if event.kind == "send":
+            if event.tag is None or event.tag < 0:
+                continue
+            key = (event.rank, event.peer, event.comm_id)  # type: ignore[arg-type]
+            recvq = pending_recvs.get(key)
+            if recvq:
+                for i, recv in enumerate(recvq):
+                    if recv.tag is None or recv.tag == event.tag:
+                        del recvq[i]
+                        break
+                else:
+                    pending_sends.setdefault(key, deque()).append(event)
+                continue
+            pending_sends.setdefault(key, deque()).append(event)
+        elif event.kind == "recv":
+            if event.tag is not None and event.tag < 0:
+                continue
+            key = (event.peer, event.rank, event.comm_id)  # type: ignore[arg-type]
+            sendq = pending_sends.get(key)
+            if sendq:
+                for i, send in enumerate(sendq):
+                    if event.tag is None or send.tag == event.tag:
+                        del sendq[i]
+                        break
+                else:
+                    pending_recvs.setdefault(key, deque()).append(event)
+                continue
+            pending_recvs.setdefault(key, deque()).append(event)
+    unmatched_sends = [e for q in pending_sends.values() for e in q]
+    unmatched_recvs = [e for q in pending_recvs.values() for e in q]
+    return unmatched_sends, unmatched_recvs
+
+
+def check_point_to_point(recorder: CommRecorder) -> list[Diagnostic]:
+    """MPI001/MPI002/MPI003 over the recorded log."""
+    unmatched_sends, unmatched_recvs = match_point_to_point(recorder)
+    diags: list[Diagnostic] = []
+    # Pair up leftover sends and recvs between the same endpoints: those are
+    # tag mismatches, reported once per pair instead of twice.
+    recv_by_pair: dict[tuple[int, int, int], list[CommEvent]] = {}
+    for recv in unmatched_recvs:
+        pair = (recv.peer, recv.rank, recv.comm_id)  # type: ignore[assignment]
+        recv_by_pair.setdefault(pair, []).append(recv)
+    for send in unmatched_sends:
+        pair = (send.rank, send.peer, send.comm_id)  # type: ignore[assignment]
+        if recv_by_pair.get(pair):
+            recv = recv_by_pair[pair].pop(0)
+            diags.append(
+                Diagnostic(
+                    "MPI003",
+                    f"rank {send.rank} sent tag {send.tag} to rank "
+                    f"{send.peer}, but rank {recv.rank} posted a receive "
+                    f"for tag {recv.tag} — the tags never match",
+                    hint="make the send and receive tags agree (or receive "
+                    "with tag=None to match any tag)",
+                    location=f"rank {send.rank} -> rank {send.peer}",
+                    details={
+                        "send_tag": send.tag,
+                        "recv_tag": recv.tag,
+                        "source": send.rank,
+                        "dest": send.peer,
+                        "phase": send.phase,
+                    },
+                )
+            )
+        else:
+            diags.append(
+                Diagnostic(
+                    "MPI001",
+                    f"rank {send.rank} sent {send.nbytes} B to rank "
+                    f"{send.peer} (tag {send.tag}) but no matching receive "
+                    "was ever posted",
+                    hint="add the missing recv on the destination rank, or "
+                    "delete the stray send",
+                    location=f"rank {send.rank} -> rank {send.peer}",
+                    details={
+                        "source": send.rank,
+                        "dest": send.peer,
+                        "tag": send.tag,
+                        "nbytes": send.nbytes,
+                        "phase": send.phase,
+                    },
+                )
+            )
+    for remaining in recv_by_pair.values():
+        for recv in remaining:
+            diags.append(
+                Diagnostic(
+                    "MPI002",
+                    f"rank {recv.rank} posted a receive from rank "
+                    f"{recv.peer} "
+                    f"(tag {'any' if recv.tag is None else recv.tag}) "
+                    "that no send ever satisfied",
+                    hint="add the missing send on the source rank, or drop "
+                    "the receive",
+                    location=f"rank {recv.peer} -> rank {recv.rank}",
+                    details={
+                        "source": recv.peer,
+                        "dest": recv.rank,
+                        "tag": recv.tag,
+                        "phase": recv.phase,
+                    },
+                )
+            )
+    return diags
+
+
+def check_collectives(recorder: CommRecorder) -> list[Diagnostic]:
+    """MPI004/MPI005/MPI006: cross-rank agreement of collective entries."""
+    by_comm: dict[int, dict[int, list[CommEvent]]] = {}
+    for event in recorder.collectives():
+        by_comm.setdefault(event.comm_id, {}).setdefault(event.rank, []).append(
+            event
+        )
+    diags: list[Diagnostic] = []
+    for comm_id, per_rank in sorted(by_comm.items()):
+        ranks = sorted(per_rank)
+        for rank in ranks:
+            per_rank[rank].sort(key=lambda e: e.coll_seq)
+        reference = ranks[0]
+        ref_calls = per_rank[reference]
+        for rank in ranks[1:]:
+            calls = per_rank[rank]
+            limit = min(len(ref_calls), len(calls))
+            diverged = False
+            for i in range(limit):
+                a, b = ref_calls[i], calls[i]
+                if a.op != b.op:
+                    diags.append(
+                        Diagnostic(
+                            "MPI004",
+                            f"collective #{i} on communicator {comm_id} "
+                            f"diverges: rank {reference} called {a.op} "
+                            f"(phase {a.phase!r}) while rank {rank} called "
+                            f"{b.op} (phase {b.phase!r})",
+                            hint="every rank of a communicator must issue "
+                            "the same collectives in the same order",
+                            location=f"comm {comm_id}, collective #{i}",
+                            details={
+                                "index": i,
+                                "comm": comm_id,
+                                "ops": {reference: a.op, rank: b.op},
+                            },
+                        )
+                    )
+                    diverged = True
+                    break
+                if a.op in _ROOTED and a.root != b.root:
+                    diags.append(
+                        Diagnostic(
+                            "MPI005",
+                            f"{a.op} #{i} on communicator {comm_id}: rank "
+                            f"{reference} used root {a.root} but rank {rank} "
+                            f"used root {b.root}",
+                            hint="all ranks must pass the same root to a "
+                            "rooted collective",
+                            location=f"comm {comm_id}, collective #{i}",
+                            details={
+                                "index": i,
+                                "comm": comm_id,
+                                "op": a.op,
+                                "roots": {reference: a.root, rank: b.root},
+                            },
+                        )
+                    )
+                    diverged = True
+                    break
+                if (
+                    a.nbytes is not None
+                    and b.nbytes is not None
+                    and a.nbytes != b.nbytes
+                ):
+                    diags.append(
+                        Diagnostic(
+                            "MPI006",
+                            f"{a.op} #{i} on communicator {comm_id}: rank "
+                            f"{reference} contributed {a.nbytes} B but rank "
+                            f"{rank} contributed {b.nbytes} B",
+                            hint="collective payload sizes must agree "
+                            "across ranks (truncation or overrun on a real "
+                            "MPI)",
+                            location=f"comm {comm_id}, collective #{i}",
+                            details={
+                                "index": i,
+                                "comm": comm_id,
+                                "op": a.op,
+                                "nbytes": {reference: a.nbytes, rank: b.nbytes},
+                            },
+                        )
+                    )
+            if not diverged and len(ref_calls) != len(calls):
+                fewer, more = (
+                    (rank, reference)
+                    if len(calls) < len(ref_calls)
+                    else (reference, rank)
+                )
+                diags.append(
+                    Diagnostic(
+                        "MPI004",
+                        f"communicator {comm_id}: rank {fewer} issued "
+                        f"{min(len(calls), len(ref_calls))} collectives but "
+                        f"rank {more} issued "
+                        f"{max(len(calls), len(ref_calls))}",
+                        hint="a rank skipping a collective hangs the others "
+                        "on a real MPI",
+                        location=f"comm {comm_id}",
+                        details={
+                            "comm": comm_id,
+                            "counts": {
+                                reference: len(ref_calls),
+                                rank: len(calls),
+                            },
+                        },
+                    )
+                )
+    return diags
+
+
+def check_recorded(recorder: CommRecorder, *, title: str = "") -> DiagnosticReport:
+    """All post-run MPI checks over one recorded log."""
+    report = DiagnosticReport(title=title)
+    report.extend(check_point_to_point(recorder))
+    report.extend(check_collectives(recorder))
+    return report

@@ -1,0 +1,175 @@
+"""Recording mode for simulated MPI: the event log the checkers analyze.
+
+When a :class:`CommRecorder` is attached to a :class:`~repro.simmpi.world.World`
+(``World.run(..., verify=True)`` does it automatically), every point-to-point
+injection, posted receive, and collective entry is appended to one global,
+execution-ordered log.  The log is the ground truth for the MPI checker
+passes (:mod:`repro.verify.mpi_rules`) and for wait-for-graph reconstruction
+after a deadlock (:mod:`repro.verify.deadlock`).
+
+Internal messages of collective algorithms use negative tags by convention
+(see :mod:`repro.simmpi.comm`); the recorder keeps them — they are what the
+deadlock analyzer sees when a collective hangs — but the p2p matching rules
+skip them and reason about collectives at the entry-record level instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+#: Collective-algorithm tag bases (mirrors the constants in simmpi.comm);
+#: used to label internal messages when reporting a deadlock inside one.
+_COLLECTIVE_TAG_BASES = [
+    (-9000, "scan"),
+    (-8000, "reduce_scatter"),
+    (-7000, "scatter"),
+    (-6000, "alltoall"),
+    (-5000, "allgather"),
+    (-4000, "gather"),
+    (-3000, "allreduce"),
+    (-2000, "reduce"),
+    (-1000, "bcast"),
+]
+
+
+def op_for_tag(tag: int) -> str:
+    """Human label for a message tag (collective-internal tags are < 0)."""
+    if tag >= 0:
+        return f"tag {tag}"
+    for base, name in _COLLECTIVE_TAG_BASES:
+        if base - 999 < tag <= base:
+            return f"inside {name}"
+    return "inside barrier"
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One recorded communication event.
+
+    ``rank``/``peer`` are world ranks.  ``kind`` is ``send`` (message
+    injected), ``recv`` (receive posted; ``tag`` None = wildcard), or
+    ``collective`` (entry into a collective algorithm, with ``op`` set and
+    ``coll_seq`` the per-rank per-communicator call index).
+    """
+
+    seq: int
+    kind: str
+    rank: int
+    peer: int | None
+    tag: int | None
+    comm_id: int
+    nbytes: int | None
+    phase: str
+    op: str | None = None
+    root: int | None = None
+    coll_seq: int = -1
+
+    def describe(self) -> str:
+        if self.kind == "collective":
+            root = "" if self.root is None else f", root {self.root}"
+            return f"{self.op}(comm {self.comm_id}{root}) in phase {self.phase!r}"
+        tag = "any tag" if self.tag is None else op_for_tag(self.tag)
+        peer = "?" if self.peer is None else self.peer
+        if self.kind == "send":
+            return f"send to rank {peer} ({tag}) in phase {self.phase!r}"
+        return f"recv from rank {peer} ({tag}) in phase {self.phase!r}"
+
+
+class CommRecorder:
+    """Append-only log of communication events across all ranks."""
+
+    def __init__(self) -> None:
+        self.events: list[CommEvent] = []
+        self._coll_counts: dict[tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[CommEvent]:
+        return iter(self.events)
+
+    # -- hooks called from repro.simmpi.comm --------------------------------
+
+    def record_send(
+        self, rank: int, dest: int, tag: int, comm_id: int, nbytes: int, phase: str
+    ) -> None:
+        self.events.append(
+            CommEvent(
+                seq=len(self.events),
+                kind="send",
+                rank=rank,
+                peer=dest,
+                tag=tag,
+                comm_id=comm_id,
+                nbytes=nbytes,
+                phase=phase,
+            )
+        )
+
+    def record_recv(
+        self, rank: int, source: int, tag: int | None, comm_id: int, phase: str
+    ) -> None:
+        self.events.append(
+            CommEvent(
+                seq=len(self.events),
+                kind="recv",
+                rank=rank,
+                peer=source,
+                tag=tag,
+                comm_id=comm_id,
+                nbytes=None,
+                phase=phase,
+            )
+        )
+
+    def record_collective(
+        self,
+        rank: int,
+        op: str,
+        comm_id: int,
+        phase: str,
+        *,
+        root: int | None = None,
+        nbytes: int | None = None,
+    ) -> None:
+        key = (rank, comm_id)
+        coll_seq = self._coll_counts.get(key, 0)
+        self._coll_counts[key] = coll_seq + 1
+        self.events.append(
+            CommEvent(
+                seq=len(self.events),
+                kind="collective",
+                rank=rank,
+                peer=None,
+                tag=None,
+                comm_id=comm_id,
+                nbytes=nbytes,
+                phase=phase,
+                op=op,
+                root=root,
+                coll_seq=coll_seq,
+            )
+        )
+
+    # -- views ---------------------------------------------------------------
+
+    def sends(self, *, user_only: bool = False) -> list[CommEvent]:
+        return [
+            e
+            for e in self.events
+            if e.kind == "send"
+            and (not user_only or (e.tag is not None and e.tag >= 0))
+        ]
+
+    def recvs(self, *, user_only: bool = False) -> list[CommEvent]:
+        return [
+            e
+            for e in self.events
+            if e.kind == "recv"
+            and (not user_only or e.tag is None or e.tag >= 0)
+        ]
+
+    def collectives(self) -> list[CommEvent]:
+        return [e for e in self.events if e.kind == "collective"]

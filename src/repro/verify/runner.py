@@ -1,0 +1,107 @@
+"""The ``repro-lab verify`` entry point: all three checker layers on one
+bundled application configuration.
+
+For an application x cluster x node-count configuration this runs
+
+1. the **SMP/placement lint** over the app's rank mapping (and a page
+   policy, when the caller supplies one);
+2. the **vectorization advisor** over every toolchain the paper tried for
+   the app on that cluster (Table III);
+3. a **dynamic MPI check**: the app's phase program executes under the
+   DES-simulated MPI with a recorder attached, and the message-matching /
+   collective-agreement rules run over the log.
+
+Everything lands in one :class:`DiagnosticReport` for text or JSON output.
+"""
+
+from __future__ import annotations
+
+from repro.smp.pages import PagePolicy
+from repro.util.errors import ConfigurationError, ToolchainError
+from repro.verify.diagnostics import DiagnosticReport
+from repro.verify.placement import check_mapping
+from repro.verify.vectorization import advise_app
+
+
+def resolve_cluster(name: str, n_nodes: int | None = None):
+    """Instantiate a cluster preset from a CLI-friendly name."""
+    from repro.machine.presets import cte_arm, marenostrum4
+
+    key = name.lower().replace("_", "-").replace(" ", "-")
+    if key in ("cte-arm", "arm", "a64fx"):
+        return cte_arm() if n_nodes is None else cte_arm(n_nodes)
+    if key in ("mn4", "marenostrum4", "marenostrum-4", "skylake"):
+        return marenostrum4() if n_nodes is None else marenostrum4(n_nodes)
+    raise ConfigurationError(
+        f"unknown cluster {name!r}; choose cte-arm or mn4"
+    )
+
+
+def verify_app(
+    app_name: str,
+    *,
+    cluster: str = "cte-arm",
+    n_nodes: int | None = None,
+    ranks_per_node: int | None = None,
+    threads_per_rank: int | None = None,
+    page_policy: PagePolicy | None = None,
+    dynamic: bool = True,
+    include_ok: bool = False,
+    steps: int = 1,
+) -> DiagnosticReport:
+    """All three checker layers for one bundled application configuration.
+
+    ``ranks_per_node`` / ``threads_per_rank`` override the app's preferred
+    layout for the *placement lint only* (e.g. lint the paper's OpenMP-only
+    1 x 48 STREAM layout under a prepage policy); the dynamic MPI check
+    always runs the app's own mapping.
+    """
+    from repro.apps import get_app
+
+    app = get_app(app_name)
+    machine = resolve_cluster(cluster)
+    if n_nodes is None:
+        n_nodes = max(app.min_nodes(machine), 2)
+    report = DiagnosticReport(
+        title=f"{app.name} on {machine.name}, {n_nodes} nodes"
+    )
+
+    # 1. placement lint ------------------------------------------------------
+    mapping = app.mapping(machine, n_nodes)
+    if ranks_per_node is not None or threads_per_rank is not None:
+        from repro.simmpi.mapping import RankMapping
+
+        mapping = RankMapping(
+            machine,
+            n_nodes=n_nodes,
+            ranks_per_node=ranks_per_node or mapping.ranks_per_node,
+            threads_per_rank=threads_per_rank or mapping.threads_per_rank,
+        )
+    policy = page_policy if page_policy is not None else PagePolicy.FIRST_TOUCH
+    report.extend(check_mapping(mapping, policy=policy))
+
+    # 2. vectorization advisor ----------------------------------------------
+    report.extend(advise_app(app, machine, include_ok=include_ok))
+
+    # 3. dynamic MPI check ---------------------------------------------------
+    if dynamic:
+        report.extend(run_dynamic_check(app, machine, n_nodes, steps=steps))
+    return report
+
+
+def run_dynamic_check(app, machine, n_nodes: int, *, steps: int = 1):
+    """Execute the app's phase program under simulated MPI with recording."""
+    from repro.apps.des_runner import _phase_program
+    from repro.simmpi.world import World
+
+    app.check_feasible(machine, n_nodes)
+    mapping = app.mapping(machine, n_nodes)
+    try:
+        binary = app.build(machine)
+        binary.check_runnable()
+    except ToolchainError:
+        return []  # already reported as VEC006 by the advisor
+    world = World(mapping)
+    result = world.run(_phase_program, app, binary, mapping, steps, verify=True)
+    assert result.diagnostics is not None
+    return list(result.diagnostics)

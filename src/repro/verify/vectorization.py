@@ -1,0 +1,232 @@
+"""Vectorization advisor: *why* a kernel class runs scalar under a toolchain.
+
+The paper's headline finding is that nothing in the stack tells the user
+why applications run 2-4x slower on A64FX: the GNU 8 back end silently
+fails to vectorize anything with indirection for SVE, and the weak scalar
+core inherits the work.  This advisor makes the modeled causes explicit:
+for every (compiler profile, kernel class) pair it emits a diagnostic
+naming the cause — irregular access (VEC001), the immature SVE back end
+(VEC002), a class the profile does not cover at all (VEC003), branchy
+physics (VEC004), partial vectorization (VEC005) — plus the documented
+deployment failures of Section V (VEC006).  ``advise_build_matrix``
+reproduces Table III's build matrix as a diagnostic stream.
+"""
+
+from __future__ import annotations
+
+from repro.toolchain.compiler import CompilerProfile
+from repro.toolchain.kernels import IRREGULAR, KernelClass
+from repro.util.errors import CompileError, CompileHang
+from repro.verify.diagnostics import Diagnostic
+
+#: Below this vector fraction a kernel effectively runs on the scalar core.
+SCALAR_THRESHOLD = 0.25
+#: Below this fraction vectorization is real but leaves throughput behind.
+PARTIAL_THRESHOLD = 0.70
+
+
+def _better_profiles(
+    profile: CompilerProfile, kernel: KernelClass
+) -> list[str]:
+    """Compilers (same target ISA) that vectorize this class much better."""
+    from repro.toolchain.profiles import COMPILERS
+
+    mine = profile.vectorization(kernel).vector_fraction
+    out = []
+    for label, other in sorted(COMPILERS.items()):
+        if other.target_isa != profile.target_isa or label == profile.label:
+            continue
+        if other.vectorization(kernel).vector_fraction >= max(2 * mine, 0.4):
+            out.append(label)
+    return out
+
+
+def advise_kernel(
+    profile: CompilerProfile,
+    kernel: KernelClass,
+    *,
+    include_ok: bool = False,
+) -> list[Diagnostic]:
+    """Diagnostics for one (profile, kernel class) cell of the build matrix."""
+    if kernel is KernelClass.IO:
+        return []  # nothing to vectorize
+    location = f"{kernel.value} under {profile.label} ({profile.target_isa})"
+    alternatives = _better_profiles(profile, kernel)
+    alt_hint = (
+        f" — {', '.join(alternatives)} vectorize this class on the same ISA"
+        if alternatives
+        else ""
+    )
+    vec = profile.vectorization(kernel)
+    details = {
+        "compiler": profile.label,
+        "isa": profile.target_isa,
+        "kernel": kernel.value,
+        "vector_fraction": vec.vector_fraction,
+        "vector_efficiency": vec.vector_efficiency,
+        "alternatives": alternatives,
+    }
+    if kernel not in profile.vec_table:
+        return [
+            Diagnostic(
+                "VEC003",
+                f"{profile.label} has no vectorization entry for "
+                f"{kernel.value}: the model assumes fully scalar execution",
+                hint="add a calibrated entry to the profile's vec_table, or "
+                "treat this class as scalar-core work" + alt_hint,
+                location=location,
+                details=details,
+            )
+        ]
+    if vec.vector_fraction < SCALAR_THRESHOLD:
+        if kernel in IRREGULAR:
+            return [
+                Diagnostic(
+                    "VEC001",
+                    f"{kernel.value} is dominated by data-dependent "
+                    "gather/scatter: the autovectorizer cannot prove safety "
+                    f"and {profile.label} emits scalar code "
+                    f"(vector fraction {vec.vector_fraction:.0%}); on A64FX "
+                    "the work lands on a weak scalar core *and* pays the "
+                    "high cache latency",
+                    hint="restructure to unit-stride/blocked access, use a "
+                    "vendor library for this kernel, or accept "
+                    "scalar-core performance" + alt_hint,
+                    location=location,
+                    details=details,
+                )
+            ]
+        if profile.family == "gnu" and profile.target_isa == "SVE":
+            return [
+                Diagnostic(
+                    "VEC002",
+                    f"the GNU SVE back end of {profile.label} leaves "
+                    f"{kernel.value} scalar (vector fraction "
+                    f"{vec.vector_fraction:.0%}) — the paper's stated cause "
+                    "of the 2-4x application gap on A64FX",
+                    hint="try a newer GNU (11+) or the vendor toolchain "
+                    "where it builds" + alt_hint,
+                    location=location,
+                    details=details,
+                )
+            ]
+        if kernel is KernelClass.SCALAR_PHYSICS:
+            return [
+                Diagnostic(
+                    "VEC004",
+                    "branchy physics/chemistry parameterizations barely "
+                    f"vectorize under any toolchain ({profile.label}: "
+                    f"{vec.vector_fraction:.0%})",
+                    hint="this class is scalar-core bound by nature; prefer "
+                    "hardware with a strong scalar core for it",
+                    location=location,
+                    details=details,
+                )
+            ]
+        return [
+            Diagnostic(
+                "VEC002" if profile.target_isa == "SVE" else "VEC005",
+                f"{profile.label} vectorizes only "
+                f"{vec.vector_fraction:.0%} of {kernel.value}",
+                hint="inspect the compiler's vectorization report for the "
+                "blocking construct" + alt_hint,
+                location=location,
+                details=details,
+            )
+        ]
+    if vec.vector_fraction < PARTIAL_THRESHOLD:
+        return [
+            Diagnostic(
+                "VEC005",
+                f"{kernel.value} vectorizes partially under {profile.label} "
+                f"({vec.vector_fraction:.0%} of the work at "
+                f"{vec.vector_efficiency:.0%} of vector peak): masks, "
+                "gathers and loop remainders cost throughput",
+                hint="pad/block loops to the vector length and hoist "
+                "branches out of the inner loop",
+                location=location,
+                details=details,
+            )
+        ]
+    if include_ok:
+        return [
+            Diagnostic(
+                "VEC007",
+                f"{kernel.value} vectorizes well under {profile.label} "
+                f"({vec.vector_fraction:.0%} at "
+                f"{vec.vector_efficiency:.0%} efficiency)",
+                location=location,
+                details=details,
+            )
+        ]
+    return []
+
+
+def advise_build(
+    profile: CompilerProfile,
+    kernels: tuple[KernelClass, ...],
+    *,
+    application: str | None = None,
+    include_ok: bool = False,
+) -> list[Diagnostic]:
+    """Diagnostics for building one kernel set with one toolchain."""
+    diags: list[Diagnostic] = []
+    if application is not None:
+        failure = profile.failures.get(application.lower())
+        if failure is not None:
+            exc = failure()
+            kind = (
+                "hangs compiling"
+                if isinstance(exc, CompileHang)
+                else "fails to build"
+                if isinstance(exc, CompileError)
+                else "builds but aborts at run time for"
+            )
+            diags.append(
+                Diagnostic(
+                    "VEC006",
+                    f"{profile.label} {kind} {application}: {exc}",
+                    hint="use the toolchain the paper fell back to (see "
+                    "Table III) — repro.toolchain.default_compiler_for",
+                    location=f"{application} under {profile.label}",
+                    details={
+                        "compiler": profile.label,
+                        "application": application,
+                        "failure": type(exc).__name__,
+                    },
+                )
+            )
+            if isinstance(exc, CompileError):
+                return diags  # nothing gets built; vectorization is moot
+    for kernel in kernels:
+        diags.extend(advise_kernel(profile, kernel, include_ok=include_ok))
+    return diags
+
+
+def advise_app(app, cluster, *, include_ok: bool = False) -> list[Diagnostic]:
+    """Replay an application's build attempts (Table III) as diagnostics.
+
+    ``app`` is a :class:`repro.apps.base.AppModel`; every compiler the
+    paper tried on ``cluster`` is advised in order.
+    """
+    diags: list[Diagnostic] = []
+    for profile in app.compilers_tried(cluster):
+        diags.extend(
+            advise_build(
+                profile,
+                app.kernels,
+                application=app.name,
+                include_ok=include_ok,
+            )
+        )
+    return diags
+
+
+def advise_build_matrix(
+    apps: list, cluster, *, include_ok: bool = False
+) -> list[Diagnostic]:
+    """Table III as a diagnostic stream: every app x toolchain cell."""
+    diags: list[Diagnostic] = []
+    for app in apps:
+        diags.extend(advise_app(app, cluster, include_ok=include_ok))
+    return diags

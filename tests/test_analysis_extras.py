@@ -1,6 +1,5 @@
 """Roofline analysis and timeline rendering."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

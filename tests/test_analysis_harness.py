@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import (
-    TABLE4_NODES,
     app_speedup,
     flattening_point,
     parallel_efficiency,

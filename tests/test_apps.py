@@ -11,7 +11,7 @@ from repro.apps import (
     WRFModel,
     get_app,
 )
-from repro.apps.base import CommOp, PhaseWork
+from repro.apps.base import CommOp
 from repro.network.collectives import CollectiveCosts
 from repro.network.model import network_for
 from repro.simmpi.mapping import RankMapping

@@ -31,7 +31,7 @@ from repro.bench.stream_bench import (
     stream_hybrid_points,
     stream_openmp_sweep,
 )
-from repro.machine import cte_arm, marenostrum4
+from repro.machine import cte_arm
 from repro.network import network_for
 from repro.util.errors import ConfigurationError
 from repro.util.units import KIB

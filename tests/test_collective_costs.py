@@ -7,7 +7,6 @@ within a factor-2 band (the analytic forms use a representative pair
 distance, the DES schedule the exact ones).
 """
 
-import numpy as np
 import pytest
 
 from repro.network.collectives import CollectiveCosts

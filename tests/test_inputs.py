@@ -5,7 +5,6 @@ import pytest
 from repro.apps import ALL_APPS, get_app
 from repro.apps.inputs import INPUT_SETS, get_input, inputs_for, inputs_table
 from repro.apps.openifs import OpenIFSModel
-from repro.machine import cte_arm
 from repro.util.errors import ConfigurationError
 
 

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse.linalg as spla
 
 from repro.kernels.cg import conjugate_gradient
 from repro.kernels.fem import (

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.kernels.cg import cg_flops_per_iteration, conjugate_gradient
 from repro.kernels.fpu import fma_chain, measure_fma_throughput

@@ -11,12 +11,10 @@ from repro.machine import (
     SCALAR,
     SVE512,
     CacheHierarchy,
-    CacheLevel,
     CoreModel,
     DType,
     ExecMode,
     MemoryModel,
-    NUMADomain,
     cte_arm,
     get_preset,
     lanes,

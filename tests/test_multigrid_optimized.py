@@ -4,7 +4,6 @@ axis realized in actual code."""
 import time
 
 import numpy as np
-import pytest
 
 from repro.kernels.multigrid import (
     color_grid,

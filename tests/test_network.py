@@ -6,8 +6,6 @@ import pytest
 from repro.network import (
     FatTreeTopology,
     FaultModel,
-    LinkModel,
-    NetworkModel,
     TorusTopology,
     network_for,
     tofu_d,

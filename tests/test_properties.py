@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
-import math
 
 import numpy as np
 import pytest
@@ -12,7 +11,7 @@ from repro.kernels.lu import blocked_lu, hpl_residual, lu_solve
 from repro.kernels.stencil import decompose
 from repro.network.linkmodel import TOFUD_LINK
 from repro.network.torus import TorusTopology
-from repro.util.stats import RunningStats, summarize
+from repro.util.stats import summarize
 from repro.util.units import parse_size
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.simmpi import RankMapping, ReduceOp, Request, World
+from repro.simmpi import RankMapping, ReduceOp, World
 from repro.util.errors import ConfigurationError
 
 

@@ -1,6 +1,5 @@
 """Statistics helpers: Welford accumulator, means, bimodality."""
 
-import math
 
 import numpy as np
 import pytest

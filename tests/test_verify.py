@@ -1,0 +1,404 @@
+"""The verify subsystem: one test per rule family, plus clean-run checks."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.miniapps import stencil_miniapp
+from repro.harness.cli import main as cli_main
+from repro.simmpi import RankMapping, ReduceOp, VirtualPayload, World
+from repro.smp.binding import ThreadPlacement
+from repro.smp.pages import PagePolicy
+from repro.toolchain.compiler import CompilerProfile
+from repro.toolchain.kernels import KernelClass
+from repro.toolchain.profiles import FUJITSU_1_2_26B, GNU_8_3_1_SVE
+from repro.util.errors import DeadlockError
+from repro.verify import (
+    CommRecorder,
+    Severity,
+    advise_build,
+    advise_kernel,
+    check_collectives,
+    check_mapping,
+    check_oversubscription,
+    check_placements,
+    verify_app,
+)
+
+
+@pytest.fixture()
+def two_rank_world(arm_small):
+    return World(RankMapping(arm_small, n_nodes=2, ranks_per_node=1))
+
+
+def rules_of(diags):
+    return [d.rule_id for d in diags]
+
+
+# ---------------------------------------------------------------------------
+# MPI checker: message matching
+# ---------------------------------------------------------------------------
+
+
+class TestUnmatchedMessages:
+    def test_unmatched_send_reported(self, two_rank_world):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, b"orphan", tag=3)
+            else:
+                yield from comm.compute(1e-6)
+
+        res = two_rank_world.run(program, verify=True)
+        assert rules_of(res.diagnostics) == ["MPI001"]
+        diag = res.diagnostics.diagnostics[0]
+        assert diag.details["source"] == 0 and diag.details["dest"] == 1
+        assert diag.details["tag"] == 3
+
+    def test_unmatched_recv_reported(self, two_rank_world):
+        def program(comm):
+            if comm.rank == 1:
+                comm.irecv(0, tag=4)  # posted, never satisfied, never waited
+            yield from comm.compute(1e-6)
+
+        res = two_rank_world.run(program, verify=True)
+        assert rules_of(res.diagnostics) == ["MPI002"]
+
+    def test_tag_mismatch_reported_as_one_finding(self, two_rank_world):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, b"x", tag=1)
+            else:
+                comm.irecv(0, tag=2)  # wrong tag; never completes
+                yield from comm.compute(1e-6)
+
+        res = two_rank_world.run(program, verify=True)
+        assert rules_of(res.diagnostics) == ["MPI003"]
+        diag = res.diagnostics.diagnostics[0]
+        assert diag.details["send_tag"] == 1
+        assert diag.details["recv_tag"] == 2
+
+    def test_matched_traffic_is_clean(self, small_world):
+        def program(comm):
+            partner = comm.rank ^ 1
+            got = yield from comm.sendrecv(partner, comm.rank, tag=7)
+            total = yield from comm.allreduce(float(got), op=ReduceOp.SUM)
+            return total
+
+        res = small_world.run(program, verify=True)
+        assert len(res.diagnostics) == 0
+        assert res.diagnostics.clean
+
+
+# ---------------------------------------------------------------------------
+# MPI checker: collective agreement
+# ---------------------------------------------------------------------------
+
+
+class TestCollectiveAgreement:
+    def test_root_disagreement(self, two_rank_world):
+        def program(comm):
+            # Each rank believes itself the root: both send, nobody hangs,
+            # but the collective is wrong.
+            yield from comm.bcast(b"data", root=comm.rank)
+
+        res = two_rank_world.run(program, verify=True)
+        assert "MPI005" in rules_of(res.diagnostics)
+
+    def test_size_divergence(self, two_rank_world):
+        def program(comm):
+            nbytes = 8 if comm.rank == 0 else 16
+            yield from comm.allreduce(VirtualPayload(nbytes), size=nbytes)
+
+        res = two_rank_world.run(program, verify=True)
+        assert "MPI006" in rules_of(res.diagnostics)
+
+    def test_op_divergence_at_index(self):
+        rec = CommRecorder()
+        rec.record_collective(0, "allreduce", 0, "main")
+        rec.record_collective(1, "allreduce", 0, "main")
+        rec.record_collective(0, "barrier", 0, "main")
+        rec.record_collective(1, "bcast", 0, "main", root=0)
+        diags = check_collectives(rec)
+        assert rules_of(diags) == ["MPI004"]
+        assert diags[0].details["index"] == 1
+        assert diags[0].details["ops"] == {0: "barrier", 1: "bcast"}
+
+    def test_count_divergence(self):
+        rec = CommRecorder()
+        rec.record_collective(0, "barrier", 0, "main")
+        rec.record_collective(1, "barrier", 0, "main")
+        rec.record_collective(0, "barrier", 0, "main")
+        diags = check_collectives(rec)
+        assert rules_of(diags) == ["MPI004"]
+        assert diags[0].details["counts"] == {0: 2, 1: 1}
+
+    def test_agreeing_collectives_clean(self, small_world):
+        def program(comm):
+            yield from comm.barrier()
+            data = yield from comm.bcast(np.arange(4.0), root=0)
+            yield from comm.allreduce(data.sum())
+            sub = yield from comm.split(comm.rank % 2)
+            yield from sub.barrier()
+
+        res = small_world.run(program, verify=True)
+        assert len(res.diagnostics) == 0
+
+
+# ---------------------------------------------------------------------------
+# MPI checker: deadlock postmortem
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlockPostmortem:
+    def test_cycle_reported_with_ranks_and_ops(self, two_rank_world):
+        def program(comm):
+            got = yield from comm.recv(1 - comm.rank, tag=5)
+            yield from comm.send(1 - comm.rank, b"x", tag=5)
+            return got
+
+        with pytest.raises(DeadlockError) as exc_info:
+            two_rank_world.run(program, verify=True)
+        report = exc_info.value.diagnostics
+        assert report is not None
+        assert rules_of(report) == ["MPI007"]
+        cycle = report.diagnostics[0]
+        assert sorted(cycle.details["cycle_ranks"]) == [0, 1]
+        assert cycle.details["tags"] == [5, 5]
+        # The rendered message names both blocked ranks and the operation.
+        assert "rank 0 waits" in str(exc_info.value)
+        assert "rank 1 waits" in str(exc_info.value)
+
+    def test_blocked_without_cycle_names_missing_sender(self, two_rank_world):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.recv(1, tag=9)
+
+        with pytest.raises(DeadlockError) as exc_info:
+            two_rank_world.run(program, verify=True)
+        report = exc_info.value.diagnostics
+        assert rules_of(report) == ["MPI008"]
+        assert "ran to completion" in report.diagnostics[0].message
+
+    def test_without_verify_error_stays_bare(self, two_rank_world):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.recv(1, tag=9)
+
+        with pytest.raises(DeadlockError) as exc_info:
+            two_rank_world.run(program)
+        assert exc_info.value.diagnostics is None
+
+    def test_three_rank_cycle(self, arm_small):
+        world = World(RankMapping(arm_small, n_nodes=3, ranks_per_node=1))
+
+        def program(comm):
+            # 0 <- 1 <- 2 <- 0 ring of blocking receives.
+            yield from comm.recv((comm.rank + 1) % 3, tag=1)
+            yield from comm.send((comm.rank - 1) % 3, b"x", tag=1)
+
+        with pytest.raises(DeadlockError) as exc_info:
+            world.run(program, verify=True)
+        cycle = exc_info.value.diagnostics.diagnostics[0]
+        assert cycle.rule_id == "MPI007"
+        assert sorted(cycle.details["cycle_ranks"]) == [0, 1, 2]
+
+    def test_collective_deadlock_labeled(self, two_rank_world):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.barrier()
+            else:
+                yield from comm.compute(1e-6)
+
+        with pytest.raises(DeadlockError) as exc_info:
+            two_rank_world.run(program, verify=True)
+        report = exc_info.value.diagnostics
+        assert report is not None
+        assert any("barrier" in d.message for d in report)
+
+
+# ---------------------------------------------------------------------------
+# SMP / placement lint
+# ---------------------------------------------------------------------------
+
+
+class TestPlacementLint:
+    def test_oversubscription_raw_counts(self, arm_small):
+        node = arm_small.node
+        diags = check_oversubscription(node, ranks_per_node=8,
+                                       threads_per_rank=8)
+        assert rules_of(diags) == ["SMP001"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_oversubscription_overlapping_placements(self, arm_small):
+        node = arm_small.node
+        placements = [
+            ThreadPlacement(node, (0, 1, 2)),
+            ThreadPlacement(node, (2, 3, 4)),  # core 2 pinned twice
+        ]
+        diags = check_placements(node, placements)
+        assert rules_of(diags) == ["SMP001"]
+        assert diags[0].details["core"] == 2
+
+    def test_domain_spill_warning(self, arm_small):
+        # 6 ranks x 8 threads on a 48-core node: blocks of 8 cross the
+        # 12-core CMG boundaries although 8 threads fit inside one CMG.
+        m = RankMapping(arm_small, n_nodes=1, ranks_per_node=6,
+                        threads_per_rank=8)
+        diags = check_mapping(m)
+        assert rules_of(diags) == ["SMP002", "SMP002"]  # ranks 1 and 4 spill
+        spill = [d for d in diags if d.rule_id == "SMP002"]
+        assert all(d.severity is Severity.WARNING for d in spill)
+
+    def test_prepage_on_openmp_run_fig2_trap(self, arm_small):
+        m = RankMapping(arm_small, n_nodes=1, ranks_per_node=1,
+                        threads_per_rank=48)
+        diags = check_mapping(m, policy=PagePolicy.PREPAGE_INTERLEAVE)
+        trap = [d for d in diags if d.rule_id == "SMP003"]
+        assert len(trap) == 1
+        assert "XOS_MMM_L_PAGING_POLICY=demand" in trap[0].hint
+
+    def test_first_touch_hybrid_is_quiet(self, arm_small):
+        # The paper's per-CMG hybrid pinning: nothing to complain about.
+        m = RankMapping(arm_small, n_nodes=1, ranks_per_node=4,
+                        threads_per_rank=12)
+        diags = check_mapping(m, policy=PagePolicy.FIRST_TOUCH)
+        assert diags == []
+
+    def test_uneven_rank_count(self, arm_small):
+        m = RankMapping(arm_small, n_nodes=1, ranks_per_node=5,
+                        threads_per_rank=1)
+        diags = check_mapping(m)
+        assert "SMP004" in rules_of(diags)
+        assert "SMP005" in rules_of(diags)  # 5 cores of 48 used
+
+
+# ---------------------------------------------------------------------------
+# Vectorization advisor
+# ---------------------------------------------------------------------------
+
+
+class TestVectorizationAdvisor:
+    def test_scalar_fallback_irregular(self):
+        diags = advise_kernel(GNU_8_3_1_SVE, KernelClass.FEM_ASSEMBLY)
+        assert rules_of(diags) == ["VEC001"]
+        assert "gather/scatter" in diags[0].message
+
+    def test_gnu_sve_gap(self):
+        diags = advise_kernel(GNU_8_3_1_SVE, KernelClass.SCALAR_PHYSICS)
+        assert rules_of(diags) == ["VEC002"]
+
+    def test_partial_vectorization(self):
+        diags = advise_kernel(GNU_8_3_1_SVE, KernelClass.STENCIL)
+        assert rules_of(diags) == ["VEC005"]
+
+    def test_uncovered_class_scalar(self):
+        bare = CompilerProfile(name="Toy", version="0", family="gnu",
+                               target_isa="SVE")
+        diags = advise_kernel(bare, KernelClass.STREAM)
+        assert rules_of(diags) == ["VEC003"]
+
+    def test_good_vectorization_silent_unless_asked(self):
+        assert advise_kernel(GNU_8_3_1_SVE, KernelClass.STREAM) == []
+        ok = advise_kernel(GNU_8_3_1_SVE, KernelClass.STREAM, include_ok=True)
+        assert rules_of(ok) == ["VEC007"]
+
+    def test_io_has_nothing_to_vectorize(self):
+        assert advise_kernel(GNU_8_3_1_SVE, KernelClass.IO) == []
+
+    def test_deployment_failure_reported(self):
+        diags = advise_build(FUJITSU_1_2_26B, (KernelClass.FEM_ASSEMBLY,),
+                             application="alya")
+        assert rules_of(diags) == ["VEC006"]  # compile hang: nothing built
+        assert "hangs" in diags[0].message
+
+    def test_runtime_failure_still_advises_kernels(self):
+        diags = advise_build(FUJITSU_1_2_26B, (KernelClass.FEM_ASSEMBLY,),
+                             application="openifs")
+        assert rules_of(diags) == ["VEC006", "VEC005"]
+        assert "aborts" in diags[0].message
+
+    def test_alternatives_name_better_compilers(self):
+        diags = advise_kernel(GNU_8_3_1_SVE, KernelClass.FEM_ASSEMBLY)
+        assert "Fujitsu/1.2.26b" in diags[0].details["alternatives"]
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: runner, CLI, clean programs
+# ---------------------------------------------------------------------------
+
+
+class TestVerifyRunner:
+    def test_clean_miniapp_zero_mpi_diagnostics(self, small_world):
+        res = small_world.run(stencil_miniapp, global_shape=(32, 32),
+                              steps=3, verify=True)
+        assert res.diagnostics is not None
+        assert len(res.diagnostics) == 0
+        assert res.diagnostics.clean
+
+    def test_verify_app_wrf(self):
+        report = verify_app("wrf", cluster="cte-arm", n_nodes=2)
+        # The dynamic MPI check of the bundled app must come back clean...
+        assert not report.errors
+        # ...while the advisor explains the GNU-SVE scalar fallback.
+        assert any(d.rule_id.startswith("VEC") for d in report)
+
+    def test_verify_app_alya_reports_fujitsu_hang(self):
+        report = verify_app("alya", cluster="cte-arm", dynamic=False)
+        vec6 = report.by_rule("VEC006")
+        assert vec6 and "alya" in vec6[0].message.lower()
+
+    def test_json_roundtrip(self):
+        report = verify_app("wrf", cluster="cte-arm", n_nodes=2,
+                            dynamic=False)
+        payload = json.loads(report.to_json())
+        assert payload["title"].startswith("wrf")
+        assert isinstance(payload["diagnostics"], list)
+        for diag in payload["diagnostics"]:
+            assert {"rule", "severity", "message", "hint"} <= set(diag)
+
+    def test_cli_verify_text(self, capsys):
+        code = cli_main(["verify", "wrf", "--nodes", "2", "--static-only"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== verify: wrf" in out
+
+    def test_cli_verify_json(self, capsys):
+        code = cli_main(["verify", "wrf", "--nodes", "2", "--static-only",
+                         "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["counts"]["error"] == 0
+
+    def test_cli_verify_prepage_warns(self, capsys):
+        cli_main(["verify", "wrf", "--nodes", "2", "--static-only",
+                  "--page-policy", "prepage-interleave"])
+        out = capsys.readouterr().out
+        # WRF is MPI-only (48x1): single-domain ranks, so no SMP003; the
+        # policy plumbing is exercised without false positives.
+        assert "SMP003" not in out
+
+
+class TestPhaseTimeMatching:
+    def test_phase_prefix_no_longer_conflates(self, two_rank_world):
+        def program(comm):
+            comm.set_phase("solver")
+            yield from comm.compute(0.25)
+            comm.set_phase("solver_setup")
+            yield from comm.compute(1.0)
+
+        res = two_rank_world.run(program)
+        # Before the fix, "solver" matched "solver_setup:compute" too and
+        # reported 1.25.
+        assert res.phase_time("solver") == pytest.approx(0.25)
+        assert res.phase_time("solver_setup") == pytest.approx(1.0)
+
+    def test_exact_subphase_still_matches(self, two_rank_world):
+        def program(comm):
+            comm.set_phase("step")
+            yield from comm.compute(0.5, label="kernel")
+
+        res = two_rank_world.run(program)
+        assert res.phase_time("step:kernel") == pytest.approx(0.5)
+        assert res.phase_time("step") == pytest.approx(0.5)
