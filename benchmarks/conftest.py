@@ -3,9 +3,31 @@
 Each benchmark regenerates one paper table/figure through the models and
 asserts its headline shape, so ``pytest benchmarks/ --benchmark-only``
 doubles as the full reproduction run with timings.
+
+The suite does not *require* pytest-benchmark: without the plugin a
+minimal stand-in fixture runs each benchmarked callable once and returns
+its result, so the correctness assertions still execute (no timing
+statistics are collected).
 """
 
+import importlib.util
+import os
+
 import pytest
+
+if (
+    importlib.util.find_spec("pytest_benchmark") is None
+    or os.environ.get("PYTEST_DISABLE_PLUGIN_AUTOLOAD")
+):
+
+    @pytest.fixture
+    def benchmark():
+        """Plugin-free stand-in: call the function once, return its result."""
+
+        def run(fn, *args, **kwargs):
+            return fn(*args, **kwargs)
+
+        return run
 
 
 @pytest.fixture(scope="session")

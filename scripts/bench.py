@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Measure the simulation substrate and write ``BENCH_substrate.json``.
+
+Covers the three layers the perf work targets:
+
+* DES engine event throughput (events/second);
+* a 64-rank allreduce campaign, simulated vs analytic fast collectives;
+* the full figure/table experiment suite — serial, with ``--jobs N``
+  worker processes, and a cached re-run through the on-disk result cache.
+
+Numbers are wall-clock on the current host; the parallel speedup scales
+with available cores (a single-core container shows the fan-out overhead,
+not a speedup — the cache row is the repeat-run win there).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py [--quick] [--jobs N] [--out F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def best_of(fn, reps: int) -> float:
+    """Minimum wall time of ``reps`` calls (seconds)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_des_engine(reps: int, n_events: int) -> dict:
+    from repro.des import Engine
+
+    def run() -> None:
+        eng = Engine()
+
+        def ticker():
+            for _ in range(n_events):
+                yield eng.timeout(1e-6)
+
+        eng.process(ticker())
+        eng.run()
+
+    seconds = best_of(run, reps)
+    return {
+        "events": n_events,
+        "best_seconds": seconds,
+        "events_per_second": n_events / seconds,
+    }
+
+
+def bench_allreduce(reps: int, iterations: int) -> dict:
+    from repro.machine import cte_arm
+    from repro.simmpi import RankMapping, ReduceOp, World
+
+    cluster = cte_arm(16)
+
+    def program(comm):
+        total = 0.0
+        for _ in range(iterations):
+            total = yield from comm.allreduce(
+                total + comm.rank, op=ReduceOp.SUM, size=8
+            )
+        return total
+
+    def run(fast: bool) -> tuple[float, float]:
+        mapping = RankMapping(cluster, n_nodes=16, ranks_per_node=4)
+        world = World(mapping, fast_collectives=fast, trace="off")
+        t0 = time.perf_counter()
+        result = world.run(program)
+        return time.perf_counter() - t0, result.elapsed
+
+    sim_wall = min(run(False)[0] for _ in range(reps))
+    fast_wall = min(run(True)[0] for _ in range(reps))
+    sim_elapsed = run(False)[1]
+    fast_elapsed = run(True)[1]
+    return {
+        "ranks": 64,
+        "iterations": iterations,
+        "simulated_wall_seconds": sim_wall,
+        "fast_wall_seconds": fast_wall,
+        "speedup": sim_wall / fast_wall,
+        "virtual_elapsed_simulated": sim_elapsed,
+        "virtual_elapsed_fast": fast_elapsed,
+        "virtual_elapsed_relative_error": abs(fast_elapsed - sim_elapsed)
+        / sim_elapsed,
+    }
+
+
+def bench_figure_suite(jobs: int) -> dict:
+    from repro.harness.experiment import list_experiments
+    from repro.harness.parallel import run_experiments
+
+    ids = list_experiments()
+
+    t0 = time.perf_counter()
+    serial = run_experiments(ids, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fanout = run_experiments(ids, jobs=jobs)
+    fanout_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as cache:
+        run_experiments(ids, jobs=1, cache_dir=cache)  # populate
+        t0 = time.perf_counter()
+        cached = run_experiments(ids, jobs=1, cache_dir=cache)
+        cached_s = time.perf_counter() - t0
+
+    assert serial == fanout == cached, "executor output must be deterministic"
+    return {
+        "experiments": len(ids),
+        "jobs": jobs,
+        "serial_seconds": serial_s,
+        "parallel_seconds": fanout_s,
+        "parallel_speedup": serial_s / fanout_s,
+        "cached_rerun_seconds": cached_s,
+        "cached_speedup": serial_s / cached_s,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="output path (default: BENCH_substrate.json "
+                        "at the repo root)")
+    parser.add_argument("--jobs", type=int, default=min(4, os.cpu_count() or 1),
+                        help="worker processes for the figure-suite row")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repetitions (smoke-test mode)")
+    args = parser.parse_args(argv)
+
+    reps = 2 if args.quick else 5
+    events = 20_000 if args.quick else 100_000
+    iterations = 5 if args.quick else 20
+
+    report = {
+        "des_engine": bench_des_engine(reps, events),
+        "allreduce_64_ranks": bench_allreduce(reps, iterations),
+        "figure_suite": bench_figure_suite(args.jobs),
+    }
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+    )
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    des = report["des_engine"]
+    coll = report["allreduce_64_ranks"]
+    suite = report["figure_suite"]
+    print(f"DES engine:   {des['events_per_second']:,.0f} events/s")
+    print(f"allreduce 64: fast collectives {coll['speedup']:.2f}x wall "
+          f"(virtual-time rel err {coll['virtual_elapsed_relative_error']:.2e})")
+    print(f"figure suite: serial {suite['serial_seconds']:.2f}s, "
+          f"--jobs {suite['jobs']} {suite['parallel_seconds']:.2f}s "
+          f"({suite['parallel_speedup']:.2f}x on {suite['cpu_count']} cpu), "
+          f"cached rerun {suite['cached_rerun_seconds']:.2f}s "
+          f"({suite['cached_speedup']:.1f}x)")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,10 @@ if [ "$fast" -eq 0 ]; then
     if ! PYTHONPATH=src python -m pytest -x -q; then
         status=1
     fi
+    echo "== bench smoke =="
+    if ! python scripts/bench.py --quick --out "$(mktemp -d)/BENCH_substrate.json" 2>/dev/null; then
+        status=1
+    fi
 fi
 
 [ -n "$skipped" ] && echo "skipped (not installed):$skipped"

@@ -15,6 +15,7 @@ import numpy as np
 from repro.machine.presets import cte_arm
 from repro.network.model import NetworkModel, network_for
 from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
 
 #: message sizes swept in Fig. 5: powers of two, 1 B .. 16 MiB.
 FIG5_SIZES = [2**k for k in range(0, 25)]
@@ -49,15 +50,19 @@ def bandwidth_distribution(
     """Per-size arrays of all-pairs bandwidth samples (Fig. 5's histogram).
 
     ``max_pairs`` subsamples the 192*191 ordered pairs deterministically to
-    keep sweeps fast; ``None`` uses every pair.
+    keep sweeps fast; ``None`` uses every pair.  The subsample is drawn
+    from the repo-wide seeding discipline (:func:`repro.util.rng.make_rng`
+    namespaced by campaign and fabric size) and kept in canonical pair
+    order, so the same ``(seed, n, max_pairs)`` always yields the same
+    sample arrays — across runs and worker processes.
     """
     sizes = FIG5_SIZES if sizes is None else sizes
     n = network.n_nodes
     pairs = [(a, b) for a in range(n) for b in range(n) if a != b]
     if max_pairs is not None and len(pairs) > max_pairs:
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed, "osu-pairs", n, max_pairs)
         idx = rng.choice(len(pairs), size=max_pairs, replace=False)
-        pairs = [pairs[i] for i in idx]
+        pairs = [pairs[i] for i in np.sort(idx)]
     out: dict[int, np.ndarray] = {}
     for size in sizes:
         out[size] = np.array(
@@ -187,8 +192,8 @@ def fig4_data(*, n_nodes: int = 192, healthy: bool = False) -> np.ndarray:
 
 
 def fig5_data(
-    *, n_nodes: int = 192, max_pairs: int | None = 2000
+    *, n_nodes: int = 192, max_pairs: int | None = 2000, seed: int = 7
 ) -> dict[int, np.ndarray]:
     """Per-size bandwidth distributions on CTE-Arm."""
     network = network_for(cte_arm(n_nodes), n_nodes=n_nodes)
-    return bandwidth_distribution(network, max_pairs=max_pairs)
+    return bandwidth_distribution(network, max_pairs=max_pairs, seed=seed)

@@ -12,7 +12,7 @@ programs while the clock advances according to the hardware models.
 
 from repro.des.engine import Engine, Event, Process, Timeout
 from repro.des.resources import Resource, Channel, AllOf, AnyOf
-from repro.des.trace import TraceRecorder, TraceRecord
+from repro.des.trace import TraceRecorder, TraceRecord, phase_matches
 
 __all__ = [
     "Engine",
@@ -25,4 +25,5 @@ __all__ = [
     "AnyOf",
     "TraceRecorder",
     "TraceRecord",
+    "phase_matches",
 ]

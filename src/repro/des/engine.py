@@ -11,11 +11,25 @@ Design notes
 * Deadlock is an error, not a hang: if live processes remain but the
   calendar is empty, :class:`~repro.util.errors.DeadlockError` is raised —
   this is how mismatched sends/receives in simulated MPI programs surface.
+
+Hot-path notes
+--------------
+The engine is the substrate under every simulated campaign, so its inner
+loop is tuned for allocation economy rather than generality:
+
+* ``Event.callbacks`` is polymorphic — ``None`` (no waiters), a bare
+  callable (one waiter, the overwhelmingly common case), or a list.  Use
+  :meth:`Event.add_callback`; most events never allocate a waiter list.
+* Each :class:`Process` owns one reusable :class:`_Resume` heap entry used
+  for its bootstrap, for bare-``yield <seconds>`` delays, and for resuming
+  off already-resolved events — none of those paths allocate an Event.
+* :class:`Timeout` skips label formatting; labels are for error messages
+  and debugging only.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable
 
 from repro.util.errors import DeadlockError, SimulationError
@@ -36,7 +50,8 @@ class Event:
 
     def __init__(self, engine: "Engine", label: str = ""):
         self.engine = engine
-        self.callbacks: list[Callable[[Event], None]] = []
+        #: ``None`` | one callable | list of callables (see module notes).
+        self.callbacks: Any = None
         self._value: Any = None
         self._ok: bool = True
         self._triggered = False
@@ -52,6 +67,16 @@ class Event:
         if not self._triggered:
             raise SimulationError(f"event {self.label!r} read before trigger")
         return self._value
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb(event)`` to run when this event resolves."""
+        cbs = self.callbacks
+        if cbs is None:
+            self.callbacks = cb
+        elif type(cbs) is list:
+            cbs.append(cb)
+        else:
+            self.callbacks = [cbs, cb]
 
     def succeed(self, value: Any = None) -> "Event":
         """Schedule this event to fire now with ``value``."""
@@ -75,9 +100,15 @@ class Event:
 
     def _resolve(self) -> None:
         self._resolved = True
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        cbs = self.callbacks
+        if cbs is None:
+            return
+        self.callbacks = None
+        if type(cbs) is list:
+            for cb in cbs:
+                cb(self)
+        else:
+            cbs(self)
 
 
 class Timeout(Event):
@@ -88,10 +119,37 @@ class Timeout(Event):
     def __init__(self, engine: "Engine", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout {delay}")
-        super().__init__(engine, label=f"timeout({delay:g})")
-        self._triggered = True  # a timeout cannot be succeeded externally
+        # Inlined Event.__init__ without per-event label formatting.
+        self.engine = engine
+        self.callbacks = None
         self._value = value
-        engine._schedule(engine.now + delay, self)
+        self._ok = True
+        self._triggered = True  # a timeout cannot be succeeded externally
+        self._resolved = False
+        self.label = "timeout"
+        # Inlined engine._schedule (delay >= 0 means `at` is never in the past).
+        engine._seq = seq = engine._seq + 1
+        heappush(engine._heap, (engine._now + delay, seq, self))
+
+
+class _Resume:
+    """A process's reusable heap entry (boot, bare delays, late waits).
+
+    A process has at most one outstanding wait, so one instance per process
+    can stand in for the throwaway Events the engine would otherwise
+    allocate for its bootstrap, for every ``yield <seconds>``, and for
+    resuming off an event that already ran its callbacks.
+    """
+
+    __slots__ = ("process", "_value", "_ok")
+
+    def __init__(self, process: "Process"):
+        self.process = process
+        self._value: Any = None
+        self._ok = True
+
+    def _resolve(self) -> None:
+        self.process._step(self)
 
 
 ProcessGen = Generator[Any, Any, Any]
@@ -104,19 +162,17 @@ class Process(Event):
     ``yield`` other processes to join them.
     """
 
-    __slots__ = ("generator",)
+    __slots__ = ("generator", "_resume")
 
     def __init__(self, engine: "Engine", generator: ProcessGen, label: str = ""):
         super().__init__(engine, label=label or getattr(generator, "__name__", "proc"))
         self.generator = generator
         engine._live += 1
-        # Bootstrap at the current time.
-        boot = Event(engine, label=f"start:{self.label}")
-        boot.callbacks.append(self._step)
-        boot._triggered = True
-        engine._schedule(engine.now, boot)
+        # Bootstrap at the current time through the reusable resume entry.
+        self._resume = resume = _Resume(self)
+        engine._schedule(engine._now, resume)
 
-    def _step(self, trigger: Event) -> None:
+    def _step(self, trigger: Any) -> None:
         engine = self.engine
         try:
             if trigger._ok:
@@ -129,12 +185,21 @@ class Process(Event):
             return
         except BaseException as exc:
             engine._live -= 1
-            if self.callbacks:
+            if self.callbacks is not None:
                 super().fail(exc)
                 return
             raise
-        if isinstance(target, (int, float)):
-            target = Timeout(engine, float(target))
+        cls = target.__class__
+        if cls is float or cls is int:
+            # Bare-delay fast path: no Timeout, no callback registration.
+            if target < 0:
+                raise SimulationError(f"negative timeout {target}")
+            resume = self._resume
+            resume._value = None
+            resume._ok = True
+            engine._seq = seq = engine._seq + 1
+            heappush(engine._heap, (engine._now + target, seq, resume))
+            return
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.label!r} yielded {type(target).__name__}, "
@@ -143,14 +208,15 @@ class Process(Event):
         if target._resolved:
             # The event already fired and ran its callbacks; a late waiter
             # must be resumed explicitly or it would sleep forever.
-            resume = Event(engine, label=f"resume:{self.label}")
-            resume._triggered = True
+            resume = self._resume
             resume._value = target._value
             resume._ok = target._ok
-            resume.callbacks.append(self._step)
-            engine._schedule(engine.now, resume)
+            engine._seq = seq = engine._seq + 1
+            heappush(engine._heap, (engine._now, seq, resume))
+        elif target.callbacks is None:
+            target.callbacks = self._step
         else:
-            target.callbacks.append(self._step)
+            target.add_callback(self._step)
 
 
 class Engine:
@@ -158,7 +224,7 @@ class Engine:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, Any]] = []
         self._seq = 0
         self._live = 0  # processes started and not yet finished
 
@@ -169,11 +235,11 @@ class Engine:
 
     # -- scheduling ---------------------------------------------------------
 
-    def _schedule(self, at: float, event: Event) -> None:
+    def _schedule(self, at: float, event: Any) -> None:
         if at < self._now:
             raise SimulationError(f"cannot schedule event in the past ({at} < {self._now})")
         self._seq += 1
-        heapq.heappush(self._heap, (at, self._seq, event))
+        heappush(self._heap, (at, self._seq, event))
 
     def _dispatch(self, event: Event) -> None:
         """Queue an externally triggered event at the current time."""
@@ -197,14 +263,20 @@ class Engine:
         Returns the final virtual time.  Raises DeadlockError if processes
         remain alive with nothing scheduled.
         """
-        while self._heap:
-            at, _, event = self._heap[0]
-            if until is not None and at > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._heap)
-            self._now = at
-            event._resolve()
+        heap = self._heap
+        if until is None:
+            while heap:
+                at, _, event = heappop(heap)
+                self._now = at
+                event._resolve()
+        else:
+            while heap:
+                if heap[0][0] > until:
+                    self._now = until
+                    return until
+                at, _, event = heappop(heap)
+                self._now = at
+                event._resolve()
         if self._live > 0:
             raise DeadlockError(
                 f"{self._live} process(es) blocked forever at t={self._now:g}s "

@@ -158,7 +158,7 @@ class AnyOf(Event):
                 fired = True
         if not fired:
             for idx, ev in enumerate(self._events):
-                ev.callbacks.append(self._make_callback(idx))
+                ev.add_callback(self._make_callback(idx))
 
     def _make_callback(self, idx: int):
         def on_child(child: Event) -> None:
@@ -187,7 +187,7 @@ class AllOf(Event):
         for ev in self._events:
             if not ev._resolved:
                 self._remaining += 1
-                ev.callbacks.append(self._on_child)
+                ev.add_callback(self._on_child)
         if self._remaining == 0:
             self.succeed([ev._value for ev in self._events])
 

@@ -4,12 +4,44 @@ A :class:`TraceRecorder` collects (time, actor, phase, duration, detail)
 records; the analysis layer aggregates them into per-phase timings — this is
 how the Alya Assembly/Solver split (Figs. 9-10) is measured, mirroring the
 paper's use of the application's internal timers.
+
+Aggregation is indexed: per-(phase, actor) totals accumulate at
+:meth:`TraceRecorder.record` time, so ``total_time``/``per_actor``/
+``slowest_actor`` never scan the record list.  Three modes trade retention
+for speed:
+
+* ``"full"`` (default) — keep every :class:`TraceRecord` and the totals;
+* ``"aggregate"`` — keep only the totals (big campaigns, no per-record
+  retention; iteration and ``len()`` see an empty record list);
+* ``"off"`` — record nothing.
+
+Phase names form a hierarchy under the ``:`` separator (``comm.set_phase``
+names the phase, operations append ``:send``/``:compute``/... suffixes);
+:func:`phase_matches` is the one matching rule every aggregation helper
+shares, so e.g. querying ``solver`` includes ``solver:allreduce`` but never
+the distinct phase ``solver_setup``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from repro.util.errors import ConfigurationError
+
+#: Separator of the phase hierarchy (``phase:subphase``).
+PHASE_SEP = ":"
+
+_MODES = ("full", "aggregate", "off")
+
+
+def phase_matches(record_phase: str, query: str) -> bool:
+    """True when ``record_phase`` is ``query`` or a sub-phase under it.
+
+    Exact-or-``phase:``-prefix semantics: a plain prefix match would
+    conflate e.g. ``solver`` with ``solver_setup``.
+    """
+    return record_phase == query or record_phase.startswith(query + PHASE_SEP)
 
 
 @dataclass(frozen=True)
@@ -29,15 +61,35 @@ class TraceRecord:
 
 @dataclass
 class TraceRecorder:
-    """Append-only trace with per-phase aggregation helpers."""
+    """Append-only trace with indexed per-phase aggregation helpers."""
 
     enabled: bool = True
     records: list[TraceRecord] = field(default_factory=list)
+    #: ``"full"`` | ``"aggregate"`` | ``"off"`` (see module docstring).
+    mode: str = "full"
+    #: (phase, actor) -> summed duration, maintained at record() time.
+    _totals: dict[tuple[str, str], float] = field(
+        default_factory=dict, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigurationError(
+                f"unknown trace mode {self.mode!r}; choose from {_MODES}"
+            )
+        if not self.enabled:
+            self.mode = "off"
 
     def record(
         self, start: float, duration: float, actor: str, phase: str, detail: str = ""
     ) -> None:
-        if self.enabled:
+        mode = self.mode
+        if mode == "off" or not self.enabled:
+            return
+        key = (phase, actor)
+        totals = self._totals
+        totals[key] = totals.get(key, 0.0) + duration
+        if mode == "full":
             self.records.append(TraceRecord(start, duration, actor, phase, detail))
 
     def __len__(self) -> int:
@@ -47,22 +99,23 @@ class TraceRecorder:
         return iter(self.records)
 
     def phases(self) -> set[str]:
-        return {r.phase for r in self.records}
+        return {phase for phase, _actor in self._totals}
 
     def total_time(self, phase: str, actor: str | None = None) -> float:
-        """Summed duration of a phase (optionally for one actor)."""
+        """Summed duration of a phase and its sub-phases (optionally for
+        one actor)."""
         return sum(
-            r.duration
-            for r in self.records
-            if r.phase == phase and (actor is None or r.actor == actor)
+            duration
+            for (p, a), duration in self._totals.items()
+            if phase_matches(p, phase) and (actor is None or a == actor)
         )
 
     def per_actor(self, phase: str) -> dict[str, float]:
-        """Total phase time keyed by actor."""
+        """Total phase (and sub-phase) time keyed by actor."""
         out: dict[str, float] = {}
-        for r in self.records:
-            if r.phase == phase:
-                out[r.actor] = out.get(r.actor, 0.0) + r.duration
+        for (p, a), duration in self._totals.items():
+            if phase_matches(p, phase):
+                out[a] = out.get(a, 0.0) + duration
         return out
 
     def slowest_actor(self, phase: str) -> tuple[str, float]:

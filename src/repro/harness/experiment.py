@@ -66,7 +66,7 @@ class ExperimentResult:
                     "metric": e.metric,
                     "paper": e.paper,
                     "measured": e.measured,
-                    "holds": e.holds,
+                    "holds": bool(e.holds),  # numpy bools are not JSON-safe
                     "note": e.note,
                 }
                 for e in self.expectations
@@ -87,6 +87,8 @@ def _jsonable(value):
     """Coerce table cells to JSON-native types."""
     import numpy as np
 
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):

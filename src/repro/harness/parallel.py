@@ -1,0 +1,124 @@
+"""Parallel sweep executor: fan experiments out over worker processes.
+
+``run_experiments`` executes a list of registered experiments with
+``jobs`` worker processes and returns JSON-safe payloads **in input
+order** regardless of completion order, so ``--jobs 1`` and ``--jobs 8``
+produce byte-identical output.
+
+An optional on-disk cache keyed by ``sha256(experiment id + a content
+hash of the whole ``repro`` source tree)`` makes repeated sweeps free:
+any source edit changes the fingerprint and invalidates every entry, so
+stale results can never be served.  Each payload carries both the
+``to_dict`` form and the pre-rendered text (with and without figures),
+so cache hits serve every CLI output mode without re-running anything.
+
+Speedup scales with available cores; on a single-core host the win
+comes from the cache, not the fan-out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.harness.experiment import run_experiment
+from repro.util.errors import ConfigurationError
+
+#: Environment variable naming the default cache directory.
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+_fingerprint: str | None = None
+
+
+def source_fingerprint() -> str:
+    """Content hash over every ``repro`` source file (computed once)."""
+    global _fingerprint
+    if _fingerprint is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _fingerprint = digest.hexdigest()
+    return _fingerprint
+
+
+def cache_key(exp_id: str) -> str:
+    """Cache file stem for one experiment under the current source tree."""
+    digest = hashlib.sha256(
+        f"{exp_id}\n{source_fingerprint()}".encode()
+    ).hexdigest()
+    return f"{exp_id}-{digest[:16]}"
+
+
+def _run_one(exp_id: str) -> dict:
+    """Worker: run one experiment, return a JSON-safe payload."""
+    import repro.harness  # noqa: F401  (populate REGISTRY in spawned workers)
+
+    result = run_experiment(exp_id)
+    return {
+        "experiment": exp_id,
+        "result": result.to_dict(),
+        "rendered": result.render(include_figure=True),
+        "rendered_no_figure": result.render(include_figure=False),
+    }
+
+
+def resolve_cache_dir(cache_dir: str | os.PathLike | None) -> Path | None:
+    """Explicit argument, else the ``REPRO_CACHE_DIR`` environment
+    variable, else no caching."""
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get(CACHE_ENV)
+    return Path(env) if env else None
+
+
+def run_experiments(
+    exp_ids: list[str],
+    *,
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+) -> list[dict]:
+    """Run experiments and return their payloads in input order.
+
+    ``jobs`` > 1 fans uncached experiments out over that many worker
+    processes.  ``cache_dir`` (or ``$REPRO_CACHE_DIR``) enables the
+    on-disk result cache; ``None`` disables caching entirely.
+    """
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    cache = resolve_cache_dir(cache_dir)
+    payloads: dict[str, dict] = {}
+    missing: list[str] = []
+    for exp_id in exp_ids:
+        if exp_id in payloads or exp_id in missing:
+            continue
+        if cache is not None:
+            path = cache / f"{cache_key(exp_id)}.json"
+            if path.is_file():
+                payloads[exp_id] = json.loads(path.read_text())
+                continue
+        missing.append(exp_id)
+    if missing:
+        if jobs > 1 and len(missing) > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                fresh = list(pool.map(_run_one, missing))
+        else:
+            fresh = [_run_one(exp_id) for exp_id in missing]
+        for exp_id, payload in zip(missing, fresh):
+            payloads[exp_id] = payload
+            if cache is not None:
+                cache.mkdir(parents=True, exist_ok=True)
+                path = cache / f"{cache_key(exp_id)}.json"
+                tmp = path.with_suffix(".tmp")
+                # Preserve key order: reloaded payloads must serialize
+                # byte-identically to fresh ones.
+                tmp.write_text(json.dumps(payload))
+                tmp.replace(path)  # atomic publish; concurrent sweeps race safely
+    return [payloads[exp_id] for exp_id in exp_ids]

@@ -18,13 +18,44 @@ from repro.network.torus import tofu_d
 from repro.util.errors import ConfigurationError
 
 
+#: Entry cap of the per-model (src, dst, size) timing cache.  All-pairs
+#: sweeps over a 192-node fabric at ~30 message sizes stay under it; on
+#: overflow the cache is dropped wholesale (recomputation is cheap, an
+#: eviction policy is not worth the bookkeeping on this hot path).
+_P2P_CACHE_MAX = 1 << 18
+
+
 @dataclass
 class NetworkModel:
-    """Point-to-point timing for one cluster's fabric."""
+    """Point-to-point timing for one cluster's fabric.
+
+    ``p2p_time``/``hops`` memoize per (src, dst, size): topology routing
+    and the LogGP arithmetic are pure in everything but the fault state,
+    so the *pre-fault* base time is cached and the fault factor applied
+    live — mutating :attr:`faults` (``degrade_receiver``/...) takes
+    effect immediately, while rebinding :attr:`topology` or :attr:`link`
+    invalidates the caches.
+    """
 
     topology: Topology
     link: LinkModel
     faults: FaultModel = field(default_factory=FaultModel)
+
+    def __post_init__(self) -> None:
+        self._base_cache: dict[tuple[int, int, int], float] = {}
+        self._hops_cache: dict[tuple[int, int], int] = {}
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        if name in ("topology", "link") and getattr(self, "_base_cache", None) is not None:
+            self.invalidate_caches()
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized hop counts and timings (after in-place edits of
+        the topology or link objects; rebinding the attributes does this
+        automatically)."""
+        self._base_cache.clear()
+        self._hops_cache.clear()
 
     @property
     def n_nodes(self) -> int:
@@ -38,14 +69,20 @@ class NetworkModel:
         message size — that is why Fig. 4 shows the weak node even at
         256 B messages).
         """
-        self.topology.check_node(src)
-        self.topology.check_node(dst)
-        if size <= 0:
-            raise ConfigurationError("message size must be positive")
-        hops = self.topology.hops(src, dst)
-        base = self.link.p2p_time(size, hops, src, dst)
-        factor = self.faults.pair_factor(src, dst)
-        return base / factor
+        cache = self._base_cache
+        key = (src, dst, size)
+        base = cache.get(key)
+        if base is None:
+            self.topology.check_node(src)
+            self.topology.check_node(dst)
+            if size <= 0:
+                raise ConfigurationError("message size must be positive")
+            hops = self.hops(src, dst)
+            base = self.link.p2p_time(size, hops, src, dst)
+            if len(cache) >= _P2P_CACHE_MAX:
+                cache.clear()
+            cache[key] = base
+        return base / self.faults.pair_factor(src, dst)
 
     def sendrecv_time(self, a: int, b: int, size: int) -> float:
         """One MPI_Sendrecv iteration between nodes a and b.
@@ -64,7 +101,12 @@ class NetworkModel:
         return size / self.p2p_time(src, dst, size)
 
     def hops(self, a: int, b: int) -> int:
-        return self.topology.hops(a, b)
+        cache = self._hops_cache
+        key = (a, b)
+        h = cache.get(key)
+        if h is None:
+            h = cache[key] = self.topology.hops(a, b)
+        return h
 
 
 def network_for(

@@ -84,6 +84,8 @@ class Comm:
         self._comm_id = comm_id
         self._phase = "main"
         self._split_seq = 0
+        #: per-communicator collective call counter (fast-path matching).
+        self._coll_seq = 0
 
     # ------------------------------------------------------------------ util
 
@@ -199,7 +201,7 @@ class Comm:
                 label=f"nic-send:{self.rank}->{dest}",
             )
         delivery = world.engine.timeout(t_transfer)
-        delivery.callbacks.append(lambda _ev: deliver())
+        delivery.add_callback(lambda _ev: deliver())
         if not rendezvous:
             return world.engine.timeout(world.send_overhead_s)
         return world.engine.timeout(t_transfer)
@@ -256,6 +258,11 @@ class Comm:
         if p == 1:
             return
         start = self.now
+        world = self.world
+        if world._use_fastcoll():
+            yield from world.fastcoll.participate(self, "barrier", None, {})
+            self._trace(start, "barrier")
+            return
         k = 1
         while k < p:
             dest = (self.rank + k) % p
@@ -274,6 +281,13 @@ class Comm:
         if p == 1:
             return payload
         start = self.now
+        world = self.world
+        if world._use_fastcoll():
+            data = yield from world.fastcoll.participate(
+                self, "bcast", payload, {"root": root, "size": size}
+            )
+            self._trace(start, "bcast")
+            return data
         relative = (self.rank - root) % p
         tag = -1000
         mask = 1
@@ -311,6 +325,13 @@ class Comm:
                              nbytes=self._rec_size(payload, size))
         p = self.size
         start = self.now
+        world = self.world
+        if p > 1 and world._use_fastcoll():
+            result = yield from world.fastcoll.participate(
+                self, "reduce", payload, {"op": op, "root": root, "size": size}
+            )
+            self._trace(start, "reduce")
+            return result
         result = payload
         if p > 1:
             relative = (self.rank - root) % p
@@ -340,6 +361,13 @@ class Comm:
         if p == 1:
             return payload
         start = self.now
+        world = self.world
+        if world._use_fastcoll():
+            result = yield from world.fastcoll.participate(
+                self, "allreduce", payload, {"op": op, "size": size}
+            )
+            self._trace(start, "allreduce")
+            return result
         tag = -3000
         result = payload
         if p & (p - 1) == 0:
@@ -397,6 +425,13 @@ class Comm:
         if p == 1:
             return [payload]
         start = self.now
+        world = self.world
+        if world._use_fastcoll():
+            blocks = yield from world.fastcoll.participate(
+                self, "allgather", payload, {"size": size}
+            )
+            self._trace(start, "allgather")
+            return blocks
         blocks: list[Any] = [None] * p
         blocks[self.rank] = payload
         nbytes = payload_size(payload, size)
@@ -429,6 +464,13 @@ class Comm:
             nbytes=self._rec_size(payloads[0] if payloads else None, size),
         )
         start = self.now
+        world = self.world
+        if p > 1 and world._use_fastcoll():
+            received = yield from world.fastcoll.participate(
+                self, "alltoall", payloads, {"size": size}
+            )
+            self._trace(start, "alltoall")
+            return received
         received: list[Any] = [None] * p
         received[self.rank] = payloads[self.rank]
         tag = -6000

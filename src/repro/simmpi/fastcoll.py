@@ -1,0 +1,289 @@
+"""Analytic fast paths for the simulated collectives.
+
+The DES-backed collectives in :mod:`repro.simmpi.comm` execute every
+constituent message of the MPICH-style algorithms (binomial trees,
+recursive doubling, ring, pairwise exchange) as individual engine events —
+exact, but O(P log P) host work per collective.  This module computes the
+*same* per-rank completion times with closed-form recurrences over the
+identical cost model (LogGP link timing through the rank mapping, eager
+``send_overhead_s`` vs rendezvous full-transfer sender occupancy), so a
+collective costs one rendezvous and O(P log P) float arithmetic instead of
+thousands of heap operations and generator resumptions.
+
+Semantics
+---------
+* Every rank of a communicator registers at its arrival time and suspends;
+  when the last rank arrives, per-rank completion times and return values
+  are computed and each rank is resumed at its completion time.
+* Return values replicate the DES combine order (``op.apply`` fold order,
+  block placement), so results — including floating-point rounding — match
+  the simulated path.
+* A rank that would complete *before* the last rank arrives (a broadcast
+  root with eager sends, say) is resumed at the last arrival instead: the
+  event calendar cannot schedule into the past.  For bulk-synchronous
+  programs arrivals coincide and the recurrences reproduce the simulated
+  schedule exactly; under heavy skew the elapsed times stay within the
+  cross-validation tolerance enforced by the test suite.
+
+The fast path is *opt-in* (``World(fast_collectives=True)``) and
+automatically disabled when the full per-message schedule is observable:
+``run(verify=True)`` (a :class:`~repro.verify.recorder.CommRecorder` is
+attached) or NIC-contention modeling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from repro.des.engine import Event
+from repro.simmpi.payload import payload_size
+from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.simmpi.comm import Comm, ReduceOp
+    from repro.simmpi.world import World
+
+#: collectives with an analytic fast path.
+FAST_OPS = frozenset(
+    {"allreduce", "bcast", "reduce", "allgather", "alltoall", "barrier"}
+)
+
+
+class FastCollectives:
+    """Per-world coordinator matching collective calls across ranks."""
+
+    def __init__(self, world: "World"):
+        self.world = world
+        #: (comm_id, per-comm call sequence, op) -> {local rank: entry}
+        self._pending: dict[tuple[int, int, str], dict[int, tuple]] = {}
+
+    # -- rendezvous ---------------------------------------------------------
+
+    def participate(
+        self, comm: "Comm", op_name: str, payload: Any, kwargs: dict
+    ) -> Generator[Any, Any, Any]:
+        """Register one rank's collective call; resumes at completion time."""
+        engine = self.world.engine
+        comm._coll_seq += 1
+        key = (comm._comm_id, comm._coll_seq, op_name)
+        entry = self._pending.get(key)
+        if entry is None:
+            entry = self._pending[key] = {}
+        if comm.rank in entry:
+            raise SimulationError(
+                f"rank {comm.rank} entered {op_name} twice (seq {key[1]})"
+            )
+        ev = Event(engine, label=f"fastcoll:{op_name}")
+        entry[comm.rank] = (engine._now, payload, ev, comm, kwargs)
+        if len(entry) == comm.size:
+            del self._pending[key]
+            self._finish(op_name, entry)
+        value = yield ev
+        return value
+
+    def _finish(self, op_name: str, entry: dict[int, tuple]) -> None:
+        p = len(entry)
+        arrival = [entry[r][0] for r in range(p)]
+        payloads = [entry[r][1] for r in range(p)]
+        comm = entry[0][3]
+        kwargs = entry[0][4]
+        solver: Callable = getattr(self, "_solve_" + op_name)
+        complete, values = solver(comm, arrival, payloads, **kwargs)
+        engine = self.world.engine
+        now = engine._now
+        for r in range(p):
+            ev = entry[r][2]
+            ev._triggered = True
+            ev._value = values[r]
+            at = complete[r]
+            engine._schedule(at if at > now else now, ev)
+
+    # -- cost model (mirrors Comm._isend) -----------------------------------
+
+    def _cost_tables(self, comm: "Comm"):
+        """Per-local-rank node indices and the transfer/sender-cost closures."""
+        world = self.world
+        mapping = world.mapping
+        network = world.network
+        link = network.link
+        eager = world.eager_threshold
+        overhead = world.send_overhead_s
+        nodes = [mapping.node_of(comm.world_rank(r)) for r in range(comm.size)]
+
+        def transfer(src: int, dst: int, nbytes: int) -> float:
+            if nodes[src] != nodes[dst]:
+                return network.p2p_time(nodes[src], nodes[dst], nbytes)
+            return link.p2p_time(nbytes, 0)
+
+        def send_done(src: int, dst: int, nbytes: int) -> float:
+            if nbytes > eager:
+                return transfer(src, dst, nbytes)
+            return overhead
+
+        return transfer, send_done
+
+    @staticmethod
+    def _nbytes(payload: Any, size: int | None) -> int:
+        return max(1, payload_size(payload, size))
+
+    # -- per-collective solvers ---------------------------------------------
+    # Each returns (per-rank completion times, per-rank return values) and
+    # replicates the corresponding DES algorithm in repro.simmpi.comm.
+
+    def _solve_barrier(self, comm, arrival, payloads):
+        transfer, send_done = self._cost_tables(comm)
+        p = comm.size
+        t = list(arrival)
+        k = 1
+        while k < p:
+            t = [
+                max(
+                    t[(r - k) % p] + transfer((r - k) % p, r, 1),
+                    t[r] + send_done(r, (r + k) % p, 1),
+                )
+                for r in range(p)
+            ]
+            k <<= 1
+        return t, [None] * p
+
+    def _solve_allreduce(self, comm, arrival, payloads, *, op, size=None):
+        p = comm.size
+        if p & (p - 1) == 0:
+            transfer, send_done = self._cost_tables(comm)
+            sizes = [self._nbytes(payloads[r], size) for r in range(p)]
+            t = list(arrival)
+            values = list(payloads)
+            mask = 1
+            while mask < p:
+                t = [
+                    max(
+                        t[r ^ mask] + transfer(r ^ mask, r, sizes[r ^ mask]),
+                        t[r] + send_done(r, r ^ mask, sizes[r]),
+                    )
+                    for r in range(p)
+                ]
+                values = [op.apply(values[r], values[r ^ mask]) for r in range(p)]
+                mask <<= 1
+            return t, values
+        # Non-power-of-two: reduce to rank 0, then broadcast (as the DES does).
+        t, reduced = self._solve_reduce(comm, arrival, payloads, op=op, root=0,
+                                        size=size)
+        bcast_payloads = [reduced[0] if r == 0 else None for r in range(p)]
+        return self._solve_bcast(comm, t, bcast_payloads, root=0, size=size)
+
+    def _solve_bcast(self, comm, arrival, payloads, *, root=0, size=None):
+        transfer, send_done = self._cost_tables(comm)
+        p = comm.size
+        data = payloads[root]
+        nbytes = self._nbytes(data, size)
+        # Work in relative ranks: rel = (rank - root) % p.
+        ready = [0.0] * p
+        complete = [0.0] * p
+        for rel in range(p):
+            rank = (rel + root) % p
+            if rel == 0:
+                ready[rel] = arrival[rank]
+            # Forward to children below the received bit (the root forwards
+            # from the largest power of two below p), sequentially.
+            highest = rel & -rel  # lowest set bit = the mask received on
+            if rel == 0:
+                send_mask = _floor_pow2(p)
+            else:
+                send_mask = highest >> 1
+            cur = ready[rel]
+            while send_mask > 0:
+                child_rel = rel + send_mask
+                if child_rel < p:
+                    child = (child_rel + root) % p
+                    delivery = cur + transfer(rank, child, nbytes)
+                    ready[child_rel] = max(arrival[child], delivery)
+                    cur += send_done(rank, child, nbytes)
+                send_mask >>= 1
+            complete[rel] = cur
+        out_t = [0.0] * p
+        for rel in range(p):
+            out_t[(rel + root) % p] = complete[rel]
+        return out_t, [data] * p
+
+    def _solve_reduce(self, comm, arrival, payloads, *, op, root=0, size=None):
+        transfer, send_done = self._cost_tables(comm)
+        p = comm.size
+        sizes = [self._nbytes(payloads[r], size) for r in range(p)]
+        complete_rel = [0.0] * p
+        delivery = [0.0] * p  # per relative rank: when its upward send lands
+        value_rel: list[Any] = [None] * p
+        for rel in range(p - 1, -1, -1):
+            rank = (rel + root) % p
+            cur = arrival[rank]
+            result = payloads[rank]
+            mask = 1
+            sent = False
+            while mask < p:
+                if rel & mask:
+                    parent_rel = rel - mask
+                    parent = (parent_rel + root) % p
+                    delivery[rel] = cur + transfer(rank, parent, sizes[rank])
+                    complete_rel[rel] = cur + send_done(rank, parent, sizes[rank])
+                    sent = True
+                    break
+                child_rel = rel + mask
+                if child_rel < p:
+                    # Children have larger relative ranks: already solved.
+                    cur = max(cur, delivery[child_rel])
+                    result = op.apply(result, value_rel[child_rel])
+                mask <<= 1
+            value_rel[rel] = result
+            if not sent:
+                complete_rel[rel] = cur
+        out_t = [0.0] * p
+        for rel in range(p):
+            out_t[(rel + root) % p] = complete_rel[rel]
+        values = [value_rel[0] if r == root else None for r in range(p)]
+        return out_t, values
+
+    def _solve_allgather(self, comm, arrival, payloads, *, size=None):
+        transfer, send_done = self._cost_tables(comm)
+        p = comm.size
+        sizes = [self._nbytes(payloads[r], size) for r in range(p)]
+        t = list(arrival)
+        for _step in range(p - 1):
+            t = [
+                max(
+                    t[(r - 1) % p] + transfer((r - 1) % p, r, sizes[(r - 1) % p]),
+                    t[r] + send_done(r, (r + 1) % p, sizes[r]),
+                )
+                for r in range(p)
+            ]
+        blocks = list(payloads)
+        return t, [list(blocks) for _ in range(p)]
+
+    def _solve_alltoall(self, comm, arrival, payloads, *, size=None):
+        transfer, send_done = self._cost_tables(comm)
+        p = comm.size
+        t = list(arrival)
+        for k in range(1, p):
+            t = [
+                max(
+                    t[(r - k) % p]
+                    + transfer(
+                        (r - k) % p, r,
+                        self._nbytes(payloads[(r - k) % p][r], size),
+                    ),
+                    t[r]
+                    + send_done(
+                        r, (r + k) % p,
+                        self._nbytes(payloads[r][(r + k) % p], size),
+                    ),
+                )
+                for r in range(p)
+            ]
+        values = [[payloads[src][r] for src in range(p)] for r in range(p)]
+        return t, values
+
+
+def _floor_pow2(n: int) -> int:
+    """Largest power of two strictly less than n (n >= 2)."""
+    p = 1
+    while p << 1 < n:
+        p <<= 1
+    return p

@@ -38,17 +38,15 @@ class WorldResult:
 
         Matches the phase exactly, or any sub-phase under the ``phase:``
         hierarchy separator (``comm.set_phase`` names the phase; operations
-        append ``:send``/``:compute``/... suffixes).  A plain prefix match
-        would conflate e.g. ``solver`` with ``solver_setup``.
+        append ``:send``/``:compute``/... suffixes) — the shared
+        :func:`repro.des.trace.phase_matches` rule.  Reads the recorder's
+        per-(phase, actor) index, so it works identically in ``"full"``
+        and ``"aggregate"`` trace modes without scanning records.
 
         ``max`` reproduces the paper's 'slowest process' reduction used for
         the Alya phase plots; ``mean`` averages; ``sum`` totals.
         """
-        per = {}
-        prefix = phase + ":"
-        for record in self.trace:
-            if record.phase == phase or record.phase.startswith(prefix):
-                per[record.actor] = per.get(record.actor, 0.0) + record.duration
+        per = self.trace.per_actor(phase)
         if not per:
             return 0.0
         values = list(per.values())
@@ -71,7 +69,8 @@ class World:
         network: NetworkModel | None = None,
         eager_threshold: int = 32 * KIB,
         send_overhead_s: float = 0.2e-6,
-        trace: bool = True,
+        trace: bool | str = True,
+        fast_collectives: bool = False,
         nic_contention: bool = False,
         compute_noise: float = 0.0,
         noise_seed: int = 0,
@@ -89,7 +88,17 @@ class World:
         self.eager_threshold = eager_threshold
         self.send_overhead_s = send_overhead_s
         self.engine = Engine()
-        self.trace = TraceRecorder(enabled=trace)
+        if isinstance(trace, bool):
+            trace_mode = "full" if trace else "off"
+        else:
+            trace_mode = trace
+        self.trace = TraceRecorder(enabled=trace_mode != "off", mode=trace_mode)
+        #: substitute closed-form durations for the simulated message
+        #: exchange of the big collectives (see :mod:`repro.simmpi.fastcoll`).
+        #: ``run(verify=True)`` and NIC-contention worlds always take the
+        #: fully simulated path.
+        self.fast_collectives = fast_collectives
+        self._fastcoll = None
         self._channels: dict[int, Channel] = {}
         self._comm_ids: dict[tuple, int] = {}
         #: serialize rendezvous injections per node (real NICs do).
@@ -107,6 +116,24 @@ class World:
         #: communication event log for the verify layer (set by
         #: ``run(verify=True)`` or attached explicitly).
         self.recorder: "CommRecorder | None" = None
+
+    def _use_fastcoll(self) -> bool:
+        """Analytic collectives apply only when nothing observes the full
+        per-message schedule: no verify recorder, no NIC contention model."""
+        return (
+            self.fast_collectives
+            and self.recorder is None
+            and not self.nic_contention
+        )
+
+    @property
+    def fastcoll(self):
+        """The lazily created fast-collective coordinator."""
+        if self._fastcoll is None:
+            from repro.simmpi.fastcoll import FastCollectives
+
+            self._fastcoll = FastCollectives(self)
+        return self._fastcoll
 
     def compute_slowdown(self, rank: int) -> float:
         """1/performance-factor of the node hosting ``rank`` (>= 1 slow)."""

@@ -1,0 +1,95 @@
+"""Memoization layers of the network and kernel-time models.
+
+The caches must be invisible: identical numbers to the uncached code, and
+model mutation (fault injection, rebinding the link/topology) must take
+effect immediately.
+"""
+
+from __future__ import annotations
+
+from repro.machine import cte_arm, marenostrum4
+from repro.machine.core import _sustained_rate
+from repro.machine.isa import DType
+from repro.network.linkmodel import OMNIPATH_LINK
+from repro.network.model import network_for
+
+
+class TestNetworkModelCache:
+    def test_repeat_queries_hit_cache(self):
+        net = network_for(cte_arm(24), healthy=True)
+        first = net.p2p_time(0, 5, 4096)
+        assert net.p2p_time(0, 5, 4096) == first
+        assert (0, 5, 4096) in net._base_cache
+        assert (0, 5) in net._hops_cache
+
+    def test_fault_mutation_applies_live(self):
+        """degrade_receiver after cached queries must change the answer."""
+        net = network_for(cte_arm(24), healthy=True)
+        healthy = net.p2p_time(0, 5, 4096)
+        net.faults.degrade_receiver(5, 0.5)
+        assert net.p2p_time(0, 5, 4096) == healthy / 0.5
+        # Other pairs are unaffected.
+        assert net.p2p_time(0, 6, 4096) == net.p2p_time(0, 6, 4096)
+
+    def test_rebinding_link_invalidates(self):
+        net = network_for(cte_arm(24), healthy=True)
+        tofud = net.p2p_time(0, 5, 4096)
+        net.link = OMNIPATH_LINK
+        assert not net._base_cache or net.p2p_time(0, 5, 4096) != tofud
+        assert net.p2p_time(0, 5, 4096) != tofud
+
+    def test_explicit_invalidate(self):
+        net = network_for(cte_arm(24), healthy=True)
+        net.p2p_time(0, 5, 4096)
+        net.invalidate_caches()
+        assert not net._base_cache
+        assert not net._hops_cache
+
+    def test_matches_uncached_computation(self):
+        """The cached result equals recomputing from the parts."""
+        net = network_for(cte_arm(24))
+        for src, dst, size in [(0, 1, 256), (3, 11, 65536), (2, 9, 1 << 20)]:
+            expected = net.link.p2p_time(
+                size, net.topology.hops(src, dst), src, dst
+            ) / net.faults.pair_factor(src, dst)
+            assert net.p2p_time(src, dst, size) == expected
+            assert net.p2p_time(src, dst, size) == expected  # cached
+
+
+class TestKernelRateCache:
+    def test_sustained_flops_memoized(self):
+        core = cte_arm(2).node.core_model
+        _sustained_rate.cache_clear()
+        first = core.sustained_flops(
+            DType.DOUBLE, vector_fraction=0.8, vector_efficiency=0.5
+        )
+        again = core.sustained_flops(
+            DType.DOUBLE, vector_fraction=0.8, vector_efficiency=0.5
+        )
+        assert again == first
+        info = _sustained_rate.cache_info()
+        assert info.hits >= 1
+
+    def test_distinct_cores_distinct_entries(self):
+        arm = cte_arm(2).node.core_model
+        skx = marenostrum4(2).node.core_model
+        a = arm.sustained_flops(DType.DOUBLE, vector_fraction=0.9,
+                                vector_efficiency=0.6)
+        b = skx.sustained_flops(DType.DOUBLE, vector_fraction=0.9,
+                                vector_efficiency=0.6)
+        assert a != b
+
+    def test_matches_direct_formula(self):
+        from repro.machine.isa import ExecMode
+
+        core = cte_arm(2).node.core_model
+        vf, ve = 0.7, 0.45
+        rv = core.peak_flops(DType.DOUBLE, ExecMode.VECTOR) * ve
+        rs = core.peak_flops(DType.DOUBLE, ExecMode.SCALAR) * (
+            core.scalar_ooo_efficiency
+        )
+        expected = 1.0 / (vf / rv + (1.0 - vf) / rs)
+        got = core.sustained_flops(
+            DType.DOUBLE, vector_fraction=vf, vector_efficiency=ve
+        )
+        assert got == expected

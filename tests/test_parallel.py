@@ -1,0 +1,85 @@
+"""The parallel sweep executor and its on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.harness  # noqa: F401  (populate the experiment registry)
+from repro.harness.cli import main
+from repro.harness.parallel import (
+    cache_key,
+    run_experiments,
+    source_fingerprint,
+)
+from repro.util.errors import ConfigurationError
+
+#: cheap experiments spanning table, figure, and extension shapes.
+_IDS = ["table1_hardware", "fig1_fpu", "fig6_linpack", "ext_faults"]
+
+
+class TestDeterminism:
+    def test_jobs_1_and_4_byte_identical(self):
+        serial = run_experiments(_IDS, jobs=1)
+        fanout = run_experiments(_IDS, jobs=4)
+        assert json.dumps(serial) == json.dumps(fanout)
+
+    def test_input_order_preserved(self):
+        payloads = run_experiments(list(reversed(_IDS)), jobs=4)
+        assert [p["experiment"] for p in payloads] == list(reversed(_IDS))
+
+    def test_duplicate_ids_run_once(self):
+        payloads = run_experiments([_IDS[0], _IDS[0]], jobs=2)
+        assert len(payloads) == 2
+        assert payloads[0] == payloads[1]
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            run_experiments(_IDS, jobs=0)
+
+
+class TestResultCache:
+    def test_cache_round_trip_identical(self, tmp_path):
+        fresh = run_experiments(_IDS, jobs=1, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == len(_IDS)
+        cached = run_experiments(_IDS, jobs=1, cache_dir=tmp_path)
+        assert json.dumps(cached) == json.dumps(fresh)
+
+    def test_key_depends_on_source_fingerprint(self, monkeypatch):
+        key = cache_key(_IDS[0])
+        monkeypatch.setattr(
+            "repro.harness.parallel._fingerprint", "0" * 64
+        )
+        assert cache_key(_IDS[0]) != key
+
+    def test_fingerprint_is_stable(self):
+        assert source_fingerprint() == source_fingerprint()
+
+    def test_stale_entries_not_served(self, tmp_path, monkeypatch):
+        run_experiments([_IDS[0]], cache_dir=tmp_path)
+        # A source change rolls the fingerprint: the old entry is dead.
+        monkeypatch.setattr(
+            "repro.harness.parallel._fingerprint", "f" * 64
+        )
+        run_experiments([_IDS[0]], cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+
+class TestCli:
+    def test_run_jobs_json(self, capsys):
+        assert main(["run", "fig1_fpu", "--json", "--jobs", "2"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out[0]["experiment"] == "fig1_fpu"
+        assert all(
+            isinstance(e["holds"], bool) for e in out[0]["expectations"]
+        )
+
+    def test_run_cached_output_identical(self, tmp_path, capsys):
+        main(["run", "fig1_fpu", "--cache-dir", str(tmp_path)])
+        first = capsys.readouterr().out
+        main(["run", "fig1_fpu", "--cache-dir", str(tmp_path)])
+        assert capsys.readouterr().out == first
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["run", "no_such_experiment"]) == 2

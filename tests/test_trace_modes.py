@@ -1,0 +1,95 @@
+"""Trace recorder modes and the shared phase-matching rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.trace import PHASE_SEP, TraceRecorder, phase_matches
+from repro.machine import cte_arm
+from repro.simmpi import RankMapping, ReduceOp, World
+from repro.util.errors import ConfigurationError
+
+
+class TestPhaseMatches:
+    def test_exact(self):
+        assert phase_matches("solver", "solver")
+
+    def test_subphase(self):
+        assert phase_matches("solver" + PHASE_SEP + "allreduce", "solver")
+
+    def test_no_plain_prefix_conflation(self):
+        assert not phase_matches("solver_setup", "solver")
+
+    def test_distinct(self):
+        assert not phase_matches("assembly", "solver")
+
+
+class TestRecorderModes:
+    def _fill(self, rec: TraceRecorder) -> None:
+        rec.record(0.0, 1.0, "rank0", "solver")
+        rec.record(1.0, 2.0, "rank0", "solver:allreduce")
+        rec.record(0.0, 4.0, "rank1", "solver")
+        rec.record(0.0, 8.0, "rank0", "solver_setup")
+
+    def test_full_keeps_records_and_totals(self):
+        rec = TraceRecorder(mode="full")
+        self._fill(rec)
+        assert len(rec) == 4
+        assert rec.total_time("solver") == 7.0
+        assert rec.per_actor("solver") == {"rank0": 3.0, "rank1": 4.0}
+        assert rec.slowest_actor("solver") == ("rank1", 4.0)
+
+    def test_aggregate_drops_records_keeps_totals(self):
+        rec = TraceRecorder(mode="aggregate")
+        self._fill(rec)
+        assert len(rec) == 0
+        assert rec.total_time("solver") == 7.0
+        assert rec.per_actor("solver") == {"rank0": 3.0, "rank1": 4.0}
+        assert rec.phases() == {"solver", "solver:allreduce", "solver_setup"}
+
+    def test_off_records_nothing(self):
+        rec = TraceRecorder(mode="off")
+        self._fill(rec)
+        assert len(rec) == 0
+        assert rec.total_time("solver") == 0.0
+
+    def test_enabled_false_maps_to_off(self):
+        rec = TraceRecorder(enabled=False)
+        assert rec.mode == "off"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(mode="verbose")
+
+
+class TestWorldTraceModes:
+    def _run(self, trace):
+        mapping = RankMapping(cte_arm(12), n_nodes=2, ranks_per_node=2)
+        world = World(mapping, trace=trace)
+
+        def program(comm):
+            comm.set_phase("solver")
+            value = yield from comm.allreduce(1.0, op=ReduceOp.SUM, size=64)
+            comm.set_phase("assembly")
+            yield from comm.compute(1e6)
+            return value
+
+        return world.run(program)
+
+    def test_aggregate_phase_time_equals_full(self):
+        """phase_time works identically from the totals index alone."""
+        full = self._run("full")
+        agg = self._run("aggregate")
+        for phase in ("solver", "assembly"):
+            for reduction in ("max", "mean", "sum"):
+                assert agg.phase_time(phase, reduction=reduction) == (
+                    full.phase_time(phase, reduction=reduction)
+                )
+        assert len(full.trace) > 0
+        assert len(agg.trace) == 0
+
+    def test_trace_bool_compatibility(self):
+        assert self._run(True).phase_time("solver") > 0.0
+        off = self._run(False)
+        assert off.phase_time("solver") == 0.0
+        assert len(off.trace) == 0
