@@ -33,12 +33,27 @@ run_tool ruff check src tests examples
 run_tool mypy
 
 if [ "$fast" -eq 0 ]; then
-    echo "== pytest (tier 1) =="
-    if ! PYTHONPATH=src python -m pytest -x -q; then
+    # Coverage gate: only when pytest-cov is importable (the offline test
+    # container ships without it); floor overridable via REPRO_COV_MIN.
+    cov_args=""
+    if python -c "import pytest_cov" >/dev/null 2>&1; then
+        cov_args="--cov=repro --cov-report=term --cov-fail-under=${REPRO_COV_MIN:-80}"
+        echo "== pytest (tier 1, coverage >= ${REPRO_COV_MIN:-80}%) =="
+    else
+        skipped="$skipped pytest-cov"
+        echo "== pytest (tier 1) =="
+    fi
+    # shellcheck disable=SC2086
+    if ! PYTHONPATH=src python -m pytest -x -q $cov_args; then
         status=1
     fi
     echo "== bench smoke =="
     if ! python scripts/bench.py --quick --out "$(mktemp -d)/BENCH_substrate.json" 2>/dev/null; then
+        status=1
+    fi
+    echo "== resilience smoke =="
+    if ! PYTHONPATH=src python -m repro.harness.cli resilience \
+            --nodes 4 --intensity 1 --steps 5 --json >/dev/null; then
         status=1
     fi
 fi

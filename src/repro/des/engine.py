@@ -34,6 +34,8 @@ from typing import Any, Callable, Generator, Iterable
 
 from repro.util.errors import DeadlockError, SimulationError
 
+_INF = float("inf")
+
 
 class Event:
     """A one-shot occurrence processes can wait on."""
@@ -117,8 +119,8 @@ class Timeout(Event):
     __slots__ = ()
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout {delay}")
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(f"timeout delay must be finite and >= 0, got {delay}")
         # Inlined Event.__init__ without per-event label formatting.
         self.engine = engine
         self.callbacks = None
@@ -162,17 +164,36 @@ class Process(Event):
     ``yield`` other processes to join them.
     """
 
-    __slots__ = ("generator", "_resume")
+    __slots__ = ("generator", "_resume", "_dead")
 
     def __init__(self, engine: "Engine", generator: ProcessGen, label: str = ""):
         super().__init__(engine, label=label or getattr(generator, "__name__", "proc"))
         self.generator = generator
+        self._dead = False
         engine._live += 1
         # Bootstrap at the current time through the reusable resume entry.
         self._resume = resume = _Resume(self)
         engine._schedule(engine._now, resume)
 
+    def kill(self, value: Any = None) -> bool:
+        """Terminate this process now; its event resolves with ``value``.
+
+        Used by the fault-injection layer to model a node crash: the
+        generator is closed (``finally`` blocks run, releasing resources),
+        the live count drops, and any stale heap entries for the process
+        become no-ops.  Returns False if the process already finished.
+        """
+        if self._triggered:
+            return False
+        self._dead = True
+        self.generator.close()
+        self.engine._live -= 1
+        Event.succeed(self, value)
+        return True
+
     def _step(self, trigger: Any) -> None:
+        if self._dead:
+            return  # killed while this resume/callback was already queued
         engine = self.engine
         try:
             if trigger._ok:
@@ -192,8 +213,10 @@ class Process(Event):
         cls = target.__class__
         if cls is float or cls is int:
             # Bare-delay fast path: no Timeout, no callback registration.
-            if target < 0:
-                raise SimulationError(f"negative timeout {target}")
+            if not 0.0 <= target < _INF:
+                raise SimulationError(
+                    f"timeout delay must be finite and >= 0, got {target}"
+                )
             resume = self._resume
             resume._value = None
             resume._ok = True

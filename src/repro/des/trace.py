@@ -101,6 +101,15 @@ class TraceRecorder:
     def phases(self) -> set[str]:
         return {phase for phase, _actor in self._totals}
 
+    def totals(self) -> dict[tuple[str, str], float]:
+        """A copy of the per-(phase, actor) duration index.
+
+        This is the stable aggregate surface the golden-trace regression
+        harness snapshots: identical simulations must reproduce it exactly
+        (same keys, bit-identical floats) in any trace mode but ``"off"``.
+        """
+        return dict(self._totals)
+
     def total_time(self, phase: str, actor: str | None = None) -> float:
         """Summed duration of a phase and its sub-phases (optionally for
         one actor)."""

@@ -18,14 +18,23 @@ from repro.util.rng import make_rng
 
 @dataclass
 class FaultModel:
-    """Directional per-node bandwidth factors (1.0 = healthy)."""
+    """Directional per-node bandwidth factors (1.0 = healthy).
+
+    Factor 0.0 is a *dead* direction — the endpoint is unreachable that
+    way (a crashed node, an unplugged cable).  The network model answers
+    ``inf`` seconds for any pair whose combined factor is zero, so a dead
+    link can be expressed statically and a node crash can be expressed as
+    both directions going to 0.0 mid-run.
+    """
 
     recv_factors: dict[int, float] = field(default_factory=dict)
     send_factors: dict[int, float] = field(default_factory=dict)
 
     def _check(self, factor: float) -> None:
-        if not 0.0 < factor <= 1.0:
-            raise ConfigurationError("fault factor must be in (0, 1]")
+        if not 0.0 <= factor <= 1.0:
+            raise ConfigurationError(
+                "fault factor must be in [0, 1] (0 = unreachable)"
+            )
 
     def degrade_receiver(self, node: int, factor: float) -> "FaultModel":
         self._check(factor)
@@ -37,9 +46,28 @@ class FaultModel:
         self.send_factors[node] = factor
         return self
 
+    def restore_receiver(self, node: int) -> "FaultModel":
+        """Clear a receive-direction fault (link repair / node reboot)."""
+        self.recv_factors.pop(node, None)
+        return self
+
+    def restore_sender(self, node: int) -> "FaultModel":
+        """Clear a send-direction fault."""
+        self.send_factors.pop(node, None)
+        return self
+
+    def restore(self, node: int) -> "FaultModel":
+        """Clear both directions of a node's faults."""
+        return self.restore_receiver(node).restore_sender(node)
+
     def pair_factor(self, src: int, dst: int) -> float:
         """Combined bandwidth multiplier for a (sender, receiver) pair."""
         return self.send_factors.get(src, 1.0) * self.recv_factors.get(dst, 1.0)
+
+    def has_unreachable(self) -> bool:
+        """True when any direction is fully dead (factor 0.0)."""
+        return (any(f == 0.0 for f in self.recv_factors.values())
+                or any(f == 0.0 for f in self.send_factors.values()))
 
     @property
     def degraded_nodes(self) -> set[int]:
@@ -73,7 +101,7 @@ def random_faults(
     if n_faults < 0 or n_faults > n_nodes:
         raise ConfigurationError("fault count out of range")
     lo, hi = factor_range
-    if not (0.0 < lo <= hi <= 1.0):
+    if not (0.0 <= lo <= hi <= 1.0):
         raise ConfigurationError("invalid factor range")
     rng = make_rng(seed, "faults", n_nodes, n_faults)
     fm = FaultModel()

@@ -7,7 +7,9 @@ node b take?" and "what bandwidth would the OSU loop report for this pair?".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.machine.cluster import ClusterModel
 from repro.network.faults import FaultModel, cte_arm_faults
@@ -44,6 +46,7 @@ class NetworkModel:
     def __post_init__(self) -> None:
         self._base_cache: dict[tuple[int, int, int], float] = {}
         self._hops_cache: dict[tuple[int, int], int] = {}
+        self._fault_epoch = 0
 
     def __setattr__(self, name: str, value) -> None:
         object.__setattr__(self, name, value)
@@ -56,6 +59,29 @@ class NetworkModel:
         automatically)."""
         self._base_cache.clear()
         self._hops_cache.clear()
+
+    @property
+    def fault_epoch(self) -> int:
+        """Monotone counter of mid-run fault transitions.
+
+        The p2p memo stores *pre-fault* base times, so a transition does
+        not stale it — but any consumer that caches *effective* timings
+        (an analytic collective schedule, a campaign-level table) must key
+        on this epoch and recompute when it advances.
+        """
+        return self._fault_epoch
+
+    def apply_fault_transition(self, mutate: Callable[[FaultModel], object]) -> None:
+        """Mutate the live fault state and advance :attr:`fault_epoch`.
+
+        This is the official channel for *time-varying* faults (the
+        resilience layer's link degradation/recovery and node crashes):
+        ``mutate(self.faults)`` runs in place, takes effect on the very
+        next ``p2p_time`` call, and the epoch bump invalidates any
+        downstream memo of effective timings.
+        """
+        mutate(self.faults)
+        self._fault_epoch += 1
 
     @property
     def n_nodes(self) -> int:
@@ -82,7 +108,10 @@ class NetworkModel:
             if len(cache) >= _P2P_CACHE_MAX:
                 cache.clear()
             cache[key] = base
-        return base / self.faults.pair_factor(src, dst)
+        factor = self.faults.pair_factor(src, dst)
+        if factor <= 0.0:
+            return math.inf  # dead link or crashed endpoint: unreachable
+        return base / factor
 
     def sendrecv_time(self, a: int, b: int, size: int) -> float:
         """One MPI_Sendrecv iteration between nodes a and b.

@@ -1,0 +1,58 @@
+"""Dynamic resilience: mid-run fault injection, robust simulated MPI,
+scheduler-level degradation, and checkpoint/restart cost accounting.
+
+The static :class:`repro.network.faults.FaultModel` answers "what if a
+link were permanently weak" (the paper's Fig. 4 weak-receiver study);
+this package answers the operational question a production deployment
+faces — *what happens while the job is running*:
+
+* :class:`FaultSchedule` — timed events (:class:`NodeCrash`,
+  :class:`LinkDegrade`/:class:`LinkRecover`, :class:`SlowdownOnset`,
+  :class:`NoiseBurst`) the DES applies mid-run;
+* :class:`ResiliencePolicy` — recv/send timeouts with retry/backoff, so
+  ranks detect dead peers and surface :class:`RankFailure` outcomes in
+  ``WorldResult.rank_results`` instead of hanging;
+* :class:`ResilienceState` — per-run bookkeeping: detections, applied
+  transitions, and RES-rule diagnostics in the same stream as
+  ``repro.verify``;
+* :class:`CheckpointModel` / :class:`TimeToSolution` — what a crash
+  costs end to end once the scheduler reallocates around the dead node;
+* :func:`resilience_campaign` — the fault-intensity sweep behind
+  ``repro-lab resilience``.
+
+See ``docs/RESILIENCE.md``.
+"""
+
+from repro.resilience.campaign import CampaignResult, resilience_campaign
+from repro.resilience.checkpoint import CheckpointModel, TimeToSolution
+from repro.resilience.policy import RankFailure, ResiliencePolicy
+from repro.resilience.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    LinkDegrade,
+    LinkRecover,
+    NodeCrash,
+    NoiseBurst,
+    SlowdownOnset,
+    random_schedule,
+)
+from repro.resilience.state import Detection, ResilienceState
+
+__all__ = [
+    "CampaignResult",
+    "CheckpointModel",
+    "Detection",
+    "FaultEvent",
+    "FaultSchedule",
+    "LinkDegrade",
+    "LinkRecover",
+    "NodeCrash",
+    "NoiseBurst",
+    "RankFailure",
+    "ResiliencePolicy",
+    "ResilienceState",
+    "SlowdownOnset",
+    "TimeToSolution",
+    "random_schedule",
+    "resilience_campaign",
+]

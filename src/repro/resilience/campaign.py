@@ -1,0 +1,344 @@
+"""Fault-intensity campaign: how gracefully does a run degrade?
+
+One campaign sweeps *fault intensity* (number of injected fault events;
+every intensity >= 1 includes exactly one mid-run :class:`NodeCrash`)
+over a fixed representative program — an iterative halo exchange with a
+global allreduce per step, the communication skeleton shared by the
+paper's applications (Alya/NEMO stencils + solver reductions).  Per
+intensity it reports:
+
+* the healthy baseline elapsed time and the faulty run's elapsed time;
+* which ranks failed, who detected the failure, and the detection
+  latency (first surviving-rank detection minus crash time);
+* the scheduler's reallocation around the crashed node(s) (RES008) and
+  the checkpoint/restart time-to-solution breakdown (RES009) for a job
+  sized to the run;
+* every RES diagnostic the run emitted, in the same JSON schema as
+  ``repro-lab verify``.
+
+``repro-lab resilience`` is a thin CLI wrapper over
+:func:`resilience_campaign`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.machine.presets import cte_arm, marenostrum4
+from repro.resilience.checkpoint import CheckpointModel, TimeToSolution
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.schedule import (
+    FaultSchedule,
+    NodeCrash,
+    random_schedule,
+)
+from repro.sched.jobs import Job
+from repro.sched.scheduler import AllocationPolicy, Scheduler
+from repro.simmpi.mapping import RankMapping
+from repro.simmpi.world import World
+from repro.util.errors import AllocationError, ConfigurationError
+
+_CLUSTERS = {"cte-arm": cte_arm, "mn4": marenostrum4}
+
+#: per-step payloads of the representative program (bytes).
+_HALO_BYTES = 64 * 1024
+_REDUCE_BYTES = 8
+
+
+def halo_allreduce_program(
+    comm, steps: int, compute_s: float
+) -> Generator[Any, Any, int]:
+    """The representative rank program: ring halo + allreduce per step."""
+    comm.set_phase("campaign")
+    p = comm.size
+    right = (comm.rank + 1) % p
+    left = (comm.rank - 1) % p
+    total = 0
+    for step in range(steps):
+        yield from comm.compute(compute_s)
+        if p > 1:
+            yield from comm.sendrecv(
+                right, step, source=left, tag=step, size=_HALO_BYTES
+            )
+        total = yield from comm.allreduce(1, size=_REDUCE_BYTES)
+    return total
+
+
+@dataclass
+class Trial:
+    """One intensity level of the sweep."""
+
+    intensity: int
+    schedule: FaultSchedule
+    healthy_elapsed: float
+    faulty_elapsed: float
+    completed: bool
+    n_rank_failures: int
+    n_detections: int
+    detection_latency: float | None
+    reallocation: list[int] | None
+    reallocation_error: str | None
+    time_to_solution: TimeToSolution | None
+    diagnostics: list[dict] = field(default_factory=list)
+
+    @property
+    def slowdown(self) -> float:
+        if self.healthy_elapsed <= 0.0:
+            return 1.0
+        return self.faulty_elapsed / self.healthy_elapsed
+
+    def to_dict(self) -> dict:
+        return {
+            "intensity": self.intensity,
+            "schedule": self.schedule.to_dicts(),
+            "healthy_elapsed_s": self.healthy_elapsed,
+            "faulty_elapsed_s": self.faulty_elapsed,
+            "slowdown": self.slowdown,
+            "completed": self.completed,
+            "rank_failures": self.n_rank_failures,
+            "detections": self.n_detections,
+            "detection_latency_s": self.detection_latency,
+            "reallocation": self.reallocation,
+            "reallocation_error": self.reallocation_error,
+            "time_to_solution": (
+                self.time_to_solution.to_dict()
+                if self.time_to_solution is not None else None
+            ),
+            "diagnostics": self.diagnostics,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Sweep outcome plus render/JSON helpers."""
+
+    cluster: str
+    n_nodes: int
+    ranks_per_node: int
+    steps: int
+    seed: int
+    trials: list[Trial]
+
+    def to_dict(self) -> dict:
+        counts: dict[str, int] = {}
+        for trial in self.trials:
+            for diag in trial.diagnostics:
+                counts[diag["rule"]] = counts.get(diag["rule"], 0) + 1
+        return {
+            "title": "resilience campaign",
+            "cluster": self.cluster,
+            "n_nodes": self.n_nodes,
+            "ranks_per_node": self.ranks_per_node,
+            "steps": self.steps,
+            "seed": self.seed,
+            "rule_counts": dict(sorted(counts.items())),
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        lines = [
+            f"== resilience campaign: {self.cluster}, "
+            f"{self.n_nodes} nodes x {self.ranks_per_node} ranks, "
+            f"{self.steps} steps ==",
+            f"{'int':>3s} {'events':>6s} {'elapsed':>10s} {'slowdown':>8s} "
+            f"{'failed':>6s} {'detect':>6s} {'latency':>9s} {'ToS':>9s}",
+        ]
+        for t in self.trials:
+            latency = (
+                f"{t.detection_latency:.4f}s"
+                if t.detection_latency is not None else "-"
+            )
+            tos = (
+                f"{t.time_to_solution.total_s:.0f}s"
+                if t.time_to_solution is not None else "-"
+            )
+            lines.append(
+                f"{t.intensity:>3d} {len(t.schedule):>6d} "
+                f"{t.faulty_elapsed:>9.4f}s {t.slowdown:>7.2f}x "
+                f"{t.n_rank_failures:>6d} {t.n_detections:>6d} "
+                f"{latency:>9s} {tos:>9s}"
+            )
+        for t in self.trials:
+            for diag in t.diagnostics:
+                lines.append(
+                    f"  [{t.intensity}] {diag['rule']}: {diag['message']}"
+                )
+        return "\n".join(lines)
+
+
+def _schedule_for(
+    intensity: int, n_nodes: int, horizon: float, seed: int
+) -> FaultSchedule:
+    """Intensity 0 is the healthy control; >= 1 guarantees one mid-run
+    crash plus ``intensity - 1`` random degradation events."""
+    if intensity == 0:
+        return FaultSchedule()
+    crash_node = n_nodes - 1 if n_nodes > 1 else 0
+    crash = NodeCrash(at=0.4 * horizon, node=crash_node)
+    extra = random_schedule(
+        n_nodes,
+        intensity - 1,
+        horizon=horizon,
+        kinds=("degrade", "slowdown", "noise"),
+        seed=seed * 1000 + intensity,
+    )
+    return FaultSchedule((crash, *extra))
+
+
+def resilience_campaign(
+    *,
+    cluster: str = "cte-arm",
+    n_nodes: int = 4,
+    ranks_per_node: int = 2,
+    intensities: tuple[int, ...] | list[int] = (0, 1, 2, 4),
+    steps: int = 20,
+    compute_s: float = 1e-3,
+    seed: int = 0,
+    policy: ResiliencePolicy | None = None,
+    checkpoint: CheckpointModel | None = None,
+    job_work_s: float = 3600.0,
+) -> CampaignResult:
+    """Sweep fault intensity over the halo+allreduce program.
+
+    ``job_work_s`` sizes the checkpoint/restart model: the simulated run
+    is a stand-in for a job needing that much useful work, and the
+    crash's *relative* position in the run (crash time / healthy
+    elapsed) places it on the job's wall clock.
+    """
+    if cluster not in _CLUSTERS:
+        raise ConfigurationError(
+            f"unknown cluster {cluster!r}; choose from {sorted(_CLUSTERS)}"
+        )
+    if steps < 1:
+        raise ConfigurationError("need at least one step")
+    model = _CLUSTERS[cluster]()
+    if n_nodes > model.n_nodes:
+        raise ConfigurationError(
+            f"{n_nodes} nodes requested of {model.n_nodes} on {cluster}"
+        )
+    mapping = RankMapping(
+        model, n_nodes=n_nodes, ranks_per_node=ranks_per_node
+    )
+    policy = policy if policy is not None else ResiliencePolicy()
+    checkpoint = checkpoint if checkpoint is not None else CheckpointModel()
+
+    healthy = World(mapping, trace="aggregate").run(
+        halo_allreduce_program, steps, compute_s
+    )
+    trials: list[Trial] = []
+    for intensity in intensities:
+        if intensity < 0:
+            raise ConfigurationError("intensity must be >= 0")
+        schedule = _schedule_for(
+            intensity, n_nodes, healthy.elapsed, seed
+        )
+        world = World(
+            mapping,
+            trace="aggregate",
+            fault_schedule=schedule,
+            resilience=policy,
+        )
+        result = world.run(halo_allreduce_program, steps, compute_s)
+        state = result.resilience
+        assert state is not None
+        trials.append(_analyse_trial(
+            intensity, schedule, healthy.elapsed, result, state,
+            model=model, mapping=mapping, checkpoint=checkpoint,
+            job_work_s=job_work_s, seed=seed,
+        ))
+    return CampaignResult(
+        cluster=cluster,
+        n_nodes=n_nodes,
+        ranks_per_node=ranks_per_node,
+        steps=steps,
+        seed=seed,
+        trials=trials,
+    )
+
+
+def _analyse_trial(
+    intensity: int,
+    schedule: FaultSchedule,
+    healthy_elapsed: float,
+    result,
+    state,
+    *,
+    model,
+    mapping: RankMapping,
+    checkpoint: CheckpointModel,
+    job_work_s: float,
+    seed: int,
+) -> Trial:
+    from repro.verify.diagnostics import Diagnostic
+
+    crash_times = {c.at for c in schedule.crashes}
+    detection_latency = None
+    if state.detections and crash_times:
+        first = min(d.time for d in state.detections)
+        detection_latency = first - min(crash_times)
+
+    reallocation = None
+    realloc_error = None
+    tos = None
+    if state.failed_nodes:
+        sched = Scheduler(model, seed=seed)
+        job = Job(
+            name=f"campaign-i{intensity}",
+            n_nodes=mapping.n_nodes,
+            ranks_per_node=mapping.ranks_per_node,
+        )
+        nodes = sched.allocate(job, AllocationPolicy.COMPACT)
+        for node in sorted(state.failed_nodes):
+            sched.fail_node(nodes[node])
+        try:
+            reallocation = sched.reallocate(job, nodes)
+            state.report.add(Diagnostic(
+                "RES008",
+                f"scheduler replaced failed node(s) "
+                f"{sorted(nodes[n] for n in state.failed_nodes)}; "
+                f"job now on {reallocation}",
+                location=f"job {job.name}",
+                details={
+                    "failed": sorted(nodes[n] for n in state.failed_nodes),
+                    "nodes": reallocation,
+                },
+            ))
+        except AllocationError as exc:
+            realloc_error = str(exc)
+        # place each crash on the job's wall clock by its relative
+        # position in the simulated run
+        scale = (
+            job_work_s / healthy_elapsed if healthy_elapsed > 0.0 else 0.0
+        )
+        tos = checkpoint.time_to_solution(
+            job_work_s, [t * scale for t in sorted(crash_times)]
+        )
+        state.report.add(Diagnostic(
+            "RES009",
+            f"checkpoint/restart: {tos.total_s:.0f}s total for "
+            f"{tos.work_s:.0f}s of work ({tos.n_restarts} restart(s), "
+            f"{tos.lost_work_s:.0f}s lost, "
+            f"{100 * tos.overhead_fraction:.1f}% overhead)",
+            location=f"job campaign-i{intensity}",
+            details=tos.to_dict(),
+        ))
+
+    return Trial(
+        intensity=intensity,
+        schedule=schedule,
+        healthy_elapsed=healthy_elapsed,
+        faulty_elapsed=result.elapsed,
+        completed=result.completed,
+        n_rank_failures=len(result.rank_failures),
+        n_detections=len(state.detections),
+        detection_latency=detection_latency,
+        reallocation=reallocation,
+        reallocation_error=realloc_error,
+        time_to_solution=tos,
+        diagnostics=[d.to_dict() for d in state.report.sorted()],
+    )

@@ -1,0 +1,129 @@
+"""Checkpoint/restart cost model: time-to-solution under node failures.
+
+A job needing ``work_s`` seconds of useful computation checkpoints after
+every ``interval_s`` of *useful* work (paying ``write_cost_s`` wall time
+per checkpoint).  A crash rolls the job back to its last checkpoint and
+charges ``restart_cost_s`` (requeue + relaunch + state reload) before
+work resumes — on the reallocated nodes the scheduler picked.  Walking a
+list of crash wall-times through this model yields the
+:class:`TimeToSolution` breakdown the resilience campaign reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimeToSolution:
+    """Breakdown of one faulty run's wall time."""
+
+    total_s: float
+    work_s: float
+    checkpoint_overhead_s: float
+    lost_work_s: float
+    restart_overhead_s: float
+    n_restarts: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of wall time not spent on (kept) useful work."""
+        if self.total_s <= 0.0:
+            return 0.0
+        return 1.0 - self.work_s / self.total_s
+
+    def to_dict(self) -> dict:
+        return {
+            "total_s": self.total_s,
+            "work_s": self.work_s,
+            "checkpoint_overhead_s": self.checkpoint_overhead_s,
+            "lost_work_s": self.lost_work_s,
+            "restart_overhead_s": self.restart_overhead_s,
+            "n_restarts": self.n_restarts,
+            "overhead_fraction": self.overhead_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Periodic checkpointing with rollback-on-crash semantics."""
+
+    interval_s: float = 60.0
+    write_cost_s: float = 2.0
+    restart_cost_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in ("interval_s", "write_cost_s", "restart_cost_s"):
+            value = getattr(self, name)
+            if not (isinstance(value, (int, float)) and math.isfinite(value)
+                    and value >= 0.0):
+                raise ConfigurationError(
+                    f"{name} must be finite and >= 0, got {value!r}"
+                )
+        if self.interval_s <= 0.0:
+            raise ConfigurationError("checkpoint interval must be > 0")
+
+    def checkpoint_overhead(self, work_s: float) -> float:
+        """Wall time spent writing checkpoints over ``work_s`` of work
+        (no checkpoint is written at completion)."""
+        if work_s < 0.0:
+            raise ConfigurationError("work must be >= 0")
+        n = int(work_s / self.interval_s)
+        if n and n * self.interval_s == work_s:
+            n -= 1  # finishing exactly on a boundary skips the final write
+        return n * self.write_cost_s
+
+    def _progress_at(self, wall: float) -> tuple[float, float]:
+        """(useful work done, checkpointed work) after ``wall`` seconds of
+        crash-free execution from a fresh start/restart."""
+        period = self.interval_s + self.write_cost_s
+        full, rest = divmod(wall, period)
+        ckpt_work = full * self.interval_s
+        work = ckpt_work + min(rest, self.interval_s)
+        return work, ckpt_work
+
+    def time_to_solution(
+        self, work_s: float, crash_times: list[float] | tuple[float, ...] = (),
+    ) -> TimeToSolution:
+        """Walk wall-clock ``crash_times`` through the rollback model.
+
+        Crash times are absolute wall seconds; crashes landing after the
+        job would already have completed are ignored.
+        """
+        if work_s < 0.0:
+            raise ConfigurationError("work must be >= 0")
+        wall = 0.0          # current wall clock
+        done = 0.0          # checkpointed (durable) work at segment start
+        lost = 0.0
+        ckpt_overhead = 0.0
+        restarts = 0
+        for crash in sorted(crash_times):
+            if crash < wall:
+                continue  # overlapping crash during a restart window
+            remaining = work_s - done
+            finish = wall + remaining + self.checkpoint_overhead(remaining)
+            if crash >= finish:
+                continue  # job finished before this crash
+            seg_work, seg_ckpt = self._progress_at(crash - wall)
+            seg_work = min(seg_work, remaining)
+            seg_ckpt = min(seg_ckpt, remaining)
+            lost += seg_work - seg_ckpt
+            ckpt_overhead += (seg_ckpt / self.interval_s) * self.write_cost_s
+            done += seg_ckpt
+            restarts += 1
+            wall = crash + self.restart_cost_s
+        remaining = work_s - done
+        tail_ckpt = self.checkpoint_overhead(remaining)
+        ckpt_overhead += tail_ckpt
+        total = wall + remaining + tail_ckpt
+        return TimeToSolution(
+            total_s=total,
+            work_s=work_s,
+            checkpoint_overhead_s=ckpt_overhead,
+            lost_work_s=lost,
+            restart_overhead_s=restarts * self.restart_cost_s,
+            n_restarts=restarts,
+        )

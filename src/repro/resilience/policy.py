@@ -1,0 +1,90 @@
+"""Robustness policy for simulated MPI and the rank-failure outcome type."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """MPI-level robustness knobs of a resilient world.
+
+    ``recv_timeout`` — virtual seconds a blocking receive (including every
+    receive inside a collective) waits before re-arming; after
+    ``max_retries`` re-arms (each ``backoff`` times longer) against a node
+    known to have failed, the rank raises a rank failure; against a node
+    with no failure evidence, the rank gives up as a *suspected* failure.
+    ``None`` disables timeouts — a dead peer then surfaces as the engine's
+    DeadlockError at calendar drain, never as a silent hang.
+
+    ``send_timeout`` — virtual seconds after which a rendezvous send into
+    an unreachable (factor-0.0) link fails instead of blocking forever.
+    Eager sends into dead links are fire-and-forget: the message is lost
+    and the sender proceeds after its injection overhead, as real NICs do.
+
+    The defaults tolerate stragglers: a slow-but-alive peer is retried
+    with exponential backoff (~1.5 s of virtual patience) rather than
+    declared dead — this is what makes collective completion
+    straggler-aware rather than trigger-happy.
+    """
+
+    recv_timeout: float | None = 0.05
+    send_timeout: float | None = 0.2
+    max_retries: int = 5
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("recv_timeout", "send_timeout"):
+            value = getattr(self, name)
+            if value is not None and not (
+                isinstance(value, (int, float))
+                and math.isfinite(value) and value > 0.0
+            ):
+                raise ConfigurationError(
+                    f"{name} must be a positive finite time or None, got {value!r}"
+                )
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if not self.backoff >= 1.0:
+            raise ConfigurationError("backoff must be >= 1.0")
+
+    def total_patience(self) -> float:
+        """Worst-case virtual wait of one receive before giving up."""
+        if self.recv_timeout is None:
+            return math.inf
+        total, wait = 0.0, self.recv_timeout
+        for _ in range(self.max_retries + 1):
+            total += wait
+            wait *= self.backoff
+        return total
+
+
+@dataclass(frozen=True)
+class RankFailure:
+    """A rank's terminal outcome when it did not complete.
+
+    Appears in ``WorldResult.rank_results`` in place of the program's
+    return value; ``kind`` distinguishes how the rank died:
+    ``crash`` (its node failed), ``peer-dead`` (timed out against a node
+    known to have crashed), ``suspected`` (retries exhausted with no
+    failure evidence), ``send-unreachable`` (rendezvous send into a dead
+    link timed out).
+    """
+
+    rank: int
+    node: int
+    time: float
+    reason: str
+    kind: str = "failure"
+
+    def to_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "node": self.node,
+            "time": self.time,
+            "reason": self.reason,
+            "kind": self.kind,
+        }

@@ -1,0 +1,291 @@
+"""Timed fault events: what goes wrong, where, and when.
+
+A :class:`FaultSchedule` is an ordered list of :class:`FaultEvent`\\ s the
+DES applies *mid-run* — the dynamic counterpart of the static
+:class:`repro.network.faults.FaultModel`.  The taxonomy mirrors what a
+production system actually does while jobs run (the operational reality
+behind the paper's Fig. 4 weak receiver and Section III-A uniformity
+sweeps):
+
+* :class:`NodeCrash` — a node dies; its ranks terminate with a
+  ``RankFailure`` outcome and both link directions drop to factor 0.0
+  (unreachable);
+* :class:`LinkDegrade` / :class:`LinkRecover` — directional bandwidth
+  degradation and repair (factor 0.0 = dead link);
+* :class:`SlowdownOnset` — a node (or one core) becomes a compute
+  straggler from this point on;
+* :class:`NoiseBurst` — an OS-noise episode: compute-phase jitter
+  amplitude is raised for a window, then restored.
+
+Node indices refer to the *mapping-local* node numbering of the world the
+schedule is attached to (node 0 hosts ranks 0..ranks_per_node-1).
+Schedules serialize to/from plain dicts (``to_dicts``/``from_dicts``) so
+campaigns can log them in their JSON streams.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Iterator, Sequence
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: something happens at virtual time ``at`` (seconds)."""
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.at, (int, float)) and math.isfinite(self.at)
+                and self.at >= 0.0):
+            raise ConfigurationError(
+                f"fault event time must be finite and >= 0, got {self.at!r}"
+            )
+
+    @property
+    def kind(self) -> str:
+        return _KIND_OF[type(self)]
+
+
+def _check_direction(direction: str) -> None:
+    if direction not in ("recv", "send", "both"):
+        raise ConfigurationError(
+            f"direction must be 'recv', 'send' or 'both', got {direction!r}"
+        )
+
+
+def _check_node(node: int) -> None:
+    if not (isinstance(node, int) and node >= 0):
+        raise ConfigurationError(f"node index must be >= 0, got {node!r}")
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """The node fails entirely; its ranks die, its links go dead."""
+
+    node: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_node(self.node)
+
+
+@dataclass(frozen=True)
+class LinkDegrade(FaultEvent):
+    """Directional bandwidth degradation of one node (0.0 = dead link)."""
+
+    node: int = 0
+    factor: float = 0.5
+    direction: str = "recv"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_node(self.node)
+        _check_direction(self.direction)
+        if not 0.0 <= self.factor <= 1.0:
+            raise ConfigurationError(
+                f"degradation factor must be in [0, 1], got {self.factor!r}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkRecover(FaultEvent):
+    """Clear a node's directional fault factors (repair)."""
+
+    node: int = 0
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_node(self.node)
+        _check_direction(self.direction)
+
+
+@dataclass(frozen=True)
+class SlowdownOnset(FaultEvent):
+    """A node — or one of its cores — becomes a compute straggler.
+
+    ``factor`` multiplies the node/core performance (0.5 = half speed);
+    1.0 clears a previous onset.  Applies to compute phases that *start*
+    after the event.
+    """
+
+    node: int = 0
+    factor: float = 0.5
+    core: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_node(self.node)
+        if not 0.0 < self.factor <= 1.0:
+            raise ConfigurationError(
+                f"slowdown factor must be in (0, 1], got {self.factor!r}"
+            )
+
+
+@dataclass(frozen=True)
+class NoiseBurst(FaultEvent):
+    """An OS-noise episode: jitter amplitude raised for a window."""
+
+    duration: float = 0.0
+    amplitude: float = 0.1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not (math.isfinite(self.duration) and self.duration > 0.0):
+            raise ConfigurationError(
+                f"noise burst duration must be finite and > 0, got {self.duration!r}"
+            )
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ConfigurationError(
+                f"noise amplitude must be in [0, 1), got {self.amplitude!r}"
+            )
+
+
+_KIND_OF: dict[type, str] = {
+    NodeCrash: "crash",
+    LinkDegrade: "degrade",
+    LinkRecover: "recover",
+    SlowdownOnset: "slowdown",
+    NoiseBurst: "noise",
+}
+_TYPE_OF = {kind: cls for cls, kind in _KIND_OF.items()}
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, validated sequence of timed fault events.
+
+    Events are applied in ``(at, insertion order)`` order; attaching a
+    schedule to a :class:`~repro.simmpi.world.World` (the
+    ``fault_schedule=`` argument) registers the injector process that
+    executes it.
+    """
+
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __init__(self, events: Sequence[FaultEvent] = ()):
+        for ev in events:
+            if not isinstance(ev, FaultEvent):
+                raise ConfigurationError(
+                    f"fault schedule entries must be FaultEvents, got {ev!r}"
+                )
+        ordered = tuple(sorted(events, key=lambda e: e.at))  # stable
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def is_empty(self) -> bool:
+        return not self.events
+
+    @property
+    def horizon(self) -> float:
+        """Virtual time by which every event (incl. burst ends) is over."""
+        t = 0.0
+        for ev in self.events:
+            end = ev.at + ev.duration if isinstance(ev, NoiseBurst) else ev.at
+            t = max(t, end)
+        return t
+
+    @property
+    def crashes(self) -> tuple[NodeCrash, ...]:
+        return tuple(e for e in self.events if isinstance(e, NodeCrash))
+
+    def has_crashes(self) -> bool:
+        return any(isinstance(e, NodeCrash) for e in self.events)
+
+    def max_node(self) -> int:
+        """Largest node index referenced (-1 for node-less schedules)."""
+        return max(
+            (e.node for e in self.events if hasattr(e, "node")), default=-1
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        """Plain-dict form for JSON streams (``kind`` + event fields)."""
+        return [{"kind": ev.kind, **asdict(ev)} for ev in self.events]
+
+    @classmethod
+    def from_dicts(cls, dicts: Sequence[dict]) -> "FaultSchedule":
+        events = []
+        for d in dicts:
+            d = dict(d)
+            kind = d.pop("kind", None)
+            if kind not in _TYPE_OF:
+                raise ConfigurationError(f"unknown fault event kind {kind!r}")
+            events.append(_TYPE_OF[kind](**d))
+        return cls(events)
+
+
+def random_schedule(
+    n_nodes: int,
+    n_events: int,
+    *,
+    horizon: float,
+    kinds: Sequence[str] = ("degrade", "slowdown", "noise"),
+    max_crashes: int = 1,
+    factor_range: tuple[float, float] = (0.2, 0.8),
+    seed: int | None = None,
+) -> FaultSchedule:
+    """Draw a random schedule (fault-intensity sweeps, property tests).
+
+    ``kinds`` restricts the event mix; ``"crash"`` entries are capped at
+    ``max_crashes`` and never target node 0 when more than one node exists
+    (rank 0 usually aggregates results).  Deterministic in ``seed``.
+    """
+    if n_nodes < 1:
+        raise ConfigurationError("need at least one node")
+    if n_events < 0:
+        raise ConfigurationError("event count must be >= 0")
+    if not horizon > 0.0:
+        raise ConfigurationError("horizon must be > 0")
+    for kind in kinds:
+        if kind not in _TYPE_OF:
+            raise ConfigurationError(f"unknown fault event kind {kind!r}")
+    lo, hi = factor_range
+    if not 0.0 < lo <= hi <= 1.0:
+        raise ConfigurationError("invalid factor range")
+    rng = make_rng(seed, "fault-schedule", n_nodes, n_events, *kinds)
+    events: list[FaultEvent] = []
+    crashes = 0
+    for _ in range(n_events):
+        kind = str(rng.choice(list(kinds)))
+        at = float(rng.uniform(0.0, horizon))
+        if kind == "crash" and crashes >= max_crashes:
+            kind = "degrade"
+        if kind == "crash":
+            low = 1 if n_nodes > 1 else 0
+            node = int(rng.integers(low, n_nodes))
+            events.append(NodeCrash(at, node=node))
+            crashes += 1
+        elif kind == "degrade":
+            events.append(LinkDegrade(
+                at,
+                node=int(rng.integers(0, n_nodes)),
+                factor=float(rng.uniform(lo, hi)),
+                direction=str(rng.choice(["recv", "send", "both"])),
+            ))
+        elif kind == "recover":
+            events.append(LinkRecover(at, node=int(rng.integers(0, n_nodes))))
+        elif kind == "slowdown":
+            events.append(SlowdownOnset(
+                at,
+                node=int(rng.integers(0, n_nodes)),
+                factor=float(rng.uniform(lo, hi)),
+            ))
+        else:  # noise
+            events.append(NoiseBurst(
+                at,
+                duration=float(rng.uniform(horizon * 0.05, horizon * 0.25)),
+                amplitude=float(rng.uniform(0.05, 0.4)),
+            ))
+    return FaultSchedule(events)

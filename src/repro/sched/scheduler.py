@@ -32,10 +32,71 @@ class Scheduler:
         self.topology = topology
         self._rng = make_rng(seed, "scheduler", cluster.name)
         self._busy: set[int] = set()
+        self._failed: set[int] = set()
+
+    def _allocatable(self) -> list[int]:
+        return [n for n in range(self.cluster.n_nodes)
+                if n not in self._busy and n not in self._failed]
 
     @property
     def free_nodes(self) -> int:
-        return self.cluster.n_nodes - len(self._busy)
+        return len(self._allocatable())
+
+    @property
+    def failed_nodes(self) -> set[int]:
+        return set(self._failed)
+
+    # -- node health --------------------------------------------------------
+
+    def fail_node(self, node: int) -> None:
+        """Take a node out of service (crash / drained by operations).
+
+        A failed node is never handed out by :meth:`allocate`; jobs
+        currently holding it must be repaired via :meth:`reallocate`.
+        """
+        if not 0 <= node < self.cluster.n_nodes:
+            raise AllocationError(
+                f"node {node} out of range 0..{self.cluster.n_nodes - 1}"
+            )
+        self._failed.add(node)
+
+    def repair_node(self, node: int) -> None:
+        """Return a failed node to service."""
+        self._failed.discard(node)
+
+    def reallocate(
+        self,
+        job: Job,
+        nodes: list[int],
+        policy: AllocationPolicy = AllocationPolicy.COMPACT,
+    ) -> list[int]:
+        """Replace an allocation's failed members, keeping the survivors.
+
+        The checkpoint/restart cost of actually moving the job is priced
+        separately (:class:`repro.resilience.CheckpointModel`); this method
+        only answers *where* the job restarts.  Returns the new node list
+        (sorted); raises :class:`AllocationError` when not enough healthy
+        nodes remain.
+        """
+        dead = [n for n in nodes if n in self._failed]
+        if not dead:
+            return sorted(nodes)
+        survivors = [n for n in nodes if n not in self._failed]
+        for n in dead:
+            self._busy.discard(n)
+        free = self._allocatable()
+        if len(dead) > len(free):
+            raise AllocationError(
+                f"{job.name}: {len(dead)} replacement node(s) needed, "
+                f"{len(free)} healthy free on {self.cluster.name}"
+            )
+        if policy is AllocationPolicy.COMPACT:
+            replacements = free[: len(dead)]
+        else:
+            idx = self._rng.choice(len(free), size=len(dead), replace=False)
+            replacements = sorted(free[i] for i in idx)
+        self._busy.update(replacements)
+        return sorted(survivors + replacements)
 
     def check_memory(self, job: Job) -> None:
         """Raise OutOfMemoryError if the job does not fit per-node memory.
@@ -63,7 +124,7 @@ class Scheduler:
                 f"{job.name}: {job.n_nodes} nodes requested, "
                 f"{self.free_nodes} free on {self.cluster.name}"
             )
-        free = [n for n in range(self.cluster.n_nodes) if n not in self._busy]
+        free = self._allocatable()
         if policy is AllocationPolicy.COMPACT:
             chosen = free[: job.n_nodes]
         else:

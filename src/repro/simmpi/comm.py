@@ -10,13 +10,14 @@ through the same link model as the paper's point-to-point measurements.
 from __future__ import annotations
 
 import enum
+import math
 from typing import Any
 
 import numpy as np
 
 from repro.des.engine import Event
 from repro.simmpi.payload import VirtualPayload, payload_size
-from repro.util.errors import ConfigurationError, SimulationError
+from repro.util.errors import ConfigurationError, RankFailureError, SimulationError
 
 
 class ReduceOp(enum.Enum):
@@ -93,8 +94,20 @@ class Comm:
         """Translate a rank of this communicator to a world rank."""
         return self._group[local] if self._group is not None else local
 
-    def _tagged(self, tag: int) -> tuple[int, int]:
-        """Namespace a tag with the communicator id."""
+    def _tagged(self, tag: int) -> tuple[int, ...]:
+        """Namespace a tag with the communicator id.
+
+        Collective-internal tags (negative by convention) additionally
+        carry the per-communicator collective instance number: adjacent
+        collectives reuse the same tag base, and a small message from
+        call N+1 can finish its transfer before a large one from call N —
+        without the instance number in the channel key, a rank still
+        inside call N would consume it.  The 3-tuple shape also keeps
+        internal traffic invisible to user MPI_ANY_TAG receives, which
+        match the ``(comm_id, None)`` 2-tuple wildcard only.
+        """
+        if tag < 0:
+            return (self._comm_id, tag, self._coll_seq)
         return (self._comm_id, tag)
 
     def _get(self, source: int, tag: int | None) -> Event:
@@ -107,6 +120,48 @@ class Comm:
                 me, self.world_rank(source), tag, self._comm_id, self._phase
             )
         return self.world.channel(me).get(source, key)
+
+    def _recv(self, source: int, tag: int | None):
+        """Blocking receive of the next matching message.
+
+        With a resilience policy active this is where the MPI-level
+        robustness semantics live: the wait is re-armed up to
+        ``max_retries`` times with exponential backoff (straggler-aware —
+        a slow peer is retried, not declared dead), a timeout against a
+        node known to have crashed raises a rank failure (peer-death
+        detection), and exhausted retries without failure evidence give up
+        as a *suspected* failure.  Every collective receive goes through
+        here too, so collectives inherit the same semantics.
+        """
+        ev = self._get(source, tag)
+        state = self.world.resilience
+        if state is None or state.policy.recv_timeout is None:
+            return (yield ev)
+        from repro.des.resources import AnyOf
+
+        engine = self.world.engine
+        pol = state.policy
+        wait = pol.recv_timeout
+        me = self.world_rank(self.rank)
+        peer = self.world_rank(source)
+        for _attempt in range(pol.max_retries + 1):
+            idx, value = yield AnyOf(engine, [ev, engine.timeout(wait)])
+            if idx == 0:
+                return value
+            wait *= pol.backoff
+            node = self.world.mapping.node_of(peer)
+            if state.is_node_failed(node):
+                state.note_detection(me, peer, engine.now)
+                raise RankFailureError(
+                    f"rank {me}: peer rank {peer} lost (node {node} failed)",
+                    rank=me, peer=peer, kind="peer-dead",
+                )
+        state.note_suspect(me, peer, engine.now)
+        raise RankFailureError(
+            f"rank {me}: no message from rank {peer} after "
+            f"{pol.max_retries + 1} timed waits",
+            rank=me, peer=peer, kind="suspected",
+        )
 
     @property
     def now(self) -> float:
@@ -130,7 +185,10 @@ class Comm:
     def _rec_collective(
         self, op: str, *, root: int | None = None, nbytes: int | None = None
     ) -> None:
-        """Log a collective entry when a verify recorder is attached."""
+        """Mark a collective entry: bump the per-communicator instance
+        counter (namespacing the internal channel keys, see ``_tagged``)
+        and log the entry when a verify recorder is attached."""
+        self._coll_seq += 1
         rec = self.world.recorder
         if rec is not None:
             rec.record_collective(
@@ -192,6 +250,8 @@ class Comm:
             world.channel(dst_world).put(self.rank, tagged, payload)
 
         rendezvous = nbytes > world.eager_threshold
+        if t_transfer == math.inf:
+            return self._send_unreachable(dst_world, rendezvous)
         if world.nic_contention and rendezvous and src_node != dst_node:
             # Serialize this node's rendezvous injections through its NIC;
             # the sender completes (and the message arrives) when its turn
@@ -205,6 +265,37 @@ class Comm:
         if not rendezvous:
             return world.engine.timeout(world.send_overhead_s)
         return world.engine.timeout(t_transfer)
+
+    def _send_unreachable(self, dst_world: int, rendezvous: bool) -> Event:
+        """Send into a dead link (factor 0.0): the message is lost.
+
+        Eager sends are fire-and-forget — the sender proceeds after its
+        injection overhead, as a real NIC would.  A rendezvous send holds
+        the sender: with a resilience policy it fails with a rank failure
+        after ``send_timeout``; without one the returned event never fires,
+        so the blocked sender surfaces as DeadlockError at calendar drain
+        (an error, not a hang).
+        """
+        world = self.world
+        if not rendezvous:
+            return world.engine.timeout(world.send_overhead_s)
+        ev = world.engine.event(
+            label=f"send-unreachable:{self.rank}->{dst_world}"
+        )
+        state = world.resilience
+        if state is not None and state.policy.send_timeout is not None:
+            me = self.world_rank(self.rank)
+
+            def _expire(_t: Event) -> None:
+                state.note_send_failure(me, dst_world, world.engine.now)
+                ev.fail(RankFailureError(
+                    f"rank {me}: rendezvous send to rank {dst_world} "
+                    "timed out (destination unreachable)",
+                    rank=me, peer=dst_world, kind="send-unreachable",
+                ))
+
+            world.engine.timeout(state.policy.send_timeout).add_callback(_expire)
+        return ev
 
     def _nic_transfer(self, node: int, t_transfer: float, deliver):
         nic = self.world.nic(node)
@@ -226,7 +317,7 @@ class Comm:
         """Blocking receive; returns the payload."""
         self._check_peer(source)
         start = self.now
-        data = yield self._get(source, tag)
+        data = yield from self._recv(source, tag)
         self._trace(start, "recv")
         return data
 
@@ -244,7 +335,7 @@ class Comm:
         self._check_peer(src)
         start = self.now
         send_done = self._isend(dest, payload, tag, size)
-        data = yield self._get(src, tag)
+        data = yield from self._recv(src, tag)
         yield send_done
         self._trace(start, "sendrecv")
         return data
@@ -268,7 +359,7 @@ class Comm:
             dest = (self.rank + k) % p
             src = (self.rank - k) % p
             send_done = self._isend(dest, None, tag=-1 - k, size=1)
-            yield self._get(src, -1 - k)
+            yield from self._recv(src, -1 - k)
             yield send_done
             k <<= 1
         self._trace(start, "barrier")
@@ -296,7 +387,7 @@ class Comm:
         while mask < p:
             if relative & mask:
                 src = (relative - mask + root) % p
-                data = yield self._get(src, tag)
+                data = yield from self._recv(src, tag)
                 highest = mask
                 break
             mask <<= 1
@@ -345,7 +436,7 @@ class Comm:
                 src_rel = relative + mask
                 if src_rel < p:
                     src = (src_rel + root) % p
-                    partial = yield self._get(src, tag)
+                    partial = yield from self._recv(src, tag)
                     result = op.apply(result, partial)
                 mask <<= 1
         self._trace(start, "reduce")
@@ -375,7 +466,7 @@ class Comm:
             while mask < p:
                 partner = self.rank ^ mask
                 send_done = self._isend(partner, result, tag - mask, size)
-                other = yield self._get(partner, tag - mask)
+                other = yield from self._recv(partner, tag - mask)
                 yield send_done
                 result = op.apply(result, other)
                 mask <<= 1
@@ -409,7 +500,7 @@ class Comm:
                 src_rel = relative + mask
                 if src_rel < p:
                     src = (src_rel + root) % p
-                    part = yield self._get(src, tag)
+                    part = yield from self._recv(src, tag)
                     collected.update(part)
                 mask <<= 1
         self._trace(start, "gather")
@@ -443,7 +534,7 @@ class Comm:
             send_done = self._isend(
                 right, (carry_idx, blocks[carry_idx]), tag, size=nbytes
             )
-            idx, data = yield self._get(left, tag)
+            idx, data = yield from self._recv(left, tag)
             yield send_done
             blocks[idx] = data
             carry_idx = idx
@@ -478,7 +569,7 @@ class Comm:
             dst = (self.rank + k) % p
             src = (self.rank - k) % p
             send_done = self._isend(dst, payloads[dst], tag - k, size)
-            received[src] = yield self._get(src, tag - k)
+            received[src] = yield from self._recv(src, tag - k)
             yield send_done
         self._trace(start, "alltoall")
         return received
@@ -502,7 +593,7 @@ class Comm:
                     yield self._isend(dst, payloads[dst], tag, size)
             mine = payloads[root]
         else:
-            mine = yield self._get(root, tag)
+            mine = yield from self._recv(root, tag)
         self._trace(start, "scatter")
         return mine
 
@@ -646,7 +737,7 @@ class Comm:
             recv_idx = (self.rank - k - 1) % p
             send_done = self._isend(right, (send_idx, acc[send_idx]),
                                     tag - k, size)
-            idx, part = yield self._get(left, tag - k)
+            idx, part = yield from self._recv(left, tag - k)
             yield send_done
             assert idx == recv_idx
             acc[recv_idx] = op.apply(acc[recv_idx], part)
@@ -665,7 +756,7 @@ class Comm:
         tag = -9000
         prefix = None
         if self.rank > 0:
-            prefix = yield self._get(self.rank - 1, tag)
+            prefix = yield from self._recv(self.rank - 1, tag)
         inclusive = payload if prefix is None else op.apply(prefix, payload)
         if self.rank + 1 < self.size:
             yield self._isend(self.rank + 1, inclusive, tag, size)

@@ -17,6 +17,9 @@ from repro.util.errors import ConfigurationError, DeadlockError
 from repro.util.units import KIB
 
 if TYPE_CHECKING:
+    from repro.resilience.policy import RankFailure, ResiliencePolicy
+    from repro.resilience.schedule import FaultSchedule
+    from repro.resilience.state import ResilienceState
     from repro.verify.diagnostics import DiagnosticReport
     from repro.verify.recorder import CommRecorder
 
@@ -32,6 +35,21 @@ class WorldResult:
     trace: TraceRecorder
     #: post-run MPI checker findings (``World.run(..., verify=True)`` only).
     diagnostics: "DiagnosticReport | None" = field(default=None)
+    #: dynamic-fault bookkeeping (worlds with a FaultSchedule/policy only):
+    #: failure detections, applied transitions, RES diagnostics.
+    resilience: "ResilienceState | None" = field(default=None)
+
+    @property
+    def rank_failures(self) -> "list[RankFailure]":
+        """Ranks that did not complete (crashed node, dead peer, ...)."""
+        from repro.resilience.policy import RankFailure
+
+        return [r for r in self.rank_results if isinstance(r, RankFailure)]
+
+    @property
+    def completed(self) -> bool:
+        """True when every rank ran to normal completion."""
+        return not self.rank_failures
 
     def phase_time(self, phase: str, *, reduction: str = "max") -> float:
         """Aggregate a traced phase over ranks.
@@ -75,6 +93,8 @@ class World:
         compute_noise: float = 0.0,
         noise_seed: int = 0,
         heterogeneity=None,
+        fault_schedule: "FaultSchedule | None" = None,
+        resilience: "ResiliencePolicy | None" = None,
     ):
         self.mapping = mapping
         self.network = network if network is not None else network_for(
@@ -116,14 +136,32 @@ class World:
         #: communication event log for the verify layer (set by
         #: ``run(verify=True)`` or attached explicitly).
         self.recorder: "CommRecorder | None" = None
+        #: dynamic fault injection + MPI robustness (see repro.resilience);
+        #: created when a schedule or a policy is supplied.
+        self.resilience: "ResilienceState | None" = None
+        if fault_schedule is not None or resilience is not None:
+            from repro.resilience.policy import ResiliencePolicy
+            from repro.resilience.schedule import FaultSchedule
+            from repro.resilience.state import ResilienceState
+
+            self.resilience = ResilienceState(
+                self,
+                fault_schedule if fault_schedule is not None else FaultSchedule(),
+                resilience if resilience is not None else ResiliencePolicy(),
+            )
 
     def _use_fastcoll(self) -> bool:
-        """Analytic collectives apply only when nothing observes the full
-        per-message schedule: no verify recorder, no NIC contention model."""
+        """Analytic collectives apply only when nothing observes or
+        perturbs the full per-message schedule: no verify recorder, no NIC
+        contention model, no dynamic fault schedule (fault factors may
+        change *during* a collective), and no statically dead link (the
+        closed forms cannot represent an unreachable pair)."""
         return (
             self.fast_collectives
             and self.recorder is None
             and not self.nic_contention
+            and self.resilience is None
+            and not self.network.faults.has_unreachable()
         )
 
     @property
@@ -203,17 +241,31 @@ class World:
         divergence, ...), and a deadlock raises a :class:`DeadlockError`
         carrying the wait-for-graph postmortem — which ranks block on which
         operations — instead of the engine's bare message.
+
+        Worlds with a fault schedule or resilience policy attached run the
+        fault injector alongside the ranks; a rank that dies (node crash,
+        timeout against a dead peer) yields a
+        :class:`~repro.resilience.RankFailure` in ``rank_results`` rather
+        than hanging the run, and ``WorldResult.resilience`` carries the
+        detection bookkeeping and RES diagnostics.
         """
         if verify and self.recorder is None:
             from repro.verify.recorder import CommRecorder
 
             self.recorder = CommRecorder()
         n = self.mapping.n_ranks
+        state = self.resilience
+        if state is not None:
+            state.start_injector()
         processes = []
         for rank in range(n):
             comm = self.comm(rank)
             gen = program(comm, *args, **kwargs)
+            if state is not None:
+                gen = state.supervise(rank, gen)
             processes.append(self.engine.process(gen, label=f"rank{rank}"))
+        if state is not None:
+            state.attach_processes(processes)
         try:
             elapsed = self.engine.run()
         except DeadlockError as exc:
@@ -225,10 +277,13 @@ class World:
             err = DeadlockError(f"{exc}\n{report.render()}")
             err.diagnostics = report
             raise err from exc
+        if state is not None:
+            elapsed = state.elapsed(fallback=elapsed)
         result = WorldResult(
             elapsed=elapsed,
             rank_results=[p.value for p in processes],
             trace=self.trace,
+            resilience=state,
         )
         if self.recorder is not None:
             from repro.verify.mpi_rules import check_recorded

@@ -32,6 +32,26 @@ class DeadlockError(SimulationError):
     diagnostics = None
 
 
+class RankFailureError(SimulationError):
+    """A simulated rank died or gave up on a dead/unresponsive peer.
+
+    Raised inside rank programs by the resilience layer (node crash, recv
+    retries exhausted against a failed node, rendezvous send into an
+    unreachable link).  ``World.run`` with an active
+    :class:`repro.resilience.ResilienceState` converts it into a
+    :class:`repro.resilience.RankFailure` outcome in
+    ``WorldResult.rank_results`` instead of aborting the run.
+    """
+
+    def __init__(self, message: str, *, rank: int | None = None,
+                 peer: int | None = None, kind: str = "failure"):
+        super().__init__(message)
+        self.rank = rank
+        self.peer = peer
+        #: ``crash`` | ``peer-dead`` | ``suspected`` | ``send-unreachable``
+        self.kind = kind
+
+
 class ToolchainError(ReproError):
     """Base class for compiler/toolchain failures (paper Section V)."""
 

@@ -76,6 +76,17 @@ RULES: dict[str, Rule] = {
         Rule("SMP003", Severity.WARNING, "prepage page policy on an OpenMP-spanning run (Fig. 2 trap)"),
         Rule("SMP004", Severity.WARNING, "ranks per node do not divide the cores evenly"),
         Rule("SMP005", Severity.INFO, "cores left idle by the rank x thread layout"),
+        # -- resilience / dynamic faults ------------------------------------
+        Rule("RES001", Severity.ERROR, "node crash terminated its ranks mid-run"),
+        Rule("RES002", Severity.ERROR, "peer failure detected (recv timeout against a dead node)"),
+        Rule("RES003", Severity.WARNING, "recv retries exhausted without failure evidence (suspected straggler)"),
+        Rule("RES004", Severity.WARNING, "link bandwidth degraded mid-run"),
+        Rule("RES005", Severity.INFO, "degraded link recovered mid-run"),
+        Rule("RES006", Severity.WARNING, "compute straggler onset mid-run"),
+        Rule("RES007", Severity.INFO, "OS-noise burst raised compute jitter"),
+        Rule("RES008", Severity.INFO, "scheduler reallocated a job around failed nodes"),
+        Rule("RES009", Severity.INFO, "checkpoint/restart cost charged to time-to-solution"),
+        Rule("RES010", Severity.ERROR, "rendezvous send timed out (unreachable destination)"),
         # -- vectorization advisor ------------------------------------------
         Rule("VEC001", Severity.ADVICE, "irregular access pattern defeats the autovectorizer"),
         Rule("VEC002", Severity.ADVICE, "immature SVE back end leaves the loop scalar"),

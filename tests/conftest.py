@@ -8,6 +8,14 @@ from repro.machine import cte_arm, marenostrum4
 from repro.simmpi import RankMapping, World
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden trace snapshots under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
 @pytest.fixture(scope="session")
 def arm():
     return cte_arm()

@@ -1,0 +1,165 @@
+"""Hypothesis strategies for random simulated-MPI programs and random
+fault schedules.
+
+A drawn :class:`ProgramSpec` is a deterministic SPMD program — a sequence
+of collective/point-to-point/compute operations every rank executes in
+lockstep — compiled to a rank-program generator by :meth:`ProgramSpec.build`.
+All ranks run the same op list (so collective call sequences always match)
+and every operand is derived from the op's parameters and the rank id, so
+two runs of the same spec are bit-identical.
+
+``fault_schedules`` draws :class:`~repro.resilience.FaultSchedule`\\ s
+over a fixed node count; ``allow_crash=False`` restricts the mix to
+degradation-only events (link degrade/recover, slowdown, noise) — the
+subset for which "faults never make a run faster" is a theorem (a crash
+can shorten a run by killing ranks early).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from hypothesis import strategies as st
+
+from repro.resilience import (
+    FaultSchedule,
+    LinkDegrade,
+    LinkRecover,
+    NodeCrash,
+    NoiseBurst,
+    SlowdownOnset,
+)
+
+#: op kinds a ProgramSpec may contain; ops carrying a size use
+#: power-of-two payloads straddling the eager threshold.
+_SIZES = (64, 4096, 65536, 262144)
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A reproducible SPMD program: (op, arg) pairs run by every rank."""
+
+    n_ranks: int
+    ops: tuple[tuple[str, int], ...]
+
+    def build(self):
+        """Compile to a rank-program generator function."""
+        ops = self.ops
+
+        def program(comm) -> Generator[Any, Any, Any]:
+            comm.set_phase("prop")
+            acc: Any = float(comm.rank + 1)
+            p = comm.size
+            for step, (op, arg) in enumerate(ops):
+                if op == "barrier":
+                    yield from comm.barrier()
+                elif op == "allreduce":
+                    acc = yield from comm.allreduce(acc, size=arg)
+                elif op == "bcast":
+                    root = arg % p
+                    payload = acc if comm.rank == root else None
+                    acc = yield from comm.bcast(payload, root=root, size=64)
+                elif op == "reduce":
+                    root = arg % p
+                    got = yield from comm.reduce(acc, root=root, size=64)
+                    acc = got if comm.rank == root else acc
+                elif op == "allgather":
+                    blocks = yield from comm.allgather(acc, size=arg)
+                    acc = sum(blocks)
+                elif op == "alltoall":
+                    out = yield from comm.alltoall(
+                        [comm.rank * p + d for d in range(p)], size=arg
+                    )
+                    acc = float(sum(out))
+                elif op == "compute":
+                    yield from comm.compute(arg * 1e-6)
+                elif op == "ring":
+                    if p > 1:
+                        got = yield from comm.sendrecv(
+                            (comm.rank + 1) % p,
+                            acc,
+                            source=(comm.rank - 1) % p,
+                            tag=1000 + step,
+                            size=arg,
+                        )
+                        acc = got
+                else:  # pragma: no cover - strategy never draws this
+                    raise AssertionError(f"unknown op {op!r}")
+            return acc
+
+        return program
+
+
+def _ops(kinds: tuple[str, ...]) -> st.SearchStrategy:
+    def one(kind: str) -> st.SearchStrategy:
+        if kind in ("barrier",):
+            return st.just((kind, 0))
+        if kind in ("bcast", "reduce"):
+            return st.tuples(st.just(kind), st.integers(0, 7))
+        if kind == "compute":
+            return st.tuples(st.just(kind), st.integers(1, 50))
+        return st.tuples(st.just(kind), st.sampled_from(_SIZES))
+
+    return st.one_of([one(k) for k in kinds])
+
+
+#: every op kind; ``collective_only=True`` below restricts to the subset
+#: on which the analytic fast path is *exact* for arbitrary entry skew:
+#: the symmetric collectives (every rank waits on messages from others,
+#: so no completion is ever clamped to the collective's last arrival)
+#: plus uniform compute.  Rooted collectives (bcast/reduce) let the root
+#: run ahead in the DES via eager sends while the fast path resumes it at
+#: the last arrival — a documented approximation, differentially covered
+#: by the fixed-program tests and the 5% suite in test_fastcoll.py.
+_ALL_KINDS = ("barrier", "allreduce", "bcast", "reduce", "allgather",
+              "alltoall", "compute", "ring")
+_COLLECTIVE_KINDS = ("barrier", "allreduce", "allgather", "alltoall",
+                     "compute")
+
+
+@st.composite
+def program_specs(draw, *, collective_only: bool = False,
+                  max_ops: int = 6) -> ProgramSpec:
+    """Draw a random SPMD program over 2, 4 or 8 ranks."""
+    n_ranks = draw(st.sampled_from([2, 4, 8]))
+    kinds = _COLLECTIVE_KINDS if collective_only else _ALL_KINDS
+    ops = draw(st.lists(_ops(kinds), min_size=1, max_size=max_ops))
+    return ProgramSpec(n_ranks=n_ranks, ops=tuple(ops))
+
+
+@st.composite
+def fault_schedules(draw, *, n_nodes: int, horizon: float = 0.02,
+                    allow_crash: bool = True,
+                    max_events: int = 4) -> FaultSchedule:
+    """Draw a random fault schedule over ``n_nodes`` nodes."""
+    nodes = st.integers(0, n_nodes - 1)
+    times = st.floats(0.0, horizon, allow_nan=False, allow_infinity=False)
+    factors = st.floats(0.2, 0.9, allow_nan=False)
+    degrade = st.builds(
+        LinkDegrade, times, node=nodes, factor=factors,
+        direction=st.sampled_from(["recv", "send", "both"]),
+    )
+    recover = st.builds(
+        LinkRecover, times, node=nodes,
+        direction=st.sampled_from(["recv", "send", "both"]),
+    )
+    slowdown = st.builds(SlowdownOnset, times, node=nodes, factor=factors)
+    noise = st.builds(
+        NoiseBurst, times,
+        duration=st.floats(horizon * 0.05, horizon * 0.5, allow_nan=False),
+        amplitude=st.floats(0.05, 0.5, allow_nan=False),
+    )
+    events = [degrade, recover, slowdown, noise]
+    if allow_crash:
+        # at most one crash, never node 0 (rank 0 aggregates results)
+        crash_nodes = st.integers(min(1, n_nodes - 1), n_nodes - 1)
+        events.append(st.builds(NodeCrash, times, node=crash_nodes))
+    drawn = draw(st.lists(st.one_of(events), min_size=0,
+                          max_size=max_events))
+    crashes = [e for e in drawn if isinstance(e, NodeCrash)]
+    if len(crashes) > 1:
+        keep = crashes[0]
+        drawn = [e for e in drawn
+                 if not isinstance(e, NodeCrash) or e is keep]
+    return FaultSchedule(drawn)

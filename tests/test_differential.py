@@ -1,0 +1,146 @@
+"""Differential suite: the analytic collective fast path against the
+fully simulated DES schedule, including under static network faults, plus
+the gating that keeps the fast path off whenever it could diverge.
+
+For bulk-synchronous programs (every rank enters each collective at the
+same virtual time — all ``ProgramSpec`` collective-only programs are, by
+construction) the closed-form recurrences reproduce the DES schedule
+*exactly*, so elapsed times are compared at ``rel=1e-9``, not the loose
+cross-validation tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.machine import cte_arm
+from repro.network.faults import FaultModel
+from repro.resilience import FaultSchedule, LinkDegrade, ResiliencePolicy
+from repro.simmpi import RankMapping, World
+
+from tests.strategies import ProgramSpec, program_specs
+
+_CLUSTER = cte_arm(16)
+
+REL = 1e-9
+
+
+def _mapping(n_ranks: int) -> RankMapping:
+    rpn = min(2, n_ranks)
+    return RankMapping(_CLUSTER, n_nodes=n_ranks // rpn, ranks_per_node=rpn)
+
+
+def _differential(spec: ProgramSpec, *, faults: FaultModel | None = None,
+                  rel: float = REL) -> None:
+    mapping = _mapping(spec.n_ranks)
+    results = []
+    for fast in (False, True):
+        world = World(mapping, fast_collectives=fast, trace=False)
+        if faults is not None:
+            world.network.faults.recv_factors.update(faults.recv_factors)
+            world.network.faults.send_factors.update(faults.send_factors)
+        results.append(world.run(spec.build()))
+    ref, got = results
+    assert got.rank_results == ref.rank_results
+    assert got.elapsed == pytest.approx(ref.elapsed, rel=rel)
+
+
+class TestFixedPrograms:
+    """Hand-picked bulk-synchronous programs, exact agreement."""
+
+    @pytest.mark.parametrize("n_ranks", [2, 4, 8])
+    def test_mixed_collectives(self, n_ranks):
+        spec = ProgramSpec(n_ranks, (
+            ("allreduce", 4096),
+            ("barrier", 0),
+            ("bcast", 1),
+            ("compute", 10),
+            ("allgather", 65536),
+            ("reduce", 0),
+            ("alltoall", 262144),
+        ))
+        _differential(spec)
+
+    def test_repeated_allreduce(self):
+        spec = ProgramSpec(8, (("allreduce", 262144),) * 6)
+        _differential(spec)
+
+
+class TestStaticFaults:
+    """A statically degraded (but reachable) link must slow both paths by
+    the same amount — the fault factor flows through the one shared
+    ``NetworkModel.p2p_time``."""
+
+    @pytest.mark.parametrize("factor", [0.4, 0.75])
+    def test_weak_receiver(self, factor):
+        spec = ProgramSpec(8, (
+            ("allreduce", 262144), ("allgather", 65536), ("barrier", 0),
+        ))
+        _differential(
+            spec, faults=FaultModel().degrade_receiver(2, factor)
+        )
+
+    def test_weak_sender(self):
+        spec = ProgramSpec(4, (("alltoall", 262144), ("allreduce", 4096)))
+        _differential(spec, faults=FaultModel().degrade_sender(1, 0.5))
+
+    def test_fault_actually_slows(self):
+        spec = ProgramSpec(8, (("allreduce", 262144),))
+        mapping = _mapping(8)
+        healthy = World(mapping, trace=False).run(spec.build())
+        faulty_world = World(mapping, trace=False)
+        faulty_world.network.faults.degrade_receiver(2, 0.25)
+        faulty = faulty_world.run(spec.build())
+        assert faulty.elapsed > healthy.elapsed
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_specs(collective_only=True))
+def test_random_programs_agree(spec):
+    _differential(spec)
+
+
+@settings(max_examples=15, deadline=None)
+@given(program_specs(collective_only=True, max_ops=4))
+def test_random_programs_agree_under_faults(spec):
+    _differential(spec, faults=FaultModel().degrade_receiver(0, 0.5))
+
+
+class TestFastcollGating:
+    """The fast path must refuse whenever it could diverge from the DES."""
+
+    def test_fault_schedule_disables_fastcoll(self):
+        schedule = FaultSchedule([LinkDegrade(0.001, node=1, factor=0.5)])
+        world = World(_mapping(4), fast_collectives=True,
+                      fault_schedule=schedule)
+        assert world._use_fastcoll() is False
+
+    def test_policy_disables_fastcoll(self):
+        world = World(_mapping(4), fast_collectives=True,
+                      resilience=ResiliencePolicy())
+        assert world._use_fastcoll() is False
+
+    def test_static_dead_link_disables_fastcoll(self):
+        world = World(_mapping(4), fast_collectives=True)
+        assert world._use_fastcoll() is True
+        world.network.faults.degrade_receiver(1, 0.0)
+        assert world._use_fastcoll() is False
+        world.network.faults.restore(1)
+        assert world._use_fastcoll() is True
+
+    def test_fallback_matches_simulated_path(self):
+        """With a schedule attached, a fast_collectives=True world takes
+        the DES path and agrees bit-for-bit with fast_collectives=False."""
+        spec = ProgramSpec(4, (("allreduce", 262144), ("barrier", 0)))
+        schedule = FaultSchedule(
+            [LinkDegrade(1e-6, node=1, factor=0.3, direction="both")]
+        )
+        runs = []
+        for fast in (False, True):
+            world = World(_mapping(4), fast_collectives=fast, trace=False,
+                          fault_schedule=schedule)
+            runs.append(world.run(spec.build()))
+        ref, got = runs
+        assert got.rank_results == ref.rank_results
+        assert got.elapsed == ref.elapsed

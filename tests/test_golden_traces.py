@@ -1,0 +1,124 @@
+"""Golden-trace regression harness.
+
+Three representative campaigns run and their per-(phase, actor) trace
+totals — :meth:`repro.des.trace.TraceRecorder.totals` — are compared
+**byte-for-byte** against JSON snapshots under ``tests/golden/``.  The
+simulations are fully deterministic, so any diff is a real behavioural
+change in the DES, the network model, or the collective algorithms — the
+kind of silent drift a tolerance-based comparison would wave through.
+
+After an *intentional* change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --update-golden
+
+and review the snapshot diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.machine import cte_arm
+from repro.resilience import FaultSchedule, ResiliencePolicy, SlowdownOnset
+from repro.simmpi import RankMapping, World
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+_CLUSTER = cte_arm(16)
+
+
+def _serialize(totals: dict[tuple[str, str], float]) -> str:
+    """Canonical byte-stable form: nested {phase: {actor: seconds}} with
+    sorted keys and full float repr (shortest round-trip)."""
+    nested: dict[str, dict[str, float]] = {}
+    for (phase, actor), duration in totals.items():
+        nested.setdefault(phase, {})[actor] = duration
+    return json.dumps(nested, sort_keys=True, indent=2) + "\n"
+
+
+def _halo_solver_program(comm, steps: int):
+    comm.set_phase("halo")
+    p = comm.size
+    for step in range(steps):
+        yield from comm.compute(5e-4, label="stencil")
+        if p > 1:
+            yield from comm.sendrecv(
+                (comm.rank + 1) % p, comm.rank,
+                source=(comm.rank - 1) % p, tag=step, size=65536,
+            )
+    comm.set_phase("solver")
+    total = 0.0
+    for _ in range(3):
+        total = yield from comm.allreduce(total + comm.rank, size=8192)
+    return total
+
+
+def _campaign_halo_des() -> dict:
+    """Fully simulated halo + solver over 4 nodes."""
+    mapping = RankMapping(_CLUSTER, n_nodes=4, ranks_per_node=2)
+    world = World(mapping)
+    world.run(_halo_solver_program, 6)
+    return world.trace.totals()
+
+
+def _campaign_fastcoll_bulk() -> dict:
+    """Analytic collectives: the fast path's trace must stay stable too."""
+    mapping = RankMapping(_CLUSTER, n_nodes=4, ranks_per_node=4)
+
+    def program(comm):
+        comm.set_phase("bulk")
+        acc = float(comm.rank)
+        for _ in range(4):
+            acc = yield from comm.allreduce(acc, size=262144)
+            yield from comm.barrier()
+        blocks = yield from comm.allgather(acc, size=4096)
+        return blocks
+
+    world = World(mapping, fast_collectives=True)
+    world.run(program)
+    return world.trace.totals()
+
+
+def _campaign_static_faults() -> dict:
+    """Halo under a statically weak receiver plus a mid-run straggler
+    (degradation-only: deterministic, all ranks complete)."""
+    mapping = RankMapping(_CLUSTER, n_nodes=4, ranks_per_node=2)
+    world = World(
+        mapping,
+        fault_schedule=FaultSchedule(
+            [SlowdownOnset(1e-3, node=2, factor=0.5)]
+        ),
+        resilience=ResiliencePolicy(recv_timeout=None, send_timeout=None),
+    )
+    world.network.faults.degrade_receiver(1, 0.25)
+    world.run(_halo_solver_program, 6)
+    return world.trace.totals()
+
+
+_CAMPAIGNS = {
+    "halo_des": _campaign_halo_des,
+    "fastcoll_bulk": _campaign_fastcoll_bulk,
+    "static_faults": _campaign_static_faults,
+}
+
+
+@pytest.mark.parametrize("name", sorted(_CAMPAIGNS))
+def test_golden_trace(name, request):
+    got = _serialize(_CAMPAIGNS[name]())
+    path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(got)
+        pytest.skip(f"golden snapshot {path.name} rewritten")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; run with --update-golden"
+    )
+    expected = path.read_text()
+    assert got == expected, (
+        f"trace totals for campaign {name!r} drifted from {path.name}; "
+        "if the change is intentional, regenerate with --update-golden "
+        "and review the diff"
+    )

@@ -147,9 +147,17 @@ class TestFaults:
 
     def test_invalid_factor(self):
         with pytest.raises(ConfigurationError):
-            FaultModel().degrade_receiver(0, 0.0)
+            FaultModel().degrade_receiver(0, -0.1)
         with pytest.raises(ConfigurationError):
             FaultModel().degrade_receiver(0, 1.5)
+
+    def test_zero_factor_means_unreachable(self):
+        fm = FaultModel().degrade_receiver(3, 0.0)
+        assert fm.pair_factor(0, 3) == 0.0
+        assert fm.has_unreachable()
+        fm.restore(3)
+        assert fm.pair_factor(0, 3) == 1.0
+        assert not fm.has_unreachable()
 
     def test_cte_arm_default_fault(self):
         fm = cte_arm_faults()

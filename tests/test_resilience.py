@@ -1,0 +1,507 @@
+"""Dynamic resilience subsystem: schedules, injector semantics, robust
+MPI, scheduler degradation, checkpoint/restart, and the campaign driver.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.des import Engine
+from repro.machine import cte_arm
+from repro.network.model import network_for
+from repro.resilience import (
+    CheckpointModel,
+    FaultSchedule,
+    LinkDegrade,
+    LinkRecover,
+    NodeCrash,
+    NoiseBurst,
+    RankFailure,
+    ResiliencePolicy,
+    SlowdownOnset,
+    random_schedule,
+    resilience_campaign,
+)
+from repro.sched import AllocationPolicy, Job, Scheduler
+from repro.simmpi import RankMapping, World
+from repro.util.errors import (
+    AllocationError,
+    ConfigurationError,
+    DeadlockError,
+    SimulationError,
+)
+
+from tests.strategies import ProgramSpec, fault_schedules, program_specs
+
+_CLUSTER = cte_arm(16)
+
+
+def _world(n_nodes=4, ranks_per_node=2, **kwargs) -> World:
+    mapping = RankMapping(_CLUSTER, n_nodes=n_nodes,
+                          ranks_per_node=ranks_per_node)
+    return World(mapping, **kwargs)
+
+
+def _ring_program(steps=5, compute_s=1e-3, size=65536):
+    def program(comm):
+        comm.set_phase("ring")
+        p = comm.size
+        for step in range(steps):
+            yield from comm.compute(compute_s)
+            if p > 1:
+                yield from comm.sendrecv(
+                    (comm.rank + 1) % p, comm.rank,
+                    source=(comm.rank - 1) % p, tag=step, size=size,
+                )
+        return comm.rank
+
+    return program
+
+
+# ---------------------------------------------------------------------------
+# schedules
+# ---------------------------------------------------------------------------
+
+
+class TestSchedule:
+    def test_sorted_by_time(self):
+        sched = FaultSchedule([
+            NoiseBurst(0.5, duration=0.1),
+            NodeCrash(0.1, node=1),
+            LinkDegrade(0.3, node=0, factor=0.5),
+        ])
+        assert [e.at for e in sched] == [0.1, 0.3, 0.5]
+        assert sched.has_crashes() and len(sched.crashes) == 1
+        assert sched.max_node() == 1
+        assert sched.horizon == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NodeCrash(-1.0, node=0)
+        with pytest.raises(ConfigurationError):
+            NodeCrash(math.inf, node=0)
+        with pytest.raises(ConfigurationError):
+            LinkDegrade(0.0, node=0, factor=1.5)
+        with pytest.raises(ConfigurationError):
+            LinkDegrade(0.0, node=0, factor=0.5, direction="up")
+        with pytest.raises(ConfigurationError):
+            SlowdownOnset(0.0, node=0, factor=0.0)
+        with pytest.raises(ConfigurationError):
+            NoiseBurst(0.0, duration=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(["not-an-event"])  # type: ignore[list-item]
+
+    def test_dict_roundtrip(self):
+        sched = FaultSchedule([
+            NodeCrash(0.1, node=2),
+            LinkDegrade(0.2, node=1, factor=0.25, direction="send"),
+            LinkRecover(0.3, node=1),
+            SlowdownOnset(0.4, node=0, factor=0.5, core=3),
+            NoiseBurst(0.5, duration=0.05, amplitude=0.2),
+        ])
+        dicts = sched.to_dicts()
+        json.dumps(dicts)  # JSON-serializable
+        assert FaultSchedule.from_dicts(dicts) == sched
+
+    def test_from_dicts_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_dicts([{"kind": "meteor", "at": 0.0}])
+
+    def test_random_schedule_deterministic(self):
+        a = random_schedule(8, 10, horizon=1.0, seed=7)
+        b = random_schedule(8, 10, horizon=1.0, seed=7)
+        assert a == b and len(a) == 10
+        c = random_schedule(8, 10, horizon=1.0, seed=8)
+        assert a != c
+
+    def test_random_schedule_crash_cap(self):
+        sched = random_schedule(
+            8, 30, horizon=1.0, kinds=("crash",), max_crashes=2, seed=1
+        )
+        assert len(sched.crashes) == 2
+        assert all(c.node != 0 for c in sched.crashes)
+
+    def test_schedule_out_of_range_node_rejected_by_world(self):
+        with pytest.raises(ConfigurationError):
+            _world(n_nodes=2, fault_schedule=FaultSchedule(
+                [NodeCrash(0.1, node=5)]
+            ))
+
+
+# ---------------------------------------------------------------------------
+# policy + engine-level primitives
+# ---------------------------------------------------------------------------
+
+
+class TestPolicyAndEngine:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(recv_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(backoff=0.5)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(max_retries=-1)
+        assert ResiliencePolicy(recv_timeout=None).total_patience() == math.inf
+        pol = ResiliencePolicy(recv_timeout=1.0, max_retries=2, backoff=2.0)
+        assert pol.total_patience() == pytest.approx(7.0)
+
+    def test_timeout_rejects_nonfinite_delay(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.timeout(math.inf)
+        with pytest.raises(SimulationError):
+            engine.timeout(-1.0)
+
+    def test_process_kill(self):
+        engine = Engine()
+        log = []
+
+        def victim():
+            log.append("start")
+            yield 1.0
+            log.append("never")
+
+        proc = engine.process(victim())
+        kill_done = []
+
+        def killer():
+            yield 0.5
+            kill_done.append(proc.kill("killed"))
+
+        engine.process(killer())
+        engine.run()
+        assert log == ["start"]
+        assert kill_done == [True]
+        assert proc.value == "killed"
+        # killing a completed process is a no-op
+        assert proc.kill("again") is False
+
+    def test_network_fault_epoch_and_unreachable(self):
+        net = network_for(_CLUSTER, n_nodes=4)
+        base = net.p2p_time(0, 1, 65536)
+        assert net.fault_epoch == 0
+        net.apply_fault_transition(lambda fm: fm.degrade_receiver(1, 0.5))
+        assert net.fault_epoch == 1
+        assert net.p2p_time(0, 1, 65536) == pytest.approx(2 * base)
+        net.apply_fault_transition(lambda fm: fm.degrade_receiver(1, 0.0))
+        assert net.p2p_time(0, 1, 65536) == math.inf
+        net.apply_fault_transition(lambda fm: fm.restore(1))
+        assert net.p2p_time(0, 1, 65536) == pytest.approx(base)
+        assert net.fault_epoch == 3
+
+
+# ---------------------------------------------------------------------------
+# mid-run transitions
+# ---------------------------------------------------------------------------
+
+
+class TestMidRunTransitions:
+    def test_degrade_slows_then_recover_restores(self):
+        program = _ring_program(steps=20, compute_s=0.0, size=262144)
+        healthy = _world(trace=False).run(program)
+        degraded = _world(trace=False, fault_schedule=FaultSchedule(
+            [LinkDegrade(0.0, node=1, factor=0.25, direction="both")]
+        ), resilience=ResiliencePolicy(recv_timeout=None)).run(program)
+        recovered = _world(trace=False, fault_schedule=FaultSchedule([
+            LinkDegrade(0.0, node=1, factor=0.25, direction="both"),
+            LinkRecover(healthy.elapsed * 0.3, node=1),
+        ]), resilience=ResiliencePolicy(recv_timeout=None)).run(program)
+        assert degraded.elapsed > healthy.elapsed * 1.5
+        assert healthy.elapsed < recovered.elapsed < degraded.elapsed
+        assert degraded.completed and recovered.completed
+
+    def test_slowdown_onset_is_dynamic(self):
+        program = _ring_program(steps=10, compute_s=1e-3, size=64)
+        healthy = _world(trace=False).run(program)
+        onset = _world(trace=False, fault_schedule=FaultSchedule(
+            [SlowdownOnset(healthy.elapsed * 0.5, node=0, factor=0.5)]
+        )).run(program)
+        whole = _world(trace=False, fault_schedule=FaultSchedule(
+            [SlowdownOnset(0.0, node=0, factor=0.5)]
+        )).run(program)
+        assert healthy.elapsed < onset.elapsed < whole.elapsed
+
+    def test_noise_burst_restores_amplitude(self):
+        program = _ring_program(steps=10, compute_s=1e-3, size=64)
+        world = _world(trace=False, fault_schedule=FaultSchedule(
+            [NoiseBurst(0.0, duration=1e-4, amplitude=0.5)]
+        ))
+        result = world.run(program)
+        assert world.compute_noise == 0.0  # restored after the burst
+        assert result.completed
+        healthy = _world(trace=False).run(program)
+        assert result.elapsed > healthy.elapsed
+
+    def test_elapsed_not_inflated_by_schedule_horizon(self):
+        program = _ring_program(steps=2, compute_s=1e-4, size=64)
+        world = _world(trace=False, fault_schedule=FaultSchedule(
+            [NoiseBurst(50.0, duration=1.0, amplitude=0.3)]
+        ))
+        result = world.run(program)
+        assert result.elapsed < 1.0  # not the injector's 51s tail
+
+
+# ---------------------------------------------------------------------------
+# node crash + robust MPI
+# ---------------------------------------------------------------------------
+
+
+class TestNodeCrash:
+    def test_crash_surfaces_rank_failures(self):
+        program = _ring_program(steps=50, compute_s=1e-3, size=65536)
+        world = _world(fault_schedule=FaultSchedule(
+            [NodeCrash(5e-3, node=3)]
+        ))
+        result = world.run(program)
+        state = result.resilience
+        assert state is not None
+        assert not result.completed
+        failures = result.rank_failures
+        assert failures and all(isinstance(f, RankFailure) for f in failures)
+        crashed = [f for f in failures if f.kind == "crash"]
+        assert sorted(f.rank for f in crashed) == [6, 7]
+        assert state.failed_nodes == {3}
+        # surviving neighbours detected the dead peer
+        assert state.detections
+        assert state.report.by_rule("RES001")
+        assert state.report.by_rule("RES002")
+        # all of this is JSON-representable
+        json.loads(state.report.to_json())
+
+    def test_unreachable_rendezvous_send_fails(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield 2e-3  # let the crash land first
+                yield from comm.send(1, b"x", size=1 << 20)  # rendezvous
+            else:
+                yield from comm.recv(0)
+            return "done"
+
+        world = _world(n_nodes=2, ranks_per_node=1,
+                       fault_schedule=FaultSchedule(
+                           [NodeCrash(1e-3, node=1)]
+                       ))
+        result = world.run(program)
+        assert not result.completed
+        kinds = {f.kind for f in result.rank_failures}
+        assert "send-unreachable" in kinds
+        assert result.resilience.report.by_rule("RES010")
+
+    def test_crash_without_policy_is_a_deadlock_not_a_hang(self):
+        program = _ring_program(steps=50, compute_s=1e-3, size=65536)
+        world = _world(fault_schedule=FaultSchedule(
+            [NodeCrash(5e-3, node=3)]
+        ), resilience=ResiliencePolicy(recv_timeout=None, send_timeout=None))
+        with pytest.raises(DeadlockError):
+            world.run(program)
+
+    def test_straggler_retried_not_declared_dead(self):
+        """Timeouts fire against a slow-but-alive peer: the receive is
+        re-armed and the run completes with no failures."""
+        program = _ring_program(steps=5, compute_s=2e-3, size=64)
+        world = _world(fault_schedule=FaultSchedule(
+            [SlowdownOnset(0.0, node=1, factor=0.2)]
+        ), resilience=ResiliencePolicy(recv_timeout=1e-3, max_retries=6))
+        result = world.run(program)
+        assert result.completed
+        assert not result.resilience.detections
+        assert not result.resilience.suspects
+
+
+# ---------------------------------------------------------------------------
+# scheduler degradation
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulerDegradation:
+    def test_fail_node_excluded_from_allocation(self):
+        sched = Scheduler(_CLUSTER)
+        sched.fail_node(0)
+        assert sched.free_nodes == _CLUSTER.n_nodes - 1
+        job = Job(name="j", n_nodes=4)
+        nodes = sched.allocate(job)
+        assert 0 not in nodes
+        sched.repair_node(0)
+        assert sched.failed_nodes == set()
+
+    def test_fail_node_range_checked(self):
+        with pytest.raises(AllocationError):
+            Scheduler(_CLUSTER).fail_node(99)
+
+    def test_reallocate_keeps_survivors(self):
+        sched = Scheduler(_CLUSTER)
+        job = Job(name="j", n_nodes=4)
+        nodes = sched.allocate(job)  # compact: [0, 1, 2, 3]
+        sched.fail_node(nodes[2])
+        new = sched.reallocate(job, nodes)
+        assert nodes[2] not in new
+        assert set(nodes) - {nodes[2]} <= set(new)
+        assert len(new) == 4
+
+    def test_reallocate_noop_without_failures(self):
+        sched = Scheduler(_CLUSTER)
+        job = Job(name="j", n_nodes=2)
+        nodes = sched.allocate(job)
+        assert sched.reallocate(job, nodes) == sorted(nodes)
+
+    def test_reallocate_scatter_policy(self):
+        sched = Scheduler(_CLUSTER, seed=3)
+        job = Job(name="j", n_nodes=4)
+        nodes = sched.allocate(job)
+        sched.fail_node(nodes[0])
+        new = sched.reallocate(job, nodes, AllocationPolicy.SCATTER)
+        assert nodes[0] not in new and len(new) == 4
+
+    def test_reallocate_exhausted_capacity(self):
+        cluster = cte_arm(4)
+        sched = Scheduler(cluster)
+        job = Job(name="j", n_nodes=4)
+        nodes = sched.allocate(job)
+        sched.fail_node(nodes[1])
+        with pytest.raises(AllocationError):
+            sched.reallocate(job, nodes)
+
+
+# ---------------------------------------------------------------------------
+# checkpoint/restart
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointModel:
+    def test_no_crashes(self):
+        model = CheckpointModel(interval_s=60, write_cost_s=2,
+                                restart_cost_s=10)
+        tos = model.time_to_solution(150.0)
+        assert tos.n_restarts == 0 and tos.lost_work_s == 0.0
+        assert tos.checkpoint_overhead_s == pytest.approx(4.0)  # 2 writes
+        assert tos.total_s == pytest.approx(154.0)
+
+    def test_exact_boundary_skips_final_write(self):
+        model = CheckpointModel(interval_s=60, write_cost_s=2)
+        assert model.checkpoint_overhead(120.0) == pytest.approx(2.0)
+        assert model.checkpoint_overhead(59.0) == 0.0
+
+    def test_crash_rolls_back_to_last_checkpoint(self):
+        model = CheckpointModel(interval_s=60, write_cost_s=2,
+                                restart_cost_s=10)
+        # crash at wall 100: one checkpoint done (60s work durable),
+        # 38s of work since it is lost
+        tos = model.time_to_solution(150.0, [100.0])
+        assert tos.n_restarts == 1
+        assert tos.lost_work_s == pytest.approx(38.0)
+        assert tos.restart_overhead_s == pytest.approx(10.0)
+        assert tos.total_s == pytest.approx(
+            100.0 + 10.0 + 90.0 + model.checkpoint_overhead(90.0)
+        )
+        assert 0.0 < tos.overhead_fraction < 1.0
+
+    def test_crash_after_completion_ignored(self):
+        model = CheckpointModel(interval_s=60, write_cost_s=2)
+        assert model.time_to_solution(30.0, [1000.0]).n_restarts == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointModel(interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            CheckpointModel(write_cost_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            CheckpointModel().time_to_solution(-1.0)
+
+
+# ---------------------------------------------------------------------------
+# campaign + CLI
+# ---------------------------------------------------------------------------
+
+_FAST_POLICY = ResiliencePolicy(recv_timeout=2e-3, max_retries=2)
+
+
+class TestCampaign:
+    def test_sweep_detects_and_prices_the_crash(self):
+        campaign = resilience_campaign(
+            n_nodes=4, ranks_per_node=2, intensities=(0, 1), steps=5,
+            policy=_FAST_POLICY,
+        )
+        healthy, faulty = campaign.trials
+        assert healthy.intensity == 0 and healthy.completed
+        assert healthy.n_rank_failures == 0
+        assert not faulty.completed and faulty.n_rank_failures > 0
+        assert faulty.n_detections > 0
+        assert faulty.detection_latency is not None
+        assert faulty.detection_latency > 0.0
+        assert faulty.reallocation is not None
+        assert faulty.time_to_solution is not None
+        assert faulty.time_to_solution.n_restarts == 1
+        rules = {d["rule"] for d in faulty.diagnostics}
+        assert {"RES001", "RES002", "RES008", "RES009"} <= rules
+
+    def test_json_roundtrip(self):
+        campaign = resilience_campaign(
+            n_nodes=2, ranks_per_node=1, intensities=(1,), steps=3,
+            policy=_FAST_POLICY,
+        )
+        payload = json.loads(campaign.to_json())
+        assert payload["title"] == "resilience campaign"
+        trial = payload["trials"][0]
+        assert FaultSchedule.from_dicts(trial["schedule"]).has_crashes()
+        assert trial["rank_failures"] > 0
+        assert payload["rule_counts"].get("RES001") == 1
+        assert campaign.render()
+
+    def test_cli_json(self, capsys):
+        from repro.harness.cli import main
+
+        code = main(["resilience", "--nodes", "2", "--ranks-per-node", "1",
+                     "--intensity", "1", "--steps", "3", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_nodes"] == 2
+        assert payload["trials"][0]["intensity"] == 1
+
+    def test_cli_rejects_bad_cluster(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["resilience", "--cluster", "nope"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(program_specs(max_ops=4), fault_schedules(n_nodes=2, allow_crash=True))
+def test_fault_runs_deterministic_given_seed(spec, schedule):
+    """Same program + same schedule => bit-identical outcome."""
+
+    def run():
+        world = World(
+            RankMapping(_CLUSTER, n_nodes=2,
+                        ranks_per_node=spec.n_ranks // 2 or 1),
+            trace=False,
+            fault_schedule=schedule,
+            resilience=_FAST_POLICY,
+        )
+        return world.run(spec.build())
+
+    a, b = run(), run()
+    assert a.elapsed == b.elapsed
+    assert [repr(r) for r in a.rank_results] == [repr(r) for r in b.rank_results]
+
+
+@settings(max_examples=15, deadline=None)
+@given(program_specs(max_ops=4),
+       fault_schedules(n_nodes=2, allow_crash=False))
+def test_degradation_never_makes_a_run_faster(spec, schedule):
+    """For crash-free schedules every fault is a pure slowdown."""
+    mapping = RankMapping(_CLUSTER, n_nodes=2,
+                          ranks_per_node=spec.n_ranks // 2 or 1)
+    off = ResiliencePolicy(recv_timeout=None, send_timeout=None)
+    healthy = World(mapping, trace=False).run(spec.build())
+    faulty = World(mapping, trace=False, fault_schedule=schedule,
+                   resilience=off).run(spec.build())
+    assert faulty.completed
+    assert faulty.elapsed >= healthy.elapsed * (1.0 - 1e-12)
