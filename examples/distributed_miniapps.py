@@ -12,6 +12,11 @@ its sequential reference:
 * slab-decomposed MD with ghost pulses and migration (Gromacs / Figs. 12-13);
 * transpose-FFT pseudo-spectral solver (OpenIFS / Figs. 14-15).
 
+Each paper application is then compiled ONCE into the workload IR
+(`AppModel.program`, `repro.ir`) and the same Program is priced by all
+three pluggable backends — analytic closed forms, fastcoll-accelerated
+DES, and the fully simulated DES.
+
 Run:  python examples/distributed_miniapps.py
 """
 
@@ -97,6 +102,30 @@ def main() -> None:
     print("\nEvery halo face, panel broadcast, ghost pulse, and transpose")
     print("moved real numpy data through the DES engine; virtual times come")
     print("from the TofuD network model and the A64FX compute model.")
+
+    # Each full application model compiles once into the workload IR and
+    # runs under every pluggable backend (docs/IR.md).  4 ranks on 2
+    # nodes — power of two, so the fastcoll recurrences stay exact.
+    from repro.apps import get_app
+    from repro.ir import get_backend
+
+    cluster = cte_arm(4)
+    print("\nThe paper applications as IR Programs under all backends")
+    print("(2 nodes x 2 ranks, seconds per simulated time step):")
+    for app_name in ("alya", "nemo", "gromacs", "openifs", "wrf"):
+        app = get_app(app_name)
+        mapping = RankMapping(cluster, n_nodes=2, ranks_per_node=2)
+        program = app.program(mapping)
+        binary = app.build(cluster)
+        cells = []
+        for name in ("analytic", "fastcoll", "des"):
+            result = get_backend(name).run(
+                program, cluster, 2, mapping=mapping, binary=binary,
+                check_memory=False)
+            cells.append(f"{name} {format_time(result.seconds_per_step)}")
+        print(f"  {app_name:8s}: " + ", ".join(cells))
+    print("(the differential suite in tests/test_differential.py holds")
+    print("fastcoll == DES at 1e-9 and analytic within documented bands)")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,10 @@ virtual clock advances per the TofuD network model and the A64FX compute
 model.  The results are validated against sequential references, and the
 same configuration is timed on both modeled clusters.
 
+The same communication pattern is then expressed once in the workload IR
+(`repro.ir`) and evaluated under all three pluggable backends — analytic,
+fastcoll, DES — against the same clusters.
+
 Run:  python examples/miniapp_simulation.py
 """
 
@@ -18,6 +22,7 @@ from repro.apps.miniapps import (
     sequential_stencil,
     stencil_miniapp,
 )
+from repro.ir import CommOp, Loop, MemOp, Phase, Program, get_backend
 from repro.machine import cte_arm, marenostrum4
 from repro.simmpi import RankMapping, World
 from repro.util.units import format_time
@@ -66,6 +71,37 @@ def main() -> None:
     print("through the DES engine; the analytic collective-cost layer used")
     print("by the 192-node studies is validated against these schedules in")
     print("tests/test_collective_costs.py.")
+    print()
+
+    # The same stencil pattern, written ONCE in the workload IR and
+    # evaluated under every pluggable backend (docs/IR.md).
+    steps = 6
+    program = Program(
+        name="stencil-ir",
+        body=(Loop(steps, (
+            Phase("stepping", (
+                # the 5-point sweep is bandwidth-bound: read + write the
+                # 64x64 field plus the stencil reuse traffic
+                MemOp(bytes_moved=64 * 64 * 8 * 3.0, label="sweep"),
+                CommOp("halo", 64 * 8, neighbors=4),
+            )),
+            Phase("norm", (CommOp("allreduce", 8),)),
+        )),),
+        steps=steps,
+        ranks_per_node=4,
+    )
+    print("The same halo+allreduce pattern as an IR Program, compiled once")
+    print("and run under all three backends (2 nodes x 4 ranks):")
+    for cluster in (arm, mn4):
+        times = []
+        for name in ("analytic", "fastcoll", "des"):
+            result = get_backend(name).run(program, cluster, 2,
+                                           check_memory=False)
+            times.append(f"{name} {format_time(result.seconds_per_step)}")
+        print(f"  {cluster.name:14s}: " + ", ".join(times) + " /step")
+    print("  (fastcoll reproduces the DES schedule exactly; this tiny")
+    print("  comm-dominated program sits at the factor-2.5 collective")
+    print("  closed-form band documented in docs/IR.md and MODELING.md)")
 
 
 if __name__ == "__main__":

@@ -99,6 +99,38 @@ def bench_allreduce(reps: int, iterations: int) -> dict:
     }
 
 
+def bench_ir_lowering(reps: int) -> dict:
+    """Cost of the IR path itself: compiling an application model to a
+    Program, pricing it analytically, and lowering it to a DES rank
+    program — the per-configuration overhead the unified IR added over
+    calling the old hand-written paths directly."""
+    from repro.apps import get_app
+    from repro.ir import AnalyticBackend, lower
+    from repro.machine import cte_arm
+
+    cluster = cte_arm(16)
+    app = get_app("nemo")
+    mapping = app.mapping(cluster, 16)
+    binary = app.build(cluster)
+    backend = AnalyticBackend()
+
+    compile_s = best_of(lambda: app.program(mapping), reps * 5)
+    program = app.program(mapping)
+    analytic_s = best_of(
+        lambda: backend.run(program, cluster, 16, mapping=mapping,
+                            binary=binary, check_memory=False),
+        reps * 5,
+    )
+    lower_s = best_of(lambda: lower(program, mapping, binary), reps * 5)
+    return {
+        "program": program.name,
+        "n_ranks": mapping.n_ranks,
+        "compile_seconds": compile_s,
+        "analytic_run_seconds": analytic_s,
+        "lower_seconds": lower_s,
+    }
+
+
 def bench_figure_suite(jobs: int) -> dict:
     from repro.harness.experiment import list_experiments
     from repro.harness.parallel import run_experiments
@@ -150,6 +182,7 @@ def main(argv: list[str] | None = None) -> int:
     report = {
         "des_engine": bench_des_engine(reps, events),
         "allreduce_64_ranks": bench_allreduce(reps, iterations),
+        "ir_lowering": bench_ir_lowering(reps),
         "figure_suite": bench_figure_suite(args.jobs),
     }
     out = Path(args.out) if args.out else (
@@ -162,6 +195,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"DES engine:   {des['events_per_second']:,.0f} events/s")
     print(f"allreduce 64: fast collectives {coll['speedup']:.2f}x wall "
           f"(virtual-time rel err {coll['virtual_elapsed_relative_error']:.2e})")
+    ir = report["ir_lowering"]
+    print(f"IR path:      compile {ir['compile_seconds'] * 1e6:,.1f} us, "
+          f"analytic run {ir['analytic_run_seconds'] * 1e6:,.1f} us, "
+          f"DES lowering {ir['lower_seconds'] * 1e6:,.1f} us "
+          f"({ir['program']}, {ir['n_ranks']} ranks)")
     print(f"figure suite: serial {suite['serial_seconds']:.2f}s, "
           f"--jobs {suite['jobs']} {suite['parallel_seconds']:.2f}s "
           f"({suite['parallel_speedup']:.2f}x on {suite['cpu_count']} cpu), "

@@ -47,6 +47,55 @@ if [ "$fast" -eq 0 ]; then
     if ! PYTHONPATH=src python -m pytest -x -q $cov_args; then
         status=1
     fi
+    echo "== IR round-trip smoke =="
+    if ! PYTHONPATH=src python - <<'EOF'
+from repro.apps import get_app
+from repro.ir import AnalyticBackend, from_json, to_json
+from repro.machine import cte_arm
+
+cluster = cte_arm(16)
+app = get_app("nemo")
+program = app.program(app.mapping(cluster, 16))
+parsed = from_json(to_json(program))
+assert parsed == program, "IR JSON round-trip must be lossless"
+backend = AnalyticBackend()
+binary = app.build(cluster)
+before = backend.run(program, cluster, 16, binary=binary)
+after = backend.run(parsed, cluster, 16, binary=binary)
+assert after.elapsed == before.elapsed, "round-trip changed the cost"
+assert after.phase_seconds == before.phase_seconds
+print(f"round-trip OK: {program.name}, elapsed {before.elapsed:.6g}s")
+EOF
+    then
+        status=1
+    fi
+    echo "== backend matrix smoke =="
+    if ! PYTHONPATH=src python - <<'EOF'
+from repro.apps import get_app
+from repro.ir import get_backend
+from repro.machine import cte_arm
+from repro.simmpi import RankMapping
+
+cluster = cte_arm(4)
+app = get_app("gromacs")
+mapping = RankMapping(cluster, n_nodes=2, ranks_per_node=2)
+program = app.program(mapping)
+binary = app.build(cluster)
+results = {
+    name: get_backend(name).run(program, cluster, 2, mapping=mapping,
+                                binary=binary, check_memory=False)
+    for name in ("analytic", "fastcoll", "des")
+}
+des, fast = results["des"].elapsed, results["fastcoll"].elapsed
+assert abs(fast - des) <= 1e-9 * des, "fastcoll must reproduce the DES"
+ratio = results["analytic"].elapsed / des
+assert 0.5 < ratio < 2.0, f"analytic/DES ratio {ratio:.3f} out of range"
+print("backend matrix OK: " + ", ".join(
+    f"{name} {r.elapsed:.6g}s" for name, r in results.items()))
+EOF
+    then
+        status=1
+    fi
     echo "== bench smoke =="
     if ! python scripts/bench.py --quick --out "$(mktemp -d)/BENCH_substrate.json" 2>/dev/null; then
         status=1

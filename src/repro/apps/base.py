@@ -2,7 +2,9 @@
 
 An application declares, per time step, a list of :class:`PhaseWork` items
 (total flops, total main-memory bytes, per-rank communication operations).
-``time_step`` evaluates them for one (cluster, node-count) configuration:
+``program`` compiles them — once — into the engine-agnostic
+:class:`repro.ir.Program`; ``time_step`` evaluates that program under a
+pluggable backend (default: :class:`~repro.ir.AnalyticBackend`):
 
 * per-phase compute follows the roofline
   ``max(flops / aggregate_rate, bytes / aggregate_bandwidth)`` where the
@@ -23,9 +25,11 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
+from repro.ir.backend import Backend, default_backend_name, get_backend
+from repro.ir.ops import CommOp
+from repro.ir.program import Program, compile_phases
 from repro.machine.cluster import ClusterModel
-from repro.network.collectives import CollectiveCosts
-from repro.network.model import NetworkModel, network_for
+from repro.network.model import NetworkModel
 from repro.sched.jobs import Job
 from repro.sched.scheduler import Scheduler
 from repro.simmpi.mapping import RankMapping
@@ -38,34 +42,13 @@ from repro.util.errors import (
     ToolchainError,
 )
 
-
-@dataclass(frozen=True)
-class CommOp:
-    """One communication operation per rank per step."""
-
-    kind: str  # "halo" | "allreduce" | "alltoall" | "bcast" | "gather" | "p2p"
-    size: int  # bytes per message/block
-    count: float = 1.0  # operations per step
-    neighbors: int = 4  # for halo exchanges
-
-    def cost(self, costs: CollectiveCosts) -> float:
-        if self.count <= 0:
-            return 0.0
-        if self.kind == "halo":
-            one = costs.halo_exchange(self.size, n_neighbors=self.neighbors)
-        elif self.kind == "allreduce":
-            one = costs.allreduce(self.size)
-        elif self.kind == "alltoall":
-            one = costs.alltoall(self.size)
-        elif self.kind == "bcast":
-            one = costs.bcast(self.size)
-        elif self.kind == "gather":
-            one = costs.allgather(self.size)  # gather ~ allgather cost shape
-        elif self.kind == "p2p":
-            one = costs.p2p(self.size)
-        else:
-            raise ConfigurationError(f"unknown comm kind {self.kind!r}")
-        return self.count * one
+__all__ = [
+    "AppModel",
+    "AppPoint",
+    "CommOp",
+    "PhaseWork",
+    "StepTiming",
+]
 
 
 @dataclass(frozen=True)
@@ -111,6 +94,14 @@ class AppPoint:
     @property
     def feasible(self) -> bool:
         return self.seconds_per_step is not None
+
+
+def _resolve_backend(backend: str | Backend | None) -> Backend:
+    if backend is None:
+        backend = default_backend_name()
+    if isinstance(backend, Backend):
+        return backend
+    return get_backend(backend)
 
 
 class AppModel(abc.ABC):
@@ -235,7 +226,65 @@ class AppModel(abc.ABC):
             for ph in phases
         ]
 
+    # -- IR compilation -----------------------------------------------------
+
+    def program(
+        self,
+        mapping: RankMapping,
+        *,
+        steps: int = 1,
+        work_scale: float = 1.0,
+    ) -> Program:
+        """Compile the workload — once — to the engine-agnostic IR.
+
+        Every backend (analytic, fastcoll, DES) consumes the returned
+        :class:`~repro.ir.Program`; this is the single source of truth for
+        the application's per-step work.
+        """
+        return compile_phases(
+            self.name,
+            self._scaled_phases(mapping, work_scale),
+            steps=steps,
+            ranks_per_node=self.ranks_per_node,
+            threads_per_rank=self.threads_per_rank,
+            language=self.language,
+            kernels=self.kernels,
+            replicated_bytes_per_rank=self.replicated_bytes_per_rank,
+            distributed_bytes_total=self.distributed_bytes_total,
+        )
+
     # -- evaluation ---------------------------------------------------------
+
+    def run(
+        self,
+        cluster: ClusterModel,
+        n_nodes: int,
+        *,
+        backend: str | Backend | None = None,
+        steps: int = 1,
+        work_scale: float = 1.0,
+        network: NetworkModel | None = None,
+        binary: Binary | None = None,
+        **backend_kwargs,
+    ):
+        """Run the compiled program under a named backend.
+
+        Returns the backend's :class:`~repro.ir.RunResult` (DES backends
+        attach the full ``WorldResult``).  ``backend`` defaults to the
+        process-wide default (see :func:`repro.ir.set_default_backend`).
+        """
+        engine = _resolve_backend(backend)
+        self.check_feasible(cluster, n_nodes)
+        mapping = self.mapping(cluster, n_nodes)
+        if binary is None:
+            binary = self.build(cluster)
+        binary.check_runnable()
+        prog = self.program(mapping, steps=steps, work_scale=work_scale)
+        return engine.run(
+            prog, cluster, n_nodes,
+            mapping=mapping, network=network, binary=binary,
+            check_memory=False, **backend_kwargs,
+        )
 
     def time_step(
         self,
@@ -245,41 +294,39 @@ class AppModel(abc.ABC):
         network: NetworkModel | None = None,
         binary: Binary | None = None,
         work_scale: float = 1.0,
+        backend: str | Backend | None = None,
     ) -> StepTiming:
         """Seconds per time step, broken down by phase.
 
         ``work_scale`` multiplies the global problem (weak-scaling support).
         Raises OutOfMemoryError for NP configurations and ToolchainError if
-        the binary cannot run.
+        the binary cannot run.  The program is compiled with ``steps=1`` and
+        priced by ``backend`` (default: the process default, normally
+        analytic); the analytic backend reproduces the historical roofline
+        arithmetic bit-for-bit.
         """
+        engine = _resolve_backend(backend)
         if work_scale == 1.0:
             self.check_feasible(cluster, n_nodes)
         mapping = self.mapping(cluster, n_nodes)
         if binary is None:
             binary = self.build(cluster)
         binary.check_runnable()
-        net = network if network is not None else network_for(
-            cluster, n_nodes=n_nodes
+        prog = self.program(mapping, steps=1, work_scale=work_scale)
+        result = engine.run(
+            prog, cluster, n_nodes,
+            mapping=mapping, network=network, binary=binary,
+            check_memory=False,
         )
-        costs = CollectiveCosts(mapping=mapping, network=net)
-        core = cluster.node.core_model
-        n_ranks = mapping.n_ranks
-        agg_bw = n_ranks * mapping.rank_memory_bandwidth(0)
-        timing = StepTiming(cluster=cluster.name, n_nodes=n_nodes)
-        for phase in self._scaled_phases(mapping, work_scale):
-            rate = binary.sustained_flops(core, phase.kernel)
-            agg_rate = n_ranks * mapping.rank_compute_rate(0, rate)
-            t_flops = phase.flops / agg_rate if phase.flops else 0.0
-            t_bytes = phase.bytes_moved / agg_bw if phase.bytes_moved else 0.0
-            t_compute = max(t_flops, t_bytes) * phase.imbalance
-            t_comm = sum(op.cost(costs) for op in phase.comm)
-            total = t_compute + t_comm + phase.serial_seconds
-            timing.phase_seconds[phase.name] = total
-            timing.phase_compute[phase.name] = t_compute
-            timing.phase_comm[phase.name] = t_comm
-            timing.phase_flops_time[phase.name] = t_flops
-            timing.phase_bytes_time[phase.name] = t_bytes
-        return timing
+        return StepTiming(
+            cluster=cluster.name,
+            n_nodes=n_nodes,
+            phase_seconds=dict(result.phase_seconds),
+            phase_compute=dict(result.phase_compute),
+            phase_comm=dict(result.phase_comm),
+            phase_flops_time=dict(result.phase_flops_time),
+            phase_bytes_time=dict(result.phase_bytes_time),
+        )
 
     def scaling(
         self, cluster: ClusterModel, nodes: list[int]

@@ -1,102 +1,22 @@
 """Execute application *workload models* under the DES-backed simulated MPI.
 
-`AppModel.time_step` prices each phase analytically.  This module builds,
-from the same :class:`~repro.apps.base.PhaseWork` descriptions, an actual
-SPMD rank program — compute via ``comm.compute`` roofline charges, halo
-exchanges as sendrecvs with grid neighbours, collectives as real simmpi
-collectives over virtual payloads — and runs it in the DES.  The two paths
-share the machine models but differ in scheduling fidelity (the DES
-serializes and interleaves real message events), so agreement within a
-modest band is a meaningful consistency check of the analytic layer used
-for the 192-node figures.
+Thin compatibility shims: the phase-to-rank-program lowering that used to
+live here is now the engine-agnostic IR path — ``AppModel.program``
+compiles the workload once and :class:`repro.ir.DESBackend` lowers it
+(see :mod:`repro.ir.lower` for the rules, including the balanced process
+grid that replaced the old ``_grid_neighbors`` near-square search).  The
+analytic and DES paths share the machine models but differ in scheduling
+fidelity (the DES serializes and interleaves real message events), so
+agreement within a modest band is a meaningful consistency check of the
+analytic layer used for the 192-node figures.
 """
 
 from __future__ import annotations
 
-import math
-
 from repro.apps.base import AppModel
+from repro.ir.desbackend import DESBackend
 from repro.machine.cluster import ClusterModel
-from repro.simmpi.comm import Comm
-from repro.simmpi.mapping import RankMapping
-from repro.simmpi.payload import VirtualPayload
-from repro.simmpi.world import World, WorldResult
-from repro.toolchain.compiler import Binary
-from repro.util.errors import ConfigurationError
-
-
-def _grid_neighbors(rank: int, p: int) -> list[int]:
-    """Four neighbours on a near-square process grid (non-periodic)."""
-    px = int(math.sqrt(p))
-    while px > 1 and p % px:
-        px -= 1
-    py = p // px
-    iy, ix = divmod(rank, px)
-    out = []
-    if iy > 0:
-        out.append(rank - px)
-    if iy < py - 1:
-        out.append(rank + px)
-    if ix > 0:
-        out.append(rank - 1)
-    if ix < px - 1:
-        out.append(rank + 1)
-    return out
-
-
-def _phase_program(comm: Comm, app: AppModel, binary: Binary,
-                   mapping: RankMapping, steps: int):
-    """One rank's execution of ``steps`` time steps of the workload model."""
-    core = mapping.cluster.node.core_model
-    n_ranks = mapping.n_ranks
-    phases = app.phases(mapping)
-    for _step in range(steps):
-        for phase in phases:
-            comm.set_phase(phase.name)
-            rate = binary.sustained_flops(core, phase.kernel)
-            yield from comm.compute(
-                flops=phase.flops / n_ranks * phase.imbalance,
-                bytes_moved=phase.bytes_moved / n_ranks * phase.imbalance,
-                flops_per_core=rate,
-            )
-            if phase.serial_seconds and comm.rank == 0:
-                yield from comm.compute(phase.serial_seconds, label="serial")
-            for op in phase.comm:
-                if op.count < 1:
-                    # Fractional counts (e.g. one IO frame per 150 steps):
-                    # subsample by step, identically on every rank, or a
-                    # collective would desynchronize.
-                    period = max(1, round(1.0 / max(op.count, 1e-9)))
-                    if _step % period:
-                        continue
-                    reps = 1
-                else:
-                    reps = max(1, round(op.count))
-                for _ in range(reps):
-                    if op.kind == "halo":
-                        for nb in _grid_neighbors(comm.rank, n_ranks):
-                            yield from comm.sendrecv(
-                                nb, VirtualPayload(op.size), size=op.size)
-                    elif op.kind == "allreduce":
-                        yield from comm.allreduce(VirtualPayload(op.size),
-                                                  size=op.size)
-                    elif op.kind == "alltoall":
-                        yield from comm.alltoall(
-                            [VirtualPayload(op.size)] * n_ranks, size=op.size)
-                    elif op.kind == "bcast":
-                        yield from comm.bcast(VirtualPayload(op.size),
-                                              root=0, size=op.size)
-                    elif op.kind == "gather":
-                        yield from comm.gather(VirtualPayload(op.size),
-                                               root=0, size=op.size)
-                    elif op.kind == "p2p":
-                        partner = comm.rank ^ 1
-                        if partner < n_ranks:
-                            yield from comm.sendrecv(
-                                partner, VirtualPayload(op.size), size=op.size)
-                    else:
-                        raise ConfigurationError(f"unknown comm op {op.kind}")
-    return comm.now
+from repro.simmpi.world import WorldResult
 
 
 def des_time_step(
@@ -108,12 +28,11 @@ def des_time_step(
     nic_contention: bool = False,
 ) -> tuple[float, WorldResult]:
     """Seconds per step measured by DES execution of the workload model."""
-    app.check_feasible(cluster, n_nodes)
-    mapping = app.mapping(cluster, n_nodes)
-    binary = app.build(cluster)
-    world = World(mapping, nic_contention=nic_contention)
-    result = world.run(_phase_program, app, binary, mapping, steps)
-    return result.elapsed / steps, result
+    result = app.run(
+        cluster, n_nodes,
+        backend=DESBackend(), steps=steps, nic_contention=nic_contention,
+    )
+    return result.seconds_per_step, result.world
 
 
 def compare_des_vs_analytic(

@@ -120,3 +120,47 @@ def hpcg_points(cluster: ClusterModel, nodes: tuple[int, ...] = (1, 192)) -> lis
 
 def fig7_data() -> list[HPCGPoint]:
     return hpcg_points(cte_arm()) + hpcg_points(marenostrum4(192))
+
+
+def ir_program(
+    cluster: ClusterModel,
+    n_nodes: int,
+    *,
+    version: str = "optimized",
+    iterations: int = 1,
+    local_grid: tuple[int, int, int] | None = None,
+):
+    """One CG iteration (repeated) as engine-agnostic IR.
+
+    Per iteration and rank: a 27-point SpMV/SymGS sweep over the
+    ``LOCAL_GRID`` rows at the calibrated HPCG rate (explicit per-core
+    rate — the optimized build is a vendor binary), a 6-neighbor halo
+    exchange of one face, and the two dot-product allreduces of CG.
+    Derived from the same module constants as the Fig. 7 driver;
+    ``local_grid`` shrinks the per-rank subdomain for cheap DES runs.
+    """
+    from repro.ir import CommOp, ComputeOp, Loop, Phase, Program
+    from repro.toolchain.kernels import KernelClass
+
+    nx, ny, nz = local_grid if local_grid is not None else LOCAL_GRID
+    rows = nx * ny * nz
+    n_ranks = n_nodes * RANKS_PER_NODE
+    flops = float(n_ranks) * 54.0 * rows  # ~2 flops per 27-pt row entry
+    rate = hpcg_rate(cluster, version, n_nodes)
+    per_core = rate / (n_nodes * cluster.node.cores)
+    face_bytes = 8 * ny * nz
+    return Program(
+        name=f"hpcg-{version}",
+        body=(Loop(iterations, (Phase("cg", (
+            ComputeOp(kernel=KernelClass.SPMV, flops=flops,
+                      bytes_moved=flops / AI_HPCG,
+                      rate_per_core=per_core, label="symgs"),
+            CommOp("halo", face_bytes, neighbors=6),
+            CommOp("allreduce", 8, count=2),
+        )),)),),
+        steps=iterations,
+        ranks_per_node=RANKS_PER_NODE,
+        threads_per_rank=1,
+        language="c",
+        kernels=(KernelClass.SPMV,),
+    )

@@ -141,3 +141,43 @@ def linpack_scaling(
 def fig6_data() -> list[LinpackPoint]:
     """Both machines' scalability series (192-node partitions)."""
     return linpack_scaling(cte_arm()) + linpack_scaling(marenostrum4(192))
+
+
+def ir_program(cluster: ClusterModel, n_nodes: int, *, n: int | None = None):
+    """One HPL run as engine-agnostic IR.
+
+    A single factorization phase: the ``(2/3)N^3 + 2N^2`` flops at the
+    calibrated efficiency (expressed as an explicit per-core rate, since
+    the vendor binary bypasses the toolchain model) plus the panel
+    broadcasts down the process rows.  Derived from the same module
+    constants as the Fig. 6 driver; ``n`` overrides the problem size for
+    cheap small-scale runs.
+    """
+    from repro.ir import CommOp, ComputeOp, Phase, Program
+
+    if n is None:
+        n = problem_size(cluster, n_nodes)
+    rpn = RANKS_PER_NODE.get(cluster.name, 1)
+    threads = max(1, cluster.node.cores // rpn)
+    p, q = process_grid(n_nodes * rpn)
+    rate = cluster.peak_flops_nodes(n_nodes) * hpl_efficiency(
+        cluster, n_nodes)
+    per_core = rate / (n_nodes * rpn * threads)
+    flops = (2.0 / 3.0) * float(n) ** 3 + 2.0 * float(n) ** 2
+    from repro.toolchain.kernels import KernelClass
+
+    ops = [ComputeOp(kernel=KernelClass.DENSE_LINALG, flops=flops,
+                     rate_per_core=per_core, label="factorize")]
+    if n_nodes > 1:
+        panels = n // BLOCK_NB
+        panel_bytes = max(8, (n // max(1, p)) * BLOCK_NB * 8 // 2)
+        ops.append(CommOp("bcast", panel_bytes,
+                          count=panels / max(1, q)))
+    return Program(
+        name="hpl",
+        body=(Phase("factorize", tuple(ops)),),
+        ranks_per_node=rpn,
+        threads_per_rank=threads,
+        language="c",
+        kernels=(KernelClass.DENSE_LINALG,),
+    )

@@ -170,18 +170,21 @@ def allreduce_scaling(
 ) -> dict[int, float]:
     """Allreduce latency vs partition size (extension campaign).
 
-    Returns seconds per allreduce at each node count, through the analytic
-    collective model on the cluster's fabric.
+    Returns seconds per allreduce at each node count, through the IR
+    analytic backend's collective model on the cluster's fabric.
     """
-    from repro.network.collectives import CollectiveCosts
-    from repro.simmpi.mapping import RankMapping
+    from repro.ir import AnalyticBackend, CommOp, Phase, Program
 
+    program = Program(
+        name="osu-allreduce",
+        body=(Phase("allreduce", (CommOp("allreduce", size),)),),
+        ranks_per_node=ranks_per_node,
+    )
+    backend = AnalyticBackend()
     out = {}
     for n in node_counts:
-        mapping = RankMapping(cluster, n_nodes=n, ranks_per_node=ranks_per_node)
-        costs = CollectiveCosts(mapping=mapping,
-                                network=network_for(cluster, n_nodes=n))
-        out[n] = costs.allreduce(size)
+        result = backend.run(program, cluster, n, check_memory=False)
+        out[n] = result.phase_comm["allreduce"]
     return out
 
 
@@ -197,3 +200,22 @@ def fig5_data(
     """Per-size bandwidth distributions on CTE-Arm."""
     network = network_for(cte_arm(n_nodes), n_nodes=n_nodes)
     return bandwidth_distribution(network, max_pairs=max_pairs, seed=seed)
+
+
+def ir_program(*, size: int = 1 << 20, iterations: int = 100):
+    """The OSU ping-pong loop as engine-agnostic IR.
+
+    Each iteration is one pairwise exchange of ``size`` bytes (rank ``r``
+    with ``r ^ 1`` — the multi-pair osu_mbw layout); run with one rank
+    per node so every exchange crosses the fabric.
+    """
+    from repro.ir import CommOp, Loop, Phase, Program
+
+    return Program(
+        name="osu-pingpong",
+        body=(Loop(iterations, (Phase("pingpong", (
+            CommOp("p2p", size),
+        )),)),),
+        steps=iterations,
+        ranks_per_node=1,
+    )

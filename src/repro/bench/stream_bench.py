@@ -169,3 +169,39 @@ def best_point(points: list[StreamPoint]) -> StreamPoint:
     # Ties broken toward more threads: on the ring-bound plateau the paper
     # quotes the full-saturation point (24 threads on CTE-Arm).
     return max(points, key=lambda p: (p.bandwidth, p.threads))
+
+
+def ir_program(
+    cluster: ClusterModel,
+    *,
+    language: str = "fortran",
+    mode: str = "hybrid",
+    iterations: int = 10,
+    elements: int | None = None,
+):
+    """The Triad campaign as engine-agnostic IR (single-node workload).
+
+    One :class:`~repro.ir.ComputeOp` of pure memory traffic per iteration
+    — ``3 * 8 * elements`` bytes (two loads + one store of 8-byte reals) —
+    with the calibrated language factor applied as a time multiplier.
+    Derived from the same module constants as the Fig. 2/3 drivers; run it
+    at ``n_nodes=1`` (the paper's array is sized per node).
+    """
+    from repro.ir import ComputeOp, Loop, Phase, Program
+
+    n = elements if elements is not None else PAPER_ELEMENTS.get(
+        cluster.name, 400_000_000)
+    factor = _language_factor(cluster, mode, language)
+    node = cluster.node
+    rpn = len(node.domains) if mode == "hybrid" else 1
+    return Program(
+        name=f"stream-{mode}-{language}",
+        body=(Loop(iterations, (Phase("triad", (
+            ComputeOp(bytes_moved=3.0 * 8.0 * n,
+                      imbalance=1.0 / factor, label="triad"),
+        )),)),),
+        steps=iterations,
+        ranks_per_node=rpn,
+        threads_per_rank=node.cores // rpn,
+        language=language,
+    )

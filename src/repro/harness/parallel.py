@@ -49,18 +49,24 @@ def source_fingerprint() -> str:
     return _fingerprint
 
 
-def cache_key(exp_id: str) -> str:
-    """Cache file stem for one experiment under the current source tree."""
+def cache_key(exp_id: str, backend: str = "analytic") -> str:
+    """Cache file stem for one experiment under the current source tree.
+
+    The execution backend is part of the content hash, so a cached
+    analytic result is never served for a DES (or fastcoll) request.
+    """
     digest = hashlib.sha256(
-        f"{exp_id}\n{source_fingerprint()}".encode()
+        f"{exp_id}\n{backend}\n{source_fingerprint()}".encode()
     ).hexdigest()
     return f"{exp_id}-{digest[:16]}"
 
 
-def _run_one(exp_id: str) -> dict:
+def _run_one(exp_id: str, backend: str = "analytic") -> dict:
     """Worker: run one experiment, return a JSON-safe payload."""
     import repro.harness  # noqa: F401  (populate REGISTRY in spawned workers)
+    from repro.ir import set_default_backend
 
+    set_default_backend(backend)
     result = run_experiment(exp_id)
     return {
         "experiment": exp_id,
@@ -84,15 +90,21 @@ def run_experiments(
     *,
     jobs: int = 1,
     cache_dir: str | os.PathLike | None = None,
+    backend: str = "analytic",
 ) -> list[dict]:
     """Run experiments and return their payloads in input order.
 
     ``jobs`` > 1 fans uncached experiments out over that many worker
     processes.  ``cache_dir`` (or ``$REPRO_CACHE_DIR``) enables the
     on-disk result cache; ``None`` disables caching entirely.
+    ``backend`` selects the IR execution backend every worker installs as
+    the process default before running (and is part of the cache key).
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be >= 1")
+    from repro.ir import get_backend
+
+    get_backend(backend)  # validate the name before any work
     cache = resolve_cache_dir(cache_dir)
     payloads: dict[str, dict] = {}
     missing: list[str] = []
@@ -100,7 +112,7 @@ def run_experiments(
         if exp_id in payloads or exp_id in missing:
             continue
         if cache is not None:
-            path = cache / f"{cache_key(exp_id)}.json"
+            path = cache / f"{cache_key(exp_id, backend)}.json"
             if path.is_file():
                 payloads[exp_id] = json.loads(path.read_text())
                 continue
@@ -108,14 +120,21 @@ def run_experiments(
     if missing:
         if jobs > 1 and len(missing) > 1:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                fresh = list(pool.map(_run_one, missing))
+                fresh = list(pool.map(_run_one, missing,
+                                      [backend] * len(missing)))
         else:
-            fresh = [_run_one(exp_id) for exp_id in missing]
+            from repro.ir import default_backend_name, set_default_backend
+
+            prev = default_backend_name()
+            try:
+                fresh = [_run_one(exp_id, backend) for exp_id in missing]
+            finally:
+                set_default_backend(prev)
         for exp_id, payload in zip(missing, fresh):
             payloads[exp_id] = payload
             if cache is not None:
                 cache.mkdir(parents=True, exist_ok=True)
-                path = cache / f"{cache_key(exp_id)}.json"
+                path = cache / f"{cache_key(exp_id, backend)}.json"
                 tmp = path.with_suffix(".tmp")
                 # Preserve key order: reloaded payloads must serialize
                 # byte-identically to fresh ones.

@@ -1,0 +1,78 @@
+"""Engine-agnostic workload intermediate representation (IR).
+
+The paper's central method is running *the same* workloads on two machines
+and attributing the gap to micro-architecture and toolchain.  This package
+gives the laboratory the software analogue: every workload — the five
+application models and the synthetic benchmarks — is expressed **once** as
+a typed operation stream and evaluated under any of three pluggable
+execution backends:
+
+* :class:`AnalyticBackend` — closed-form roofline compute plus the
+  analytic :class:`~repro.network.collectives.CollectiveCosts`, including
+  Amdahl serial fractions and the Table-IV NP memory gating.  O(phases)
+  cost; powers the 192-node figures.
+* :class:`FastCollBackend` — the DES with the closed-form per-rank
+  collective recurrences of :mod:`repro.simmpi.fastcoll` substituted for
+  the simulated message exchange.  Exact for bulk-synchronous programs.
+* :class:`DESBackend` — the fully simulated path: the IR is lowered to a
+  real simmpi rank program (virtual payloads, per-message events), with
+  optional verify recording, NIC contention, fault injection and
+  resilience policies.
+
+Vocabulary: :class:`ComputeOp`, :class:`MemOp`, :class:`SerialOp`,
+:class:`CommOp`, :class:`Barrier` inside :class:`Phase` blocks, repeated
+by :class:`Loop` nodes of a :class:`Program`.  See ``docs/IR.md``.
+"""
+
+from repro.ir.ops import (
+    Barrier,
+    CommOp,
+    ComputeOp,
+    Loop,
+    MemOp,
+    Op,
+    Phase,
+    SerialOp,
+)
+from repro.ir.program import Program, compile_phases
+from repro.ir.serialize import from_dict, from_json, to_dict, to_json
+from repro.ir.backend import (
+    BACKENDS,
+    Backend,
+    RunResult,
+    default_backend_name,
+    get_backend,
+    set_default_backend,
+)
+from repro.ir.analytic import AnalyticBackend
+from repro.ir.desbackend import DESBackend, FastCollBackend
+from repro.ir.lower import grid_dims, grid_neighbors, lower
+
+__all__ = [
+    "Barrier",
+    "CommOp",
+    "ComputeOp",
+    "Loop",
+    "MemOp",
+    "Op",
+    "Phase",
+    "SerialOp",
+    "Program",
+    "compile_phases",
+    "to_dict",
+    "from_dict",
+    "to_json",
+    "from_json",
+    "Backend",
+    "RunResult",
+    "BACKENDS",
+    "get_backend",
+    "default_backend_name",
+    "set_default_backend",
+    "AnalyticBackend",
+    "FastCollBackend",
+    "DESBackend",
+    "grid_dims",
+    "grid_neighbors",
+    "lower",
+]

@@ -1,0 +1,137 @@
+"""Analytic backend: closed-form pricing of an IR program.
+
+This is the cost model behind the paper-scale figures, O(#phases) per
+evaluation.  Per phase occurrence:
+
+* :class:`~repro.ir.ops.ComputeOp` — roofline
+  ``max(flops / aggregate_rate, bytes / aggregate_bandwidth) * imbalance``
+  where the aggregate rate uses the *toolchain-model* sustained per-core
+  rate of the op's kernel class (or the op's explicit ``rate_per_core``);
+  fixed-``seconds`` ops charge their wall time directly;
+* :class:`~repro.ir.ops.MemOp` — ``bytes / aggregate_bandwidth``;
+* :class:`~repro.ir.ops.CommOp` — the analytic
+  :class:`~repro.network.collectives.CollectiveCosts` over the cluster's
+  network model; :class:`~repro.ir.ops.Barrier` prices as ``costs.barrier()``;
+* :class:`~repro.ir.ops.SerialOp` — charged once per occurrence, not
+  divided by ranks (the Amdahl term).
+
+The arithmetic (expression shapes and evaluation order) is kept identical
+to the historical ``AppModel.time_step`` so the committed EXPERIMENTS.md
+figures are bit-for-bit unchanged under the refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ir.backend import BACKENDS, Backend, RunResult
+from repro.ir.ops import Barrier, CommOp, ComputeOp, MemOp, SerialOp
+from repro.ir.program import Program
+from repro.machine.cluster import ClusterModel
+from repro.network.collectives import CollectiveCosts
+from repro.network.model import NetworkModel, network_for
+from repro.simmpi.mapping import RankMapping
+from repro.toolchain.compiler import Binary
+from repro.util.errors import ConfigurationError
+
+
+class AnalyticBackend(Backend):
+    """Closed-form roofline + collective-cost pricing (no simulation)."""
+
+    name = "analytic"
+
+    def run(
+        self,
+        program: Program,
+        cluster: ClusterModel,
+        n_nodes: int,
+        *,
+        mapping: RankMapping | None = None,
+        network: NetworkModel | None = None,
+        binary: Binary | None = None,
+        check_memory: bool = True,
+        **kwargs: Any,
+    ) -> RunResult:
+        if kwargs:
+            raise ConfigurationError(
+                f"analytic backend does not accept {sorted(kwargs)}"
+            )
+        if check_memory:
+            program.check_feasible(cluster, n_nodes)
+        mapping = self._mapping(program, cluster, n_nodes, mapping)
+        binary = self._binary(program, cluster, binary)
+        net = network if network is not None else network_for(
+            cluster, n_nodes=n_nodes
+        )
+        costs = CollectiveCosts(mapping=mapping, network=net)
+        core = cluster.node.core_model
+        n_ranks = mapping.n_ranks
+        agg_bw = n_ranks * mapping.rank_memory_bandwidth(0)
+        result = RunResult(
+            backend=self.name,
+            program=program.name,
+            cluster=cluster.name,
+            n_nodes=n_nodes,
+            n_ranks=n_ranks,
+            elapsed=0.0,
+            steps=program.steps,
+        )
+        for name in program.phase_names():
+            result.phase_seconds[name] = 0.0
+            result.phase_compute[name] = 0.0
+            result.phase_comm[name] = 0.0
+            result.phase_flops_time[name] = 0.0
+            result.phase_bytes_time[name] = 0.0
+        for phase, mult in program.iter_phases():
+            t_compute = 0.0
+            t_comm = 0.0
+            serial = 0.0
+            t_flops_sum = 0.0
+            t_bytes_sum = 0.0
+            for op in phase.ops:
+                if isinstance(op, ComputeOp):
+                    if op.seconds is not None:
+                        t_compute += op.seconds * op.imbalance
+                        continue
+                    if op.flops:
+                        if op.rate_per_core is not None:
+                            rate = op.rate_per_core
+                        elif binary is not None and op.kernel is not None:
+                            rate = binary.sustained_flops(core, op.kernel)
+                        else:
+                            raise ConfigurationError(
+                                f"compute op in phase {phase.name!r} needs a "
+                                "kernel class or an explicit rate_per_core"
+                            )
+                        agg_rate = n_ranks * mapping.rank_compute_rate(0, rate)
+                        t_flops = op.flops / agg_rate
+                    else:
+                        t_flops = 0.0
+                    t_bytes = op.bytes_moved / agg_bw if op.bytes_moved else 0.0
+                    t_compute += max(t_flops, t_bytes) * op.imbalance
+                    t_flops_sum += t_flops
+                    t_bytes_sum += t_bytes
+                elif isinstance(op, MemOp):
+                    t_bytes = op.bytes_moved / agg_bw if op.bytes_moved else 0.0
+                    t_compute += t_bytes
+                    t_bytes_sum += t_bytes
+                elif isinstance(op, SerialOp):
+                    serial += op.seconds
+                elif isinstance(op, CommOp):
+                    t_comm += op.cost(costs)
+                elif isinstance(op, Barrier):
+                    t_comm += costs.barrier()
+                else:  # pragma: no cover - Phase only holds Op members
+                    raise ConfigurationError(f"cannot price op {op!r}")
+            total = t_compute + t_comm + serial
+            name = phase.name
+            result.phase_seconds[name] += mult * total
+            result.phase_compute[name] += mult * t_compute
+            result.phase_comm[name] += mult * t_comm
+            result.phase_flops_time[name] += mult * t_flops_sum
+            result.phase_bytes_time[name] += mult * t_bytes_sum
+        result.elapsed = sum(result.phase_seconds.values())
+        return result
+
+
+BACKENDS[AnalyticBackend.name] = AnalyticBackend

@@ -1,0 +1,238 @@
+"""Lower an IR program to a real simmpi rank program.
+
+This is the single place where abstract :class:`~repro.ir.ops.CommOp`
+patterns become concrete message exchanges — the logic that used to live,
+duplicated, in ``repro.apps.des_runner``.
+
+Lowering rules
+--------------
+
+* ``ComputeOp`` — ``comm.compute`` roofline charge of the per-rank share
+  ``flops / n_ranks * imbalance`` (and bytes likewise) at the toolchain
+  sustained rate; fixed-``seconds`` ops charge their wall time on every
+  rank.
+* ``MemOp`` — per-rank share of the memory traffic at the rank's sustained
+  bandwidth.
+* ``SerialOp`` — charged on rank 0 only (the replicated/Amdahl term); the
+  other ranks run ahead and wait at the next synchronizing op.
+* ``CommOp`` — ``halo`` becomes sendrecvs with the rank's neighbors on a
+  balanced process grid (see :func:`grid_dims`); ``ring`` a periodic-shift
+  sendrecv; ``p2p`` a pairwise exchange with rank ``r ^ 1``; the
+  collective kinds map to the simmpi collectives over
+  :class:`~repro.simmpi.payload.VirtualPayload` objects of the declared
+  size.  Fractional ``count`` values subsample by step index — one
+  occurrence every ``round(1/count)`` steps, identically on every rank,
+  or a collective would desynchronize.
+* ``Barrier`` — the dissemination barrier.
+
+Process-grid rule (the ``des_runner._grid_neighbors`` fix)
+----------------------------------------------------------
+
+``halo`` ops with ``neighbors <= 2`` lower to a 1-D chain, ``<= 4`` to a
+2-D grid, anything larger to a 3-D grid.  :func:`grid_dims` picks the
+*most-square* factorization of exactly ``p`` (MPI_Dims_create style:
+prime factors assigned largest-first to the currently smallest dimension),
+so e.g. 12 ranks form a 4x3 grid and 48 ranks form 4x4x3.  For prime
+``p`` every factorization degenerates to a 1xp chain — interior ranks
+then see 2 neighbors instead of the modeled 4 (or 6), which is an honest
+property of the decomposition, not a silent fallback: prefer composite
+rank counts when comparing against the analytic model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.ir.ops import Barrier, CommOp, ComputeOp, Loop, MemOp, Phase, SerialOp
+from repro.simmpi.mapping import RankMapping
+from repro.simmpi.payload import VirtualPayload
+from repro.toolchain.compiler import Binary
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.ir.program import Program
+    from repro.simmpi.comm import Comm
+
+
+def _prime_factors(n: int) -> list[int]:
+    """Prime factors of ``n`` in non-increasing order."""
+    out = []
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            out.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        out.append(n)
+    return sorted(out, reverse=True)
+
+
+def grid_dims(p: int, ndims: int) -> tuple[int, ...]:
+    """Most-square ``ndims``-dimensional factorization of exactly ``p``.
+
+    MPI_Dims_create style: prime factors of ``p``, largest first, each
+    multiplied into the currently smallest dimension.  Returned in
+    non-increasing order.  A prime ``p`` necessarily degenerates to
+    ``(p, 1, ...)``.
+    """
+    if p < 1 or ndims < 1:
+        raise ConfigurationError("grid needs p >= 1 and ndims >= 1")
+    dims = [1] * ndims
+    for f in _prime_factors(p):
+        dims[dims.index(min(dims))] *= f
+    return tuple(sorted(dims, reverse=True))
+
+
+def grid_neighbors(rank: int, p: int, *, ndims: int = 2) -> list[int]:
+    """The rank's neighbors on the non-periodic :func:`grid_dims` grid."""
+    dims = grid_dims(p, ndims)
+    # row-major coordinates: the last dimension varies fastest.
+    coords = []
+    rest = rank
+    for d in reversed(dims):
+        rest, c = divmod(rest, d)
+        coords.append(c)
+    coords.reverse()
+    strides = [1] * len(dims)
+    for i in range(len(dims) - 2, -1, -1):
+        strides[i] = strides[i + 1] * dims[i + 1]
+    out = []
+    for axis, (c, d) in enumerate(zip(coords, dims)):
+        if c > 0:
+            out.append(rank - strides[axis])
+        if c < d - 1:
+            out.append(rank + strides[axis])
+    return out
+
+
+def _halo_ndims(neighbors: int) -> int:
+    """Decomposition dimensionality implied by the modeled halo degree."""
+    if neighbors <= 2:
+        return 1
+    if neighbors <= 4:
+        return 2
+    return 3
+
+
+def _comm_reps(op: CommOp, step: int) -> int:
+    """Occurrences of ``op`` at loop iteration ``step``.
+
+    Fractional counts (e.g. one IO frame per 150 steps) subsample by the
+    step index, identically on every rank.
+    """
+    if op.count <= 0:
+        return 0
+    if op.count < 1:
+        period = max(1, round(1.0 / max(op.count, 1e-9)))
+        return 0 if step % period else 1
+    return max(1, round(op.count))
+
+
+def _emit_comm(comm: "Comm", op: CommOp, n_ranks: int):
+    if op.kind == "halo":
+        ndims = _halo_ndims(op.neighbors)
+        for nb in grid_neighbors(comm.rank, n_ranks, ndims=ndims):
+            yield from comm.sendrecv(nb, VirtualPayload(op.size), size=op.size)
+    elif op.kind == "ring":
+        if n_ranks > 1:
+            right = (comm.rank + 1) % n_ranks
+            left = (comm.rank - 1) % n_ranks
+            yield from comm.sendrecv(right, VirtualPayload(op.size),
+                                     source=left, size=op.size)
+    elif op.kind == "p2p":
+        partner = comm.rank ^ 1
+        if partner < n_ranks:
+            yield from comm.sendrecv(partner, VirtualPayload(op.size),
+                                     size=op.size)
+    elif op.kind == "allreduce":
+        yield from comm.allreduce(VirtualPayload(op.size), size=op.size)
+    elif op.kind == "alltoall":
+        yield from comm.alltoall([VirtualPayload(op.size)] * n_ranks,
+                                 size=op.size)
+    elif op.kind == "allgather":
+        yield from comm.allgather(VirtualPayload(op.size), size=op.size)
+    elif op.kind == "bcast":
+        yield from comm.bcast(VirtualPayload(op.size),
+                              root=op.root, size=op.size)
+    elif op.kind == "reduce":
+        yield from comm.reduce(VirtualPayload(op.size),
+                               root=op.root, size=op.size)
+    elif op.kind == "gather":
+        yield from comm.gather(VirtualPayload(op.size),
+                               root=op.root, size=op.size)
+    else:  # pragma: no cover - CommOp validates its kind
+        raise ConfigurationError(f"unknown comm kind {op.kind!r}")
+
+
+def _emit_phase(comm: "Comm", phase: Phase, step: int, n_ranks: int,
+                core, binary: Binary | None):
+    comm.set_phase(phase.name)
+    for op in phase.ops:
+        if isinstance(op, ComputeOp):
+            if op.seconds is not None:
+                yield from comm.compute(op.seconds * op.imbalance,
+                                        label=op.label)
+                continue
+            if op.flops:
+                if op.rate_per_core is not None:
+                    rate = op.rate_per_core
+                elif binary is not None and op.kernel is not None:
+                    rate = binary.sustained_flops(core, op.kernel)
+                else:
+                    raise ConfigurationError(
+                        f"compute op in phase {phase.name!r} needs a kernel "
+                        "class or an explicit rate_per_core"
+                    )
+            else:
+                rate = None
+            yield from comm.compute(
+                flops=op.flops / n_ranks * op.imbalance,
+                bytes_moved=op.bytes_moved / n_ranks * op.imbalance,
+                flops_per_core=rate,
+                label=op.label,
+            )
+        elif isinstance(op, MemOp):
+            yield from comm.compute(
+                flops=0.0,
+                bytes_moved=op.bytes_moved / n_ranks,
+                label=op.label,
+            )
+        elif isinstance(op, SerialOp):
+            if comm.rank == 0:
+                yield from comm.compute(op.seconds, label="serial")
+        elif isinstance(op, CommOp):
+            for _ in range(_comm_reps(op, step)):
+                yield from _emit_comm(comm, op, n_ranks)
+        elif isinstance(op, Barrier):
+            yield from comm.barrier()
+        else:  # pragma: no cover - Phase only holds Op members
+            raise ConfigurationError(f"cannot lower op {op!r}")
+
+
+def _emit_items(comm: "Comm", items, step: int, n_ranks: int, core, binary):
+    for item in items:
+        if isinstance(item, Loop):
+            for i in range(item.count):
+                # the innermost loop index drives fractional-count
+                # subsampling — for app programs it is the step index.
+                yield from _emit_items(comm, item.body, i, n_ranks, core,
+                                       binary)
+        else:
+            yield from _emit_phase(comm, item, step, n_ranks, core, binary)
+
+
+def lower(
+    program: "Program",
+    mapping: RankMapping,
+    binary: Binary | None = None,
+) -> Callable:
+    """Return the rank program (generator function) for ``program``."""
+    core = mapping.cluster.node.core_model
+    n_ranks = mapping.n_ranks
+
+    def rank_program(comm: "Comm"):
+        yield from _emit_items(comm, program.body, 0, n_ranks, core, binary)
+        return comm.now
+
+    return rank_program

@@ -1,0 +1,164 @@
+"""The IR operation vocabulary.
+
+Every op is a frozen dataclass.  A :class:`Phase` groups the ops of one
+named workload phase (the unit the paper's per-phase plots report); a
+:class:`Loop` repeats a block of phases — the time-step structure.  Work
+quantities are **totals across all ranks** (the convention of the paper's
+Table III workload characterization); backends divide by the rank count
+where a per-rank quantity is needed.  Communication quantities are
+**per-rank per occurrence**, matching how the paper reports message sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.toolchain.kernels import KernelClass
+from repro.util.errors import ConfigurationError
+
+#: communication patterns a :class:`CommOp` may carry.  ``halo`` expands
+#: to neighbor sendrecvs on a process grid (see :mod:`repro.ir.lower`),
+#: ``ring`` to a periodic shift sendrecv, ``p2p`` to a pairwise exchange;
+#: the rest are the MPI collectives of :mod:`repro.simmpi.comm`.
+COMM_KINDS = frozenset({
+    "halo", "ring", "p2p",
+    "allreduce", "alltoall", "allgather", "bcast", "reduce", "gather",
+})
+
+
+@dataclass(frozen=True)
+class ComputeOp:
+    """One compute region.
+
+    Either *modeled* work — ``flops``/``bytes_moved`` totals across ranks,
+    priced by the roofline at the sustained rate of ``kernel`` under the
+    program's toolchain (or ``rate_per_core`` when the workload bypasses
+    the compiler model, e.g. vendor HPL binaries) — or *fixed* work:
+    ``seconds`` of per-rank wall time for synthetic programs.
+    """
+
+    kernel: KernelClass | None = None
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    dtype: str = "f64"
+    imbalance: float = 1.0
+    #: explicit sustained per-core flop rate; bypasses the toolchain model.
+    rate_per_core: float | None = None
+    #: fixed per-rank seconds (synthetic programs); overrides flops/bytes.
+    seconds: float | None = None
+    label: str = "compute"
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_moved < 0:
+            raise ConfigurationError("compute work must be non-negative")
+        if self.seconds is not None and self.seconds < 0:
+            raise ConfigurationError("compute seconds must be non-negative")
+        if self.imbalance < 1.0:
+            raise ConfigurationError("imbalance factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """Pure main-memory traffic (no flops): ``bytes_moved`` total across
+    ranks, priced at the aggregate sustained memory bandwidth."""
+
+    bytes_moved: float
+    label: str = "mem"
+
+    def __post_init__(self) -> None:
+        if self.bytes_moved < 0:
+            raise ConfigurationError("memory traffic must be non-negative")
+
+
+@dataclass(frozen=True)
+class SerialOp:
+    """Replicated / rank-0 work (the Amdahl serial fraction): ``seconds``
+    of wall time charged once per occurrence, not divided by ranks."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ConfigurationError("serial seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """One communication operation per rank per occurrence.
+
+    ``size`` is bytes per message/block; ``count`` occurrences per step
+    (fractional counts subsample by step index, identically on every rank);
+    ``neighbors`` sets the assumed halo degree (4 = 2-D grid, 6 = 3-D);
+    ``root`` applies to the rooted collectives (bcast/reduce/gather).
+    """
+
+    kind: str  # see COMM_KINDS
+    size: int
+    count: float = 1.0
+    neighbors: int = 4
+    root: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in COMM_KINDS:
+            raise ConfigurationError(f"unknown comm kind {self.kind!r}")
+        if self.size < 0:
+            raise ConfigurationError("message size must be non-negative")
+
+    def cost(self, costs) -> float:
+        """Analytic cost through :class:`~repro.network.collectives.CollectiveCosts`."""
+        if self.count <= 0:
+            return 0.0
+        if self.kind == "halo":
+            one = costs.halo_exchange(self.size, n_neighbors=self.neighbors)
+        elif self.kind == "allreduce":
+            one = costs.allreduce(self.size)
+        elif self.kind == "alltoall":
+            one = costs.alltoall(self.size)
+        elif self.kind == "bcast":
+            one = costs.bcast(self.size)
+        elif self.kind == "reduce":
+            one = costs.reduce(self.size)
+        elif self.kind == "allgather":
+            one = costs.allgather(self.size)
+        elif self.kind == "gather":
+            one = costs.allgather(self.size)  # gather ~ allgather cost shape
+        elif self.kind in ("p2p", "ring"):
+            one = costs.p2p(self.size)
+        else:  # pragma: no cover - __post_init__ rejects unknown kinds
+            raise ConfigurationError(f"unknown comm kind {self.kind!r}")
+        return self.count * one
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Full synchronization of every rank (dissemination barrier)."""
+
+
+#: the op types a Phase may contain.
+Op = Union[ComputeOp, MemOp, SerialOp, CommOp, Barrier]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A named block of ops — the paper's per-phase reporting unit."""
+
+    name: str
+    ops: tuple[Op, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("phase needs a name")
+
+
+@dataclass(frozen=True)
+class Loop:
+    """Repeat a block of phases (and nested loops) ``count`` times —
+    the time-step structure of an iterative workload."""
+
+    count: int
+    body: tuple["Phase | Loop", ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigurationError("loop count must be non-negative")

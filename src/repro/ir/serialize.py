@@ -1,0 +1,149 @@
+"""JSON (de)serialization of IR programs.
+
+``to_dict``/``from_dict`` round-trip every node losslessly (dataclass
+equality holds), so programs can be cached, diffed, and shipped between
+processes; ``scripts/check.sh`` gates on ``program -> serialize -> parse``
+producing the identical analytic cost.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.ir.ops import Barrier, CommOp, ComputeOp, Loop, MemOp, Phase, SerialOp
+from repro.ir.program import Program
+from repro.toolchain.kernels import KernelClass
+from repro.util.errors import ConfigurationError
+
+
+def _op_to_dict(op: Any) -> dict:
+    if isinstance(op, ComputeOp):
+        return {
+            "op": "compute",
+            "kernel": None if op.kernel is None else op.kernel.value,
+            "flops": op.flops,
+            "bytes_moved": op.bytes_moved,
+            "dtype": op.dtype,
+            "imbalance": op.imbalance,
+            "rate_per_core": op.rate_per_core,
+            "seconds": op.seconds,
+            "label": op.label,
+        }
+    if isinstance(op, MemOp):
+        return {"op": "mem", "bytes_moved": op.bytes_moved, "label": op.label}
+    if isinstance(op, SerialOp):
+        return {"op": "serial", "seconds": op.seconds}
+    if isinstance(op, CommOp):
+        return {
+            "op": "comm",
+            "kind": op.kind,
+            "size": op.size,
+            "count": op.count,
+            "neighbors": op.neighbors,
+            "root": op.root,
+        }
+    if isinstance(op, Barrier):
+        return {"op": "barrier"}
+    raise ConfigurationError(f"cannot serialize op {op!r}")
+
+
+def _op_from_dict(data: dict) -> Any:
+    tag = data.get("op")
+    if tag == "compute":
+        kernel = data.get("kernel")
+        return ComputeOp(
+            kernel=None if kernel is None else KernelClass(kernel),
+            flops=data.get("flops", 0.0),
+            bytes_moved=data.get("bytes_moved", 0.0),
+            dtype=data.get("dtype", "f64"),
+            imbalance=data.get("imbalance", 1.0),
+            rate_per_core=data.get("rate_per_core"),
+            seconds=data.get("seconds"),
+            label=data.get("label", "compute"),
+        )
+    if tag == "mem":
+        return MemOp(bytes_moved=data["bytes_moved"],
+                     label=data.get("label", "mem"))
+    if tag == "serial":
+        return SerialOp(seconds=data["seconds"])
+    if tag == "comm":
+        return CommOp(
+            kind=data["kind"],
+            size=data["size"],
+            count=data.get("count", 1.0),
+            neighbors=data.get("neighbors", 4),
+            root=data.get("root", 0),
+        )
+    if tag == "barrier":
+        return Barrier()
+    raise ConfigurationError(f"cannot parse op record {data!r}")
+
+
+def _item_to_dict(item: Any) -> dict:
+    if isinstance(item, Loop):
+        return {
+            "node": "loop",
+            "count": item.count,
+            "body": [_item_to_dict(sub) for sub in item.body],
+        }
+    if isinstance(item, Phase):
+        return {
+            "node": "phase",
+            "name": item.name,
+            "ops": [_op_to_dict(op) for op in item.ops],
+        }
+    raise ConfigurationError(f"cannot serialize program node {item!r}")
+
+
+def _item_from_dict(data: dict) -> Any:
+    tag = data.get("node")
+    if tag == "loop":
+        return Loop(
+            count=data["count"],
+            body=tuple(_item_from_dict(sub) for sub in data.get("body", ())),
+        )
+    if tag == "phase":
+        return Phase(
+            name=data["name"],
+            ops=tuple(_op_from_dict(op) for op in data.get("ops", ())),
+        )
+    raise ConfigurationError(f"cannot parse program node {data!r}")
+
+
+def to_dict(program: Program) -> dict:
+    """JSON-safe form of a program (lossless)."""
+    return {
+        "name": program.name,
+        "steps": program.steps,
+        "ranks_per_node": program.ranks_per_node,
+        "threads_per_rank": program.threads_per_rank,
+        "language": program.language,
+        "kernels": [k.value for k in program.kernels],
+        "replicated_bytes_per_rank": program.replicated_bytes_per_rank,
+        "distributed_bytes_total": program.distributed_bytes_total,
+        "body": [_item_to_dict(item) for item in program.body],
+    }
+
+
+def from_dict(data: dict) -> Program:
+    """Inverse of :func:`to_dict`; dataclass equality round-trips."""
+    return Program(
+        name=data["name"],
+        body=tuple(_item_from_dict(item) for item in data.get("body", ())),
+        steps=data.get("steps", 1),
+        ranks_per_node=data.get("ranks_per_node", 1),
+        threads_per_rank=data.get("threads_per_rank", 1),
+        language=data.get("language", "c"),
+        kernels=tuple(KernelClass(k) for k in data.get("kernels", ())),
+        replicated_bytes_per_rank=data.get("replicated_bytes_per_rank", 0),
+        distributed_bytes_total=data.get("distributed_bytes_total", 0),
+    )
+
+
+def to_json(program: Program, *, indent: int | None = None) -> str:
+    return json.dumps(to_dict(program), indent=indent)
+
+
+def from_json(text: str) -> Program:
+    return from_dict(json.loads(text))

@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Generator
 
+from repro.ir.desbackend import DESBackend
+from repro.ir.ops import CommOp, ComputeOp, Loop, Phase
+from repro.ir.program import Program
 from repro.machine.presets import cte_arm, marenostrum4
 from repro.resilience.checkpoint import CheckpointModel, TimeToSolution
 from repro.resilience.policy import ResiliencePolicy
@@ -37,7 +39,6 @@ from repro.resilience.schedule import (
 from repro.sched.jobs import Job
 from repro.sched.scheduler import AllocationPolicy, Scheduler
 from repro.simmpi.mapping import RankMapping
-from repro.simmpi.world import World
 from repro.util.errors import AllocationError, ConfigurationError
 
 _CLUSTERS = {"cte-arm": cte_arm, "mn4": marenostrum4}
@@ -47,23 +48,18 @@ _HALO_BYTES = 64 * 1024
 _REDUCE_BYTES = 8
 
 
-def halo_allreduce_program(
-    comm, steps: int, compute_s: float
-) -> Generator[Any, Any, int]:
-    """The representative rank program: ring halo + allreduce per step."""
-    comm.set_phase("campaign")
-    p = comm.size
-    right = (comm.rank + 1) % p
-    left = (comm.rank - 1) % p
-    total = 0
-    for step in range(steps):
-        yield from comm.compute(compute_s)
-        if p > 1:
-            yield from comm.sendrecv(
-                right, step, source=left, tag=step, size=_HALO_BYTES
-            )
-        total = yield from comm.allreduce(1, size=_REDUCE_BYTES)
-    return total
+def campaign_program(steps: int, compute_s: float) -> Program:
+    """The representative workload as IR: ring halo + allreduce per step
+    (the communication skeleton shared by the paper's applications)."""
+    return Program(
+        name="campaign",
+        body=(Loop(steps, (Phase("campaign", (
+            ComputeOp(seconds=compute_s),
+            CommOp("ring", _HALO_BYTES),
+            CommOp("allreduce", _REDUCE_BYTES),
+        )),)),),
+        steps=steps,
+    )
 
 
 @dataclass
@@ -227,9 +223,13 @@ def resilience_campaign(
     policy = policy if policy is not None else ResiliencePolicy()
     checkpoint = checkpoint if checkpoint is not None else CheckpointModel()
 
-    healthy = World(mapping, trace="aggregate").run(
-        halo_allreduce_program, steps, compute_s
-    )
+    program = campaign_program(steps, compute_s)
+    backend = DESBackend()
+    healthy = backend.run(
+        program, model, n_nodes,
+        mapping=mapping, check_memory=False, trace="aggregate",
+    ).world
+    assert healthy is not None
     trials: list[Trial] = []
     for intensity in intensities:
         if intensity < 0:
@@ -237,13 +237,12 @@ def resilience_campaign(
         schedule = _schedule_for(
             intensity, n_nodes, healthy.elapsed, seed
         )
-        world = World(
-            mapping,
-            trace="aggregate",
-            fault_schedule=schedule,
-            resilience=policy,
-        )
-        result = world.run(halo_allreduce_program, steps, compute_s)
+        result = backend.run(
+            program, model, n_nodes,
+            mapping=mapping, check_memory=False, trace="aggregate",
+            fault_schedule=schedule, resilience=policy,
+        ).world
+        assert result is not None
         state = result.resilience
         assert state is not None
         trials.append(_analyse_trial(

@@ -90,18 +90,15 @@ def verify_app(
 
 
 def run_dynamic_check(app, machine, n_nodes: int, *, steps: int = 1):
-    """Execute the app's phase program under simulated MPI with recording."""
-    from repro.apps.des_runner import _phase_program
-    from repro.simmpi.world import World
+    """Execute the app's compiled IR under simulated MPI with recording."""
+    from repro.ir.desbackend import DESBackend
 
-    app.check_feasible(machine, n_nodes)
-    mapping = app.mapping(machine, n_nodes)
     try:
-        binary = app.build(machine)
-        binary.check_runnable()
+        result = app.run(
+            machine, n_nodes,
+            backend=DESBackend(), steps=steps, verify=True,
+        )
     except ToolchainError:
         return []  # already reported as VEC006 by the advisor
-    world = World(mapping)
-    result = world.run(_phase_program, app, binary, mapping, steps, verify=True)
-    assert result.diagnostics is not None
-    return list(result.diagnostics)
+    assert result.world is not None and result.world.diagnostics is not None
+    return list(result.world.diagnostics)

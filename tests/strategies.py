@@ -128,6 +128,54 @@ def program_specs(draw, *, collective_only: bool = False,
     return ProgramSpec(n_ranks=n_ranks, ops=tuple(ops))
 
 
+#: CommOp kinds drawn for random IR programs.  Restricted to the subset on
+#: which fastcoll ≡ DES holds exactly for arbitrary entry skew: the
+#: symmetric collectives (allreduce/allgather/alltoall/barrier) plus the
+#: ops the fast path never touches (halo/ring/p2p sendrecvs, gather).
+#: The rooted bcast/reduce are excluded for the same reason they are
+#: excluded from ``_COLLECTIVE_KINDS`` above.
+_IR_EXACT_COMM = ("allreduce", "allgather", "alltoall", "halo", "ring",
+                  "p2p", "gather")
+
+
+@st.composite
+def ir_programs(draw, *, max_phases: int = 3, max_ops: int = 3,
+                max_steps: int = 3):
+    """Draw a random bulk-synchronous :class:`repro.ir.Program`.
+
+    Structure: ``steps`` repetitions of 1..``max_phases`` phases, each
+    holding fixed-seconds compute, barriers, and exact-subset CommOps.
+    Rank counts are chosen by the test (programs carry no rank count);
+    use power-of-two ranks so the fastcoll allreduce stays exact.
+    """
+    from repro.ir import Barrier, CommOp, ComputeOp, Loop, Phase, Program
+
+    def one_op(i):
+        kind = draw(st.sampled_from(("compute", "barrier", "comm")))
+        if kind == "compute":
+            return ComputeOp(seconds=draw(st.integers(1, 50)) * 1e-6)
+        if kind == "barrier":
+            return Barrier()
+        return CommOp(
+            draw(st.sampled_from(_IR_EXACT_COMM)),
+            draw(st.sampled_from(_SIZES)),
+            count=draw(st.sampled_from([1.0, 2.0])),
+            neighbors=draw(st.sampled_from([2, 4, 6])),
+        )
+
+    n_phases = draw(st.integers(1, max_phases))
+    phases = tuple(
+        Phase(
+            f"p{i}",
+            tuple(one_op(i) for _ in range(draw(st.integers(1, max_ops)))),
+        )
+        for i in range(n_phases)
+    )
+    steps = draw(st.integers(1, max_steps))
+    return Program(name="random-ir", body=(Loop(steps, phases),),
+                   steps=steps)
+
+
 @st.composite
 def fault_schedules(draw, *, n_nodes: int, horizon: float = 0.02,
                     allow_crash: bool = True,

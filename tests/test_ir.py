@@ -1,0 +1,273 @@
+"""Unit tests for the engine-agnostic workload IR (repro.ir).
+
+Covers the op vocabulary's validation, the JSON round-trip, the balanced
+process-grid rule that replaced ``des_runner._grid_neighbors``, the
+backend registry, and — the load-bearing property of the refactor — the
+analytic backend reproducing ``AppModel.time_step`` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    AnalyticBackend,
+    Barrier,
+    CommOp,
+    ComputeOp,
+    DESBackend,
+    FastCollBackend,
+    Loop,
+    MemOp,
+    Phase,
+    Program,
+    SerialOp,
+    compile_phases,
+    default_backend_name,
+    from_json,
+    get_backend,
+    grid_dims,
+    grid_neighbors,
+    set_default_backend,
+    to_dict,
+    to_json,
+)
+from repro.ir.lower import _comm_reps
+from repro.machine import cte_arm
+from repro.simmpi.mapping import RankMapping
+from repro.util.errors import ConfigurationError, OutOfMemoryError
+
+_CLUSTER = cte_arm(16)
+
+
+def _toy_program(steps: int = 2) -> Program:
+    return Program(
+        name="toy",
+        body=(Loop(steps, (
+            Phase("work", (
+                ComputeOp(seconds=1e-4),
+                CommOp("allreduce", 4096),
+            )),
+            Phase("sync", (Barrier(),)),
+        )),),
+        steps=steps,
+    )
+
+
+class TestOps:
+    def test_unknown_comm_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommOp("teleport", 8)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComputeOp(flops=-1.0)
+        with pytest.raises(ConfigurationError):
+            MemOp(bytes_moved=-1)
+        with pytest.raises(ConfigurationError):
+            SerialOp(seconds=-0.1)
+
+    def test_imbalance_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComputeOp(flops=1.0, imbalance=0.5)
+
+    def test_zero_count_comm_costs_nothing(self):
+        from repro.network.collectives import CollectiveCosts
+        from repro.network.model import network_for
+
+        mapping = RankMapping(_CLUSTER, n_nodes=2, ranks_per_node=2)
+        costs = CollectiveCosts(
+            mapping=mapping, network=network_for(_CLUSTER, n_nodes=2))
+        assert CommOp("allreduce", 8, count=0).cost(costs) == 0.0
+
+    def test_structure_validation(self):
+        with pytest.raises(ConfigurationError):
+            Phase("")
+        with pytest.raises(ConfigurationError):
+            Loop(-1)
+        with pytest.raises(ConfigurationError):
+            Program(name="", body=())
+        with pytest.raises(ConfigurationError):
+            Program(name="x", body=(), steps=0)
+
+
+class TestProgram:
+    def test_iter_phases_multiplies_loop_counts(self):
+        program = _toy_program(steps=3)
+        occurrences = list(program.iter_phases())
+        assert [(ph.name, mult) for ph, mult in occurrences] == [
+            ("work", 3), ("sync", 3)]
+        assert program.phase_names() == ["work", "sync"]
+
+    def test_memory_gate(self):
+        program = Program(
+            name="big", body=(Phase("p", (ComputeOp(seconds=1e-6),)),),
+            ranks_per_node=1,
+            distributed_bytes_total=4 * _CLUSTER.node.memory_bytes,
+        )
+        with pytest.raises(OutOfMemoryError):
+            program.check_feasible(_CLUSTER, 1)
+        program.check_feasible(_CLUSTER, 8)
+
+
+class TestSerialize:
+    def test_round_trip_identity(self):
+        program = Program(
+            name="rt",
+            body=(Loop(2, (Phase("p", (
+                ComputeOp(flops=1e9, bytes_moved=1e8, imbalance=1.1,
+                          rate_per_core=2e9),
+                MemOp(bytes_moved=1e7),
+                SerialOp(seconds=1e-3),
+                CommOp("halo", 4096, count=2.0, neighbors=6),
+                Barrier(),
+            )),)),),
+            steps=2,
+            ranks_per_node=4,
+            threads_per_rank=2,
+            language="fortran",
+        )
+        assert from_json(to_json(program)) == program
+
+    def test_round_trip_identical_analytic_cost(self):
+        program = _toy_program()
+        backend = AnalyticBackend()
+        before = backend.run(program, _CLUSTER, 2, check_memory=False)
+        after = backend.run(from_json(to_json(program)), _CLUSTER, 2,
+                            check_memory=False)
+        assert after.elapsed == before.elapsed
+        assert after.phase_seconds == before.phase_seconds
+
+    def test_unknown_record_rejected(self):
+        data = to_dict(_toy_program())
+        data["body"][0]["body"][0]["ops"][0]["op"] = "quantum"
+        from repro.ir import from_dict
+
+        with pytest.raises(ConfigurationError):
+            from_dict(data)
+
+
+class TestGrid:
+    def test_most_square_factorization(self):
+        assert grid_dims(12, 2) == (4, 3)
+        assert grid_dims(48, 2) == (8, 6)
+        assert grid_dims(48, 3) == (4, 4, 3)
+        assert grid_dims(8, 3) == (2, 2, 2)
+
+    def test_prime_degenerates_to_chain(self):
+        assert grid_dims(7, 2) == (7, 1)
+        # interior ranks of the chain see exactly 2 neighbors
+        assert sorted(grid_neighbors(3, 7)) == [2, 4]
+
+    def test_neighbor_symmetry(self):
+        for p in (4, 6, 8, 12):
+            for ndims in (1, 2, 3):
+                for r in range(p):
+                    for nb in grid_neighbors(r, p, ndims=ndims):
+                        assert r in grid_neighbors(nb, p, ndims=ndims)
+
+    def test_2d_interior_rank_has_four_neighbors(self):
+        # 12 ranks -> 4x3 grid; rank at row 1, col 1 is interior
+        dims = grid_dims(12, 2)
+        interior = 1 * dims[1] + 1
+        assert len(grid_neighbors(interior, 12)) == 4
+
+    def test_fractional_count_subsampling(self):
+        op = CommOp("gather", 64, count=1.0 / 3.0)
+        reps = [_comm_reps(op, step) for step in range(6)]
+        assert reps == [1, 0, 0, 1, 0, 0]
+        assert _comm_reps(CommOp("gather", 64, count=2.4), 0) == 2
+
+
+class TestBackendRegistry:
+    def test_get_backend(self):
+        assert isinstance(get_backend("analytic"), AnalyticBackend)
+        assert isinstance(get_backend("fastcoll"), FastCollBackend)
+        assert isinstance(get_backend("des"), DESBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("quantum")
+        with pytest.raises(ConfigurationError):
+            set_default_backend("quantum")
+
+    def test_default_backend_round_trip(self):
+        prev = default_backend_name()
+        try:
+            set_default_backend("fastcoll")
+            assert default_backend_name() == "fastcoll"
+        finally:
+            set_default_backend(prev)
+        assert default_backend_name() == prev
+
+
+class TestAnalyticParity:
+    """The refactor's contract: the IR path is the old arithmetic."""
+
+    @pytest.mark.parametrize("app_name", ["alya", "nemo", "wrf"])
+    def test_time_step_equals_direct_backend_run(self, app_name):
+        from repro.apps import get_app
+
+        app = get_app(app_name)
+        n_nodes = 16
+        timing = app.time_step(_CLUSTER, n_nodes)
+        mapping = app.mapping(_CLUSTER, n_nodes)
+        program = app.program(mapping)
+        result = AnalyticBackend().run(
+            program, _CLUSTER, n_nodes,
+            mapping=mapping, binary=app.build(_CLUSTER), check_memory=False)
+        assert result.phase_seconds == timing.phase_seconds
+        assert result.phase_compute == timing.phase_compute
+        assert result.phase_comm == timing.phase_comm
+        assert result.phase_flops_time == timing.phase_flops_time
+        assert result.phase_bytes_time == timing.phase_bytes_time
+        assert result.elapsed == timing.total
+
+    def test_compile_phases_structure(self):
+        from repro.apps import get_app
+
+        app = get_app("wrf")
+        mapping = app.mapping(_CLUSTER, 16)
+        program = app.program(mapping, steps=5)
+        assert program.steps == 5
+        (loop,) = program.body
+        assert isinstance(loop, Loop) and loop.count == 5
+        assert program.phase_names() == [
+            ph.name for ph in app.phases(mapping)]
+
+    def test_serial_seconds_charged_once(self):
+        program = Program(
+            name="serial",
+            body=(Phase("p", (SerialOp(seconds=0.25),)),),
+        )
+        result = AnalyticBackend().run(program, _CLUSTER, 4,
+                                       check_memory=False)
+        assert result.elapsed == 0.25
+
+
+class TestAppRun:
+    def test_run_under_named_backend(self):
+        from repro.apps import get_app
+
+        app = get_app("gromacs")
+        result = app.run(_CLUSTER, 16, backend="analytic")
+        assert result.backend == "analytic"
+        assert result.elapsed > 0
+        timing = app.time_step(_CLUSTER, 16)
+        assert result.elapsed == timing.total
+
+    def test_time_step_via_des_backend_band(self):
+        from repro.apps import get_app
+
+        app = get_app("gromacs")
+        analytic = app.time_step(_CLUSTER, 2).total
+        des = app.time_step(_CLUSTER, 2, backend="des").total
+        assert 0.8 < des / analytic < 1.25
+
+
+class TestHarnessCacheKey:
+    def test_backend_in_cache_key(self):
+        from repro.harness.parallel import cache_key
+
+        assert cache_key("fig2", "analytic") != cache_key("fig2", "des")
+        assert cache_key("fig2") == cache_key("fig2", "analytic")
