@@ -1,10 +1,13 @@
 #!/usr/bin/env python
 """Measure the simulation substrate and write ``BENCH_substrate.json``.
 
-Covers the three layers the perf work targets:
+Covers the layers the perf work targets:
 
 * DES engine event throughput (events/second);
 * a 64-rank allreduce campaign, simulated vs analytic fast collectives;
+* the IR optimizer passes (op-count shrink and wall cost);
+* batched tape evaluation vs the scalar analytic per-point loop over
+  every app scaling sweep (points/second each, asserted identical);
 * the full figure/table experiment suite — serial, with ``--jobs N``
   worker processes, and a cached re-run through the on-disk result cache.
 
@@ -131,6 +134,110 @@ def bench_ir_lowering(reps: int) -> dict:
     }
 
 
+def bench_batched_suite(reps: int) -> dict:
+    """Batched tape evaluation vs the scalar analytic loop.
+
+    Sweeps every application's strong-scaling curve on both clusters —
+    the same points the figure suite prices — once through the scalar
+    ``AnalyticBackend`` per-point loop (forced via
+    ``REPRO_SCALAR_ANALYTIC``, the PR-4 path: every consultation
+    re-prices every point) and through the vectorized
+    :class:`~repro.ir.batch.BatchAnalyticBackend` tape path, asserting
+    the results are identical.  The batched path is reported twice:
+    cold (caches dropped — tape compile + vector evaluation) and
+    steady-state (content-hash memo warm — the regime the figure suite
+    runs in, since its experiments repeatedly consult the same sweeps).
+    """
+    from repro.apps import ALL_APPS, get_app
+    from repro.ir.batch import clear_caches
+    from repro.machine import cte_arm, marenostrum4
+
+    clusters = [cte_arm(192), marenostrum4(192)]
+    nodes = [1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128]
+    apps = [get_app(name) for name in sorted(ALL_APPS)]
+
+    def sweep() -> list:
+        out = []
+        for app in apps:
+            for cluster in clusters:
+                out.append(app.sweep_timings(cluster, nodes))
+        return out
+
+    def run_scalar() -> list:
+        os.environ["REPRO_SCALAR_ANALYTIC"] = "1"
+        try:
+            return sweep()
+        finally:
+            del os.environ["REPRO_SCALAR_ANALYTIC"]
+
+    def run_cold() -> list:
+        clear_caches()
+        return sweep()
+
+    scalar_wall = best_of(run_scalar, reps)
+    cold_wall = best_of(run_cold, reps)
+    warm_wall = best_of(sweep, max(3, reps))
+    scalar_out = run_scalar()
+    batched_out = sweep()
+    assert scalar_out == batched_out, "batched sweep must match scalar"
+    n_points = sum(
+        1 for timings in batched_out for t in timings.values()
+        if t is not None
+    )
+    return {
+        "apps": len(apps),
+        "clusters": len(clusters),
+        "points": n_points,
+        "scalar_seconds": scalar_wall,
+        "batched_cold_seconds": cold_wall,
+        "batched_seconds": warm_wall,
+        "scalar_points_per_second": n_points / scalar_wall,
+        "batched_points_per_second": n_points / warm_wall,
+        "cold_speedup": scalar_wall / cold_wall,
+        "speedup": scalar_wall / warm_wall,
+    }
+
+
+def bench_ir_optimize(reps: int) -> dict:
+    """Op-count reduction and wall cost of the IR optimizer passes, on
+    the application programs plus a synthetic loop-heavy program."""
+    from repro.apps import ALL_APPS, get_app
+    from repro.ir import ComputeOp, Loop, MemOp, Phase, Program, SerialOp
+    from repro.ir.optimize import op_count, optimize_program
+    from repro.machine import cte_arm
+
+    cluster = cte_arm(192)
+    programs = []
+    for name in sorted(ALL_APPS):
+        app = get_app(name)
+        programs.append(app.program(app.mapping(cluster, 16)))
+    programs.append(Program(
+        name="loopy",
+        body=(Loop(1000, (Phase("step", (
+            SerialOp(1e-6), SerialOp(2e-6),
+            MemOp(4096), MemOp(4096),
+            ComputeOp(seconds=1e-5),
+        )),)),),
+        steps=1000,
+    ))
+
+    per_program = []
+    for program in programs:
+        optimized = optimize_program(program)
+        per_program.append({
+            "program": program.name,
+            "ops_before": op_count(program),
+            "ops_after": op_count(optimized),
+        })
+    wall = best_of(
+        lambda: [optimize_program(p) for p in programs], reps * 5
+    )
+    return {
+        "programs": per_program,
+        "optimize_all_seconds": wall,
+    }
+
+
 def bench_figure_suite(jobs: int) -> dict:
     from repro.harness.experiment import list_experiments
     from repro.harness.parallel import run_experiments
@@ -183,6 +290,8 @@ def main(argv: list[str] | None = None) -> int:
         "des_engine": bench_des_engine(reps, events),
         "allreduce_64_ranks": bench_allreduce(reps, iterations),
         "ir_lowering": bench_ir_lowering(reps),
+        "ir_optimize": bench_ir_optimize(reps),
+        "batched_figure_suite": bench_batched_suite(max(1, reps // 2)),
         "figure_suite": bench_figure_suite(args.jobs),
     }
     out = Path(args.out) if args.out else (
@@ -200,6 +309,22 @@ def main(argv: list[str] | None = None) -> int:
           f"analytic run {ir['analytic_run_seconds'] * 1e6:,.1f} us, "
           f"DES lowering {ir['lower_seconds'] * 1e6:,.1f} us "
           f"({ir['program']}, {ir['n_ranks']} ranks)")
+    opt = report["ir_optimize"]
+    shrunk = max(opt["programs"],
+                 key=lambda p: p["ops_before"] - p["ops_after"])
+    print(f"IR optimize:  {len(opt['programs'])} programs in "
+          f"{opt['optimize_all_seconds'] * 1e3:,.2f} ms (best shrink "
+          f"{shrunk['program']}: {shrunk['ops_before']} -> "
+          f"{shrunk['ops_after']} ops)")
+    bat = report["batched_figure_suite"]
+    print(f"batched eval: {bat['points']} points, scalar "
+          f"{bat['scalar_seconds']:.3f}s "
+          f"({bat['scalar_points_per_second']:,.0f} pts/s), batched "
+          f"cold {bat['batched_cold_seconds']:.3f}s "
+          f"({bat['cold_speedup']:.1f}x), steady-state "
+          f"{bat['batched_seconds']:.4f}s "
+          f"({bat['batched_points_per_second']:,.0f} pts/s, "
+          f"{bat['speedup']:.1f}x)")
     print(f"figure suite: serial {suite['serial_seconds']:.2f}s, "
           f"--jobs {suite['jobs']} {suite['parallel_seconds']:.2f}s "
           f"({suite['parallel_speedup']:.2f}x on {suite['cpu_count']} cpu), "

@@ -96,6 +96,59 @@ EOF
     then
         status=1
     fi
+    echo "== batched-vs-scalar differential smoke =="
+    if ! PYTHONPATH=src python - <<'EOF'
+import os
+from repro.apps import ALL_APPS, get_app
+from repro.machine import cte_arm, marenostrum4
+
+clusters = [cte_arm(192), marenostrum4(192)]
+nodes = [32, 64, 128]
+checks = 0
+for name in sorted(ALL_APPS):
+    for cluster in clusters:
+        app = get_app(name)
+        batched = app.sweep_timings(cluster, nodes)
+        os.environ["REPRO_SCALAR_ANALYTIC"] = "1"
+        try:
+            scalar = get_app(name).sweep_timings(cluster, nodes)
+        finally:
+            del os.environ["REPRO_SCALAR_ANALYTIC"]
+        assert set(batched) == set(scalar)
+        for n in batched:
+            b, s = batched[n], scalar[n]
+            assert (b is None) == (s is None), (name, cluster.name, n)
+            if b is None:
+                continue
+            assert b.phase_seconds == s.phase_seconds, (name, cluster.name, n)
+            assert b.total == s.total, (name, cluster.name, n)
+            checks += 1
+print(f"batched == scalar bit-for-bit on {checks} app points "
+      f"({len(ALL_APPS)} apps x {len(clusters)} clusters x {len(nodes)} node counts)")
+EOF
+    then
+        status=1
+    fi
+    echo "== numpy version floor =="
+    if ! PYTHONPATH=src python - <<'EOF'
+import re
+import tomllib
+from pathlib import Path
+
+import numpy
+
+deps = tomllib.loads(Path("pyproject.toml").read_text())["project"]["dependencies"]
+spec = next(d for d in deps if d.startswith("numpy"))
+floor = re.search(r">=\s*([\d.]+)", spec).group(1)
+def vtuple(v):
+    return tuple(int(x) for x in re.findall(r"\d+", v)[:3])
+assert vtuple(numpy.__version__) >= vtuple(floor), (
+    f"numpy {numpy.__version__} below the pyproject floor {floor}")
+print(f"numpy {numpy.__version__} >= {floor} (pyproject floor) OK")
+EOF
+    then
+        status=1
+    fi
     echo "== bench smoke =="
     if ! python scripts/bench.py --quick --out "$(mktemp -d)/BENCH_substrate.json" 2>/dev/null; then
         status=1

@@ -171,21 +171,24 @@ def allreduce_scaling(
     """Allreduce latency vs partition size (extension campaign).
 
     Returns seconds per allreduce at each node count, through the IR
-    analytic backend's collective model on the cluster's fabric.
+    analytic collective model on the cluster's fabric — one program
+    structure against a vector of node counts, priced in a single
+    :class:`~repro.ir.batch.BatchAnalyticBackend` pass (bit-identical to
+    the scalar ``AnalyticBackend`` loop it replaces).
     """
-    from repro.ir import AnalyticBackend, CommOp, Phase, Program
+    from repro.ir import CommOp, Phase, Program
+    from repro.ir.batch import BatchJob, shared_batch_backend
 
     program = Program(
         name="osu-allreduce",
         body=(Phase("allreduce", (CommOp("allreduce", size),)),),
         ranks_per_node=ranks_per_node,
     )
-    backend = AnalyticBackend()
-    out = {}
-    for n in node_counts:
-        result = backend.run(program, cluster, n, check_memory=False)
-        out[n] = result.phase_comm["allreduce"]
-    return out
+    jobs = [BatchJob(program, cluster, n, check_memory=False)
+            for n in node_counts]
+    results = shared_batch_backend().run_batch(jobs)
+    return {n: result.phase_comm["allreduce"]
+            for n, result in zip(node_counts, results)}
 
 
 def fig4_data(*, n_nodes: int = 192, healthy: bool = False) -> np.ndarray:

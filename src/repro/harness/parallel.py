@@ -13,14 +13,21 @@ stale results can never be served.  Each payload carries both the
 so cache hits serve every CLI output mode without re-running anything.
 
 Speedup scales with available cores; on a single-core host the win
-comes from the cache, not the fan-out.
+comes from the cache, not the fan-out.  The first uncached experiment is
+always run in-process as a timing probe; a pool is only spawned when the
+measured per-task cost times the remaining task count clears
+``REPRO_POOL_MIN_SECONDS`` (default 2 s), and tasks are then dispatched
+in contiguous chunks rather than one process round-trip each — so
+``--jobs N`` never loses to ``--jobs 1`` on small or fast suites.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
@@ -29,6 +36,15 @@ from repro.util.errors import ConfigurationError
 
 #: Environment variable naming the default cache directory.
 CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable overriding the pool cost threshold (seconds).
+POOL_MIN_ENV = "REPRO_POOL_MIN_SECONDS"
+
+#: Minimum estimated serial cost (seconds) of the *remaining* work before
+#: a worker pool pays for itself.  Spawning interpreters and re-importing
+#: ``repro`` costs O(1 s) per worker; below this, in-process execution
+#: wins (the old path lost to serial on small suites — 0.93x speedup).
+POOL_MIN_SECONDS = 2.0
 
 _fingerprint: str | None = None
 
@@ -52,13 +68,33 @@ def source_fingerprint() -> str:
 def cache_key(exp_id: str, backend: str = "analytic") -> str:
     """Cache file stem for one experiment under the current source tree.
 
-    The execution backend is part of the content hash, so a cached
-    analytic result is never served for a DES (or fastcoll) request.
+    The execution backend and the IR optimizer pass version are part of
+    the content hash, so a cached analytic result is never served for a
+    DES (or fastcoll) request, and a pass-semantics change invalidates
+    results even if it ships without a source diff (e.g. a data-only
+    toggle).
     """
+    from repro.ir.optimize import PASS_VERSION
+
     digest = hashlib.sha256(
-        f"{exp_id}\n{backend}\n{source_fingerprint()}".encode()
+        f"{exp_id}\n{backend}\npasses-v{PASS_VERSION}\n"
+        f"{source_fingerprint()}".encode()
     ).hexdigest()
     return f"{exp_id}-{digest[:16]}"
+
+
+def _pool_min_seconds() -> float:
+    """Pool cost threshold: ``$REPRO_POOL_MIN_SECONDS`` override, else
+    :data:`POOL_MIN_SECONDS`."""
+    env = os.environ.get(POOL_MIN_ENV)
+    if not env:
+        return POOL_MIN_SECONDS
+    try:
+        return float(env)
+    except ValueError:
+        raise ConfigurationError(
+            f"{POOL_MIN_ENV} must be a number, got {env!r}"
+        ) from None
 
 
 def _run_one(exp_id: str, backend: str = "analytic") -> dict:
@@ -118,16 +154,35 @@ def run_experiments(
                 continue
         missing.append(exp_id)
     if missing:
-        if jobs > 1 and len(missing) > 1:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                fresh = list(pool.map(_run_one, missing,
-                                      [backend] * len(missing)))
-        else:
-            from repro.ir import default_backend_name, set_default_backend
+        from repro.ir import default_backend_name, set_default_backend
 
+        # Probe: run the first missing experiment in-process and time it.
+        # Worker processes cost O(1 s) each to spawn and re-import; if the
+        # measured per-task cost says the remaining work is cheaper than
+        # that, a pool can only lose to serial (the old unconditional
+        # fan-out ran *slower* than --jobs 1 on small suites).
+        prev = default_backend_name()
+        try:
+            start = time.perf_counter()
+            fresh = [_run_one(missing[0], backend)]
+            per_task = time.perf_counter() - start
+        finally:
+            set_default_backend(prev)
+        rest = missing[1:]
+        if (rest and jobs > 1
+                and per_task * len(rest) >= _pool_min_seconds()):
+            workers = min(jobs, len(rest))
+            # Chunk instead of one task per process dispatch: amortizes
+            # pickling/IPC over len(rest)/workers tasks per round trip.
+            chunksize = max(1, math.ceil(len(rest) / workers))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh += list(pool.map(_run_one, rest,
+                                       [backend] * len(rest),
+                                       chunksize=chunksize))
+        elif rest:
             prev = default_backend_name()
             try:
-                fresh = [_run_one(exp_id, backend) for exp_id in missing]
+                fresh += [_run_one(exp_id, backend) for exp_id in rest]
             finally:
                 set_default_backend(prev)
         for exp_id, payload in zip(missing, fresh):

@@ -11,6 +11,12 @@ execution backends:
   analytic :class:`~repro.network.collectives.CollectiveCosts`, including
   Amdahl serial fractions and the Table-IV NP memory gating.  O(phases)
   cost; powers the 192-node figures.
+* :class:`BatchAnalyticBackend` — the analytic model compiled to a flat
+  numpy tape (:func:`compile_tape`) and evaluated for a whole *vector* of
+  (cluster, n_nodes, overrides) points at once; bit-for-bit identical to
+  :class:`AnalyticBackend` per point, orders of magnitude faster per
+  sweep.  The optimizer passes of :mod:`repro.ir.optimize` shrink
+  programs before taping or DES lowering.
 * :class:`FastCollBackend` — the DES with the closed-form per-rank
   collective recurrences of :mod:`repro.simmpi.fastcoll` substituted for
   the simulated message exchange.  Exact for bulk-synchronous programs.
@@ -45,8 +51,17 @@ from repro.ir.backend import (
     set_default_backend,
 )
 from repro.ir.analytic import AnalyticBackend
+from repro.ir.batch import BatchAnalyticBackend, BatchJob, Tape, compile_tape
 from repro.ir.desbackend import DESBackend, FastCollBackend
 from repro.ir.lower import grid_dims, grid_neighbors, lower
+from repro.ir.optimize import (
+    PASS_VERSION,
+    collapse_loops,
+    fold_constants,
+    fuse_ops,
+    op_count,
+    optimize_program,
+)
 
 __all__ = [
     "Barrier",
@@ -70,9 +85,19 @@ __all__ = [
     "default_backend_name",
     "set_default_backend",
     "AnalyticBackend",
+    "BatchAnalyticBackend",
+    "BatchJob",
+    "Tape",
+    "compile_tape",
     "FastCollBackend",
     "DESBackend",
     "grid_dims",
     "grid_neighbors",
     "lower",
+    "PASS_VERSION",
+    "fold_constants",
+    "fuse_ops",
+    "collapse_loops",
+    "optimize_program",
+    "op_count",
 ]

@@ -28,7 +28,8 @@ if TYPE_CHECKING:
     from repro.simmpi.world import WorldResult
 
 #: backend registry; populated by the implementation modules
-#: (:mod:`repro.ir.analytic`, :mod:`repro.ir.desbackend`).
+#: (:mod:`repro.ir.analytic`, :mod:`repro.ir.batch`,
+#: :mod:`repro.ir.desbackend`).
 BACKENDS: dict[str, type["Backend"]] = {}
 
 #: name of the process-wide default backend.
@@ -167,4 +168,5 @@ def default_backend_name() -> str:
 def _ensure_registered() -> None:
     # the implementation modules register themselves on import.
     import repro.ir.analytic  # noqa: F401
+    import repro.ir.batch  # noqa: F401
     import repro.ir.desbackend  # noqa: F401

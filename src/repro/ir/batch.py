@@ -1,0 +1,743 @@
+"""Batched analytic evaluation: compile IR programs to flat numpy tapes
+and price many evaluation points in one vectorized pass.
+
+The scalar :class:`~repro.ir.analytic.AnalyticBackend` walks the op tree
+per evaluation point; a figure sweep re-walks it hundreds of times.  This
+module splits that walk into a **compile** step and an **evaluate** step:
+
+* :func:`compile_tape` flattens a :class:`~repro.ir.program.Program` into
+  a :class:`Tape` — per-row structural records (op kind, kernel, comm
+  pattern, phase id) plus per-row numeric columns (flops, bytes, seconds,
+  imbalance, size, count) and a per-occurrence loop-multiplicity column.
+  Loops are unrolled *symbolically* through the multiplicity column, never
+  materialized.
+* :class:`BatchAnalyticBackend` (registry name ``batch``) evaluates one
+  or many :class:`BatchJob` points — ``(program, cluster, n_nodes,
+  overrides)`` tuples — by stacking the numeric columns of jobs that share
+  a tape structure into ``(n_points, n_rows)`` matrices and running the
+  roofline/collective arithmetic as numpy array operations over the point
+  axis.
+
+Exactness contract: the evaluation replicates the scalar backend's
+expression shapes and accumulation order operation for operation (same
+``max(t_flops, t_bytes) * imbalance`` roofline, same ``ceil(log2 p)``
+collective rounds priced through the *same* :class:`NetworkModel` calls,
+same left-to-right per-phase sums), so a job without ``overrides`` is
+**bit-for-bit identical** to ``AnalyticBackend.run`` — the differential
+gate in ``scripts/check.sh`` and ``tests/test_ir_batch.py`` enforces it.
+``overrides`` (``compute_scale`` / ``comm_scale`` / ``serial_scale`` /
+``bandwidth_scale`` / ``rate_scale``) are batch-only what-if knobs used by
+the resilience campaign's analytic degradation estimates.
+
+Caching layers (all process-local, cleared by :func:`clear_caches`):
+tape per Program, network per (cluster, n_nodes), binary per program
+identity, a result memo keyed by a content hash of (tape structure +
+numeric columns + cluster + mapping + binary + overrides), and a
+batch-level cache keyed by the hash of a whole (tape, point-matrix) pair.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.ir.backend import BACKENDS, Backend, RunResult
+from repro.ir.ops import Barrier, CommOp, ComputeOp, MemOp, SerialOp
+from repro.ir.program import Program
+from repro.machine.cluster import ClusterModel
+from repro.network.model import NetworkModel, network_for
+from repro.simmpi.mapping import RankMapping
+from repro.toolchain.compiler import Binary
+from repro.toolchain.profiles import default_compiler_for
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "OVERRIDE_KEYS",
+    "BatchAnalyticBackend",
+    "BatchJob",
+    "Tape",
+    "binary_fingerprint",
+    "clear_caches",
+    "cluster_fingerprint",
+    "compile_tape",
+    "shared_batch_backend",
+]
+
+#: model-parameter override knobs a :class:`BatchJob` accepts.  Each is a
+#: multiplicative factor on one analytic term; 1.0 is the identity.
+OVERRIDE_KEYS = frozenset({
+    "compute_scale", "comm_scale", "serial_scale",
+    "bandwidth_scale", "rate_scale",
+})
+
+# row kind codes (structural)
+_K_COMPUTE = 0       # modeled roofline work
+_K_SECONDS = 1       # fixed-seconds compute
+_K_MEM = 2
+_K_SERIAL = 3
+_K_COMM = 4
+_K_BARRIER = 5
+
+_COLUMNS = ("flops", "bytes", "seconds", "imbalance", "rate", "size", "count")
+
+
+class Tape:
+    """A Program flattened to structural rows + numeric columns.
+
+    ``structure`` is a hashable tuple describing everything *shape-like*
+    (phase layout, op kinds, kernels, comm patterns, halo degrees); two
+    programs with equal structures — e.g. the same app model at different
+    node counts — can be stacked into one evaluation matrix.  ``cols``
+    holds the per-row numeric quantities; ``occ_mult`` the per-occurrence
+    loop multiplicity (trip-count product).
+    """
+
+    __slots__ = ("structure", "names", "occ_names", "rows", "cols",
+                 "occ_mult", "occ_rows", "toolchain_rows",
+                 "kernel_needed", "digest")
+
+    def __init__(self, structure, names, occ_names, rows, cols, occ_mult):
+        self.structure = structure
+        self.names = names              # distinct phase names, first-appearance order
+        self.occ_names = occ_names      # name index per occurrence
+        self.rows = rows                # (occ, kind, kernel, comm_kind, neighbors, has_rate)
+        self.cols = cols                # column name -> (n_rows,) ndarray
+        self.occ_mult = occ_mult        # (n_occurrences,) int64
+        self.occ_rows = _rows_by_occurrence(rows, len(occ_names))
+        # structural toolchain demand: modeled compute with a kernel and no
+        # explicit rate always builds the binary (matching Backend._binary)
+        self.kernel_needed = any(
+            kind == _K_COMPUTE and not has_rate and kernel is not None
+            for (_, kind, kernel, _, _, has_rate) in rows
+        )
+        # rows that need a toolchain (or raise) only when their flops > 0
+        self.toolchain_rows = tuple(
+            i for i, (_, kind, kernel, _, _, has_rate) in enumerate(rows)
+            if kind == _K_COMPUTE and not has_rate and kernel is None
+        )
+        digest = hashlib.sha256(repr(structure).encode())
+        for col in _COLUMNS:
+            digest.update(cols[col].tobytes())
+        digest.update(occ_mult.tobytes())
+        self.digest = digest.digest()
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_occurrences(self) -> int:
+        return len(self.occ_names)
+
+
+def _rows_by_occurrence(rows, n_occ) -> tuple[tuple[int, ...], ...]:
+    by_occ: list[list[int]] = [[] for _ in range(n_occ)]
+    for i, row in enumerate(rows):
+        by_occ[row[0]].append(i)
+    return tuple(tuple(r) for r in by_occ)
+
+
+@lru_cache(maxsize=1024)
+def compile_tape(program: Program) -> Tape:
+    """Flatten ``program`` into a :class:`Tape` (cached per Program)."""
+    names: list[str] = []
+    name_idx: dict[str, int] = {}
+    occ_names: list[int] = []
+    occ_mult: list[int] = []
+    rows: list[tuple] = []
+    cols: dict[str, list[float]] = {c: [] for c in _COLUMNS}
+
+    def push(occ, kind, kernel=None, comm_kind="", neighbors=0,
+             has_rate=False, *, flops=0.0, bytes_=0.0, seconds=0.0,
+             imbalance=1.0, rate=0.0, size=0, count=0.0):
+        rows.append((occ, kind, kernel, comm_kind, neighbors, has_rate))
+        cols["flops"].append(flops)
+        cols["bytes"].append(bytes_)
+        cols["seconds"].append(seconds)
+        cols["imbalance"].append(imbalance)
+        cols["rate"].append(rate)
+        cols["size"].append(size)
+        cols["count"].append(count)
+
+    for phase, mult in program.iter_phases():
+        if phase.name not in name_idx:
+            name_idx[phase.name] = len(names)
+            names.append(phase.name)
+        occ = len(occ_mult)
+        occ_mult.append(mult)
+        occ_names.append(name_idx[phase.name])
+        for op in phase.ops:
+            if isinstance(op, ComputeOp):
+                if op.seconds is not None:
+                    push(occ, _K_SECONDS, seconds=op.seconds,
+                         imbalance=op.imbalance)
+                else:
+                    push(occ, _K_COMPUTE, kernel=op.kernel,
+                         has_rate=op.rate_per_core is not None,
+                         flops=op.flops, bytes_=op.bytes_moved,
+                         imbalance=op.imbalance,
+                         rate=op.rate_per_core or 0.0)
+            elif isinstance(op, MemOp):
+                push(occ, _K_MEM, bytes_=op.bytes_moved)
+            elif isinstance(op, SerialOp):
+                push(occ, _K_SERIAL, seconds=op.seconds)
+            elif isinstance(op, CommOp):
+                push(occ, _K_COMM, comm_kind=op.kind,
+                     neighbors=op.neighbors, size=op.size, count=op.count)
+            elif isinstance(op, Barrier):
+                push(occ, _K_BARRIER)
+            else:  # pragma: no cover - Phase only holds Op members
+                raise ConfigurationError(f"cannot tape op {op!r}")
+
+    structure = (tuple(names), tuple(occ_names), tuple(rows))
+    np_cols = {
+        c: np.asarray(cols[c],
+                      dtype=np.int64 if c == "size" else np.float64)
+        for c in _COLUMNS
+    }
+    return Tape(structure, tuple(names), tuple(occ_names), tuple(rows),
+                np_cols, np.asarray(occ_mult, dtype=np.int64))
+
+
+@dataclass
+class BatchJob:
+    """One evaluation point of a batched run.
+
+    Mirrors the keyword surface of ``AnalyticBackend.run``; ``overrides``
+    adds the batch-only what-if knobs of :data:`OVERRIDE_KEYS`.
+    """
+
+    program: Program
+    cluster: ClusterModel
+    n_nodes: int
+    mapping: RankMapping | None = None
+    network: NetworkModel | None = None
+    binary: Binary | None = None
+    check_memory: bool = True
+    overrides: dict[str, float] | None = None
+
+
+# -- process-local caches -----------------------------------------------------
+
+_CLUSTER_FP: dict[int, tuple[Any, bytes]] = {}   # id -> (strong ref, digest)
+_NETWORKS: dict[tuple[bytes, int], NetworkModel] = {}
+_RANK_BW: dict[tuple[bytes, int, int], float] = {}
+_BINARIES: dict[tuple, Binary] = {}
+_RESULT_MEMO: dict[bytes, tuple] = {}
+_BATCH_CACHE: dict[bytes, list[tuple]] = {}
+_MEMO_MAX = 65536
+_BATCH_MAX = 256
+
+
+def clear_caches() -> None:
+    """Drop every process-local cache (benchmarks, tests)."""
+    _CLUSTER_FP.clear()
+    _COMPILER_FP.clear()
+    _NETWORKS.clear()
+    _RANK_BW.clear()
+    _BINARIES.clear()
+    _RESULT_MEMO.clear()
+    _BATCH_CACHE.clear()
+    compile_tape.cache_clear()
+    import sys
+
+    apps_base = sys.modules.get("repro.apps.base")
+    if apps_base is not None:  # downstream memo over batch results
+        apps_base.clear_sweep_memo()
+
+
+def cluster_fingerprint(cluster: ClusterModel) -> bytes:
+    """Public alias of the content digest used in batch cache keys."""
+    return _cluster_fp(cluster)
+
+
+def binary_fingerprint(binary: Binary) -> tuple:
+    """Content key of a binary: application, compiler digest (labels are
+    not unique — vec_table patches keep the label), language, flags,
+    kernel classes."""
+    return _binary_key(binary)
+
+
+def _cluster_fp(cluster: ClusterModel) -> bytes:
+    """Content digest of a cluster model (repr over the frozen tree)."""
+    hit = _CLUSTER_FP.get(id(cluster))
+    if hit is not None and hit[0] is cluster:
+        return hit[1]
+    if len(_CLUSTER_FP) > 512:
+        _CLUSTER_FP.clear()
+    fp = hashlib.sha256(repr(cluster).encode()).digest()
+    _CLUSTER_FP[id(cluster)] = (cluster, fp)
+    return fp
+
+
+def _network(cluster: ClusterModel, n_nodes: int) -> NetworkModel:
+    key = (_cluster_fp(cluster), n_nodes)
+    net = _NETWORKS.get(key)
+    if net is None:
+        net = network_for(cluster, n_nodes=n_nodes)
+        _NETWORKS[key] = net
+    return net
+
+
+def _rank_bw(mapping: RankMapping) -> float:
+    """``mapping.rank_memory_bandwidth(0)`` — independent of n_nodes, so
+    cacheable per (cluster, ranks_per_node, threads_per_rank)."""
+    key = (_cluster_fp(mapping.cluster), mapping.ranks_per_node,
+           mapping.threads_per_rank)
+    hit = _RANK_BW.get(key)
+    if hit is None:
+        hit = mapping.rank_memory_bandwidth(0)
+        _RANK_BW[key] = hit
+    return hit
+
+
+_COMPILER_FP: dict[int, tuple[Any, bytes]] = {}
+
+
+def _compiler_fp(compiler) -> bytes:
+    """Content digest of a compiler profile.  Labels are NOT unique —
+    what-if experiments patch vec_table on a profile keeping its label —
+    so the whole frozen-dataclass repr is hashed (id-memoized: profiles
+    are module constants or short-lived patched copies)."""
+    hit = _COMPILER_FP.get(id(compiler))
+    if hit is not None and hit[0] is compiler:
+        return hit[1]
+    if len(_COMPILER_FP) > 512:
+        _COMPILER_FP.clear()
+    fp = hashlib.sha256(repr(compiler).encode()).digest()
+    _COMPILER_FP[id(compiler)] = (compiler, fp)
+    return fp
+
+
+def _binary_key(binary: Binary) -> tuple:
+    return (binary.application, _compiler_fp(binary.compiler),
+            binary.language, binary.flags, binary.kernels)
+
+
+def _resolve_binary(program: Program, cluster: ClusterModel,
+                    binary: Binary | None, needed: bool) -> Binary | None:
+    """Same resolution as ``Backend._binary`` but memoized per program
+    identity (the build is deterministic in these fields)."""
+    if binary is not None:
+        binary.check_runnable()
+        return binary
+    if not needed:
+        return None
+    key = (program.name, _cluster_fp(cluster), program.kernels,
+           program.language)
+    built = _BINARIES.get(key)
+    if built is None:
+        compiler = default_compiler_for(program.name, cluster.name)
+        built = compiler.build(program.name, program.kernels,
+                               language=program.language)
+        _BINARIES[key] = built
+    built.check_runnable()
+    return built
+
+
+class _JobCtx:
+    """Per-job evaluation context resolved during prepare."""
+
+    __slots__ = ("job", "tape", "mapping", "binary", "network", "digest",
+                 "overrides")
+
+    def __init__(self, job, tape, mapping, binary, network, digest,
+                 overrides):
+        self.job = job
+        self.tape = tape
+        self.mapping = mapping
+        self.binary = binary
+        self.network = network
+        self.digest = digest
+        self.overrides = overrides
+
+
+class BatchAnalyticBackend(Backend):
+    """Vectorized analytic pricing: one tape, many evaluation points."""
+
+    name = "batch"
+
+    def run(
+        self,
+        program: Program,
+        cluster: ClusterModel,
+        n_nodes: int,
+        *,
+        mapping: RankMapping | None = None,
+        network: NetworkModel | None = None,
+        binary: Binary | None = None,
+        check_memory: bool = True,
+        overrides: dict[str, float] | None = None,
+        **kwargs: Any,
+    ) -> RunResult:
+        if kwargs:
+            raise ConfigurationError(
+                f"batch backend does not accept {sorted(kwargs)}"
+            )
+        return self.run_batch([BatchJob(
+            program, cluster, n_nodes, mapping=mapping, network=network,
+            binary=binary, check_memory=check_memory, overrides=overrides,
+        )])[0]
+
+    def run_batch(self, jobs: Sequence[BatchJob]) -> list[RunResult]:
+        """Evaluate every job, grouping shared tape structures into one
+        vectorized pass; returns results in input order."""
+        ctxs = [self._prepare(job) for job in jobs]
+        payloads = self._payloads(ctxs)
+        return [self._result(ctx, payload)
+                for ctx, payload in zip(ctxs, payloads)]
+
+    # -- prepare -------------------------------------------------------------
+
+    def _prepare(self, job: BatchJob) -> _JobCtx:
+        if job.check_memory:
+            job.program.check_feasible(job.cluster, job.n_nodes)
+        tape = compile_tape(job.program)
+        mapping = (job.mapping if job.mapping is not None
+                   else job.program.mapping(job.cluster, job.n_nodes))
+        binary = _resolve_binary(job.program, job.cluster, job.binary,
+                                 tape.kernel_needed)
+        overrides = dict(job.overrides) if job.overrides else {}
+        bad = set(overrides) - OVERRIDE_KEYS
+        if bad:
+            raise ConfigurationError(
+                f"unknown override(s) {sorted(bad)}; "
+                f"choose from {sorted(OVERRIDE_KEYS)}"
+            )
+        network = job.network
+        if network is not None:
+            digest = None  # user-supplied network: uncacheable
+        else:
+            network = _network(job.cluster, job.n_nodes)
+            h = hashlib.sha256(tape.digest)
+            h.update(_cluster_fp(job.cluster))
+            h.update(str(job.n_nodes).encode())
+            h.update(repr((mapping.n_nodes, mapping.ranks_per_node,
+                           mapping.threads_per_rank)).encode())
+            h.update(_cluster_fp(mapping.cluster))
+            h.update(repr(None if binary is None
+                          else _binary_key(binary)).encode())
+            h.update(repr(tuple(sorted(overrides.items()))).encode())
+            digest = h.digest()
+        return _JobCtx(job, tape, mapping, binary, network, digest,
+                       overrides)
+
+    # -- cache orchestration -------------------------------------------------
+
+    def _payloads(self, ctxs: list[_JobCtx]) -> list[tuple]:
+        payloads: list[tuple | None] = [None] * len(ctxs)
+        batch_key = None
+        if len(ctxs) > 1 and all(c.digest is not None for c in ctxs):
+            h = hashlib.sha256()
+            for c in ctxs:
+                h.update(c.digest)
+            batch_key = h.digest()
+            hit = _BATCH_CACHE.get(batch_key)
+            if hit is not None:
+                return list(hit)
+        missing: list[int] = []
+        for i, ctx in enumerate(ctxs):
+            memo = (_RESULT_MEMO.get(ctx.digest)
+                    if ctx.digest is not None else None)
+            if memo is not None:
+                payloads[i] = memo
+            else:
+                missing.append(i)
+        if missing:
+            groups: dict[tuple, list[int]] = {}
+            for i in missing:
+                groups.setdefault(ctxs[i].tape.structure, []).append(i)
+            if len(_RESULT_MEMO) > _MEMO_MAX:
+                _RESULT_MEMO.clear()
+            for indices in groups.values():
+                for i, payload in zip(
+                        indices, _evaluate([ctxs[i] for i in indices])):
+                    payloads[i] = payload
+                    if ctxs[i].digest is not None:
+                        _RESULT_MEMO[ctxs[i].digest] = payload
+        done = [p for p in payloads if p is not None]
+        assert len(done) == len(ctxs)
+        if batch_key is not None:
+            if len(_BATCH_CACHE) > _BATCH_MAX:
+                _BATCH_CACHE.clear()
+            _BATCH_CACHE[batch_key] = list(done)
+        return done
+
+    # -- assembly ------------------------------------------------------------
+
+    def _result(self, ctx: _JobCtx, payload: tuple) -> RunResult:
+        n_ranks, elapsed, per_phase = payload
+        result = RunResult(
+            backend=self.name,
+            program=ctx.job.program.name,
+            cluster=ctx.job.cluster.name,
+            n_nodes=ctx.job.n_nodes,
+            n_ranks=n_ranks,
+            elapsed=elapsed,
+            steps=ctx.job.program.steps,
+        )
+        for name, sec, comp, comm, tf, tb in per_phase:
+            result.phase_seconds[name] = sec
+            result.phase_compute[name] = comp
+            result.phase_comm[name] = comm
+            result.phase_flops_time[name] = tf
+            result.phase_bytes_time[name] = tb
+        return result
+
+
+def _evaluate(ctxs: list[_JobCtx]) -> list[tuple]:
+    """Vectorized pricing of one structure group.
+
+    Replicates ``AnalyticBackend.run`` exactly: scalar per-job quantities
+    (aggregate bandwidth/rates, ``ceil(log2 p)``) are computed with the
+    same Python arithmetic, point-to-point primitives go through the same
+    ``NetworkModel`` calls, and the per-row work is numpy elementwise math
+    over the point axis in the scalar backend's accumulation order.
+    """
+    tape = ctxs[0].tape
+    n = len(ctxs)
+    n_rows = tape.n_rows
+
+    # stacked numeric columns: (n_points, n_rows)
+    def stack(col: str) -> np.ndarray:
+        return np.stack([c.tape.cols[col] for c in ctxs])
+
+    F, B, S = stack("flops"), stack("bytes"), stack("seconds")
+    IMB, RATE, CNT = stack("imbalance"), stack("rate"), stack("count")
+    SZ = stack("size")
+    MULT = np.stack([c.tape.occ_mult for c in ctxs])  # (n_points, n_occ)
+
+    mappings = [c.mapping for c in ctxs]
+    networks = [c.network for c in ctxs]
+    binaries = [c.binary for c in ctxs]
+    cores = [c.job.cluster.node.core_model for c in ctxs]
+    p = np.asarray([m.n_ranks for m in mappings], dtype=np.int64)
+    m_nodes = np.asarray([m.n_nodes for m in mappings], dtype=np.int64)
+    rpn = np.asarray([m.ranks_per_node for m in mappings], dtype=np.int64)
+    clog = np.asarray(
+        [math.ceil(math.log2(m.n_ranks)) if m.n_ranks > 1 else 0
+         for m in mappings], dtype=np.int64)
+    link_bw = np.asarray([net.link.bandwidth for net in networks])
+    # scalar backend computes agg_bw = n_ranks * rank_memory_bandwidth(0)
+    # with Python arithmetic; replicate per job for bit-identity.
+    agg_bw = np.asarray([m.n_ranks * _rank_bw(m) for m in mappings])
+
+    # -- overrides (all-ones knobs are skipped to keep the default path
+    #    literally the scalar arithmetic) ------------------------------------
+    def knob(name: str) -> np.ndarray | None:
+        vals = np.asarray([c.overrides.get(name, 1.0) for c in ctxs])
+        return vals if np.any(vals != 1.0) else None
+
+    compute_scale = knob("compute_scale")
+    comm_scale = knob("comm_scale")
+    serial_scale = knob("serial_scale")
+    bandwidth_scale = knob("bandwidth_scale")
+    rate_scale = knob("rate_scale")
+    if bandwidth_scale is not None:
+        agg_bw = agg_bw * bandwidth_scale
+
+    # jobs whose kernel-less modeled compute carries flops would raise in
+    # the scalar walk; raise the same error here (after binary resolution,
+    # matching the scalar backend's order of checks).
+    for r in tape.toolchain_rows:
+        if np.any(F[:, r] > 0):
+            occ = tape.rows[r][0]
+            name = tape.names[tape.occ_names[occ]]
+            raise ConfigurationError(
+                f"compute op in phase {name!r} needs a "
+                "kernel class or an explicit rate_per_core"
+            )
+
+    # lazily-filled aggregate kernel rates per job (scalar resolves a rate
+    # only for ops with flops > 0, so unused lanes stay placeholder 1.0
+    # and never trigger toolchain/rate validation the scalar walk skips)
+    kernel_agg: dict[Any, np.ndarray] = {}
+
+    def agg_rate_for_kernel(kernel, needed: np.ndarray) -> np.ndarray:
+        arr = kernel_agg.get(kernel)
+        if arr is None:
+            arr = np.full(n, np.nan)
+            kernel_agg[kernel] = arr
+        for j in np.nonzero(needed & np.isnan(arr))[0]:
+            rate = binaries[j].sustained_flops(cores[j], kernel)
+            arr[j] = mappings[j].n_ranks * mappings[j].rank_compute_rate(
+                0, rate)
+        return np.where(np.isnan(arr), 1.0, arr)
+
+    # point-to-point primitives through the real network model, memoized
+    # per (network, size) for the duration of this batch
+    pcache: dict[tuple, float] = {}
+
+    def prim_typ(j: int, size: int) -> float:
+        mn = int(m_nodes[j])
+        key = (id(networks[j]), 0, mn, size)
+        hit = pcache.get(key)
+        if hit is None:
+            if mn == 1:
+                hit = networks[j].link.p2p_time(max(1, size), 0)
+            else:
+                probe = min(max(1, mn // 2), mn - 1)
+                hit = networks[j].p2p_time(0, probe, max(1, size))
+            pcache[key] = hit
+        return hit
+
+    def prim_shm(j: int, size: int) -> float:
+        key = (id(networks[j]), 1, size)
+        hit = pcache.get(key)
+        if hit is None:
+            hit = networks[j].link.p2p_time(max(1, size), 0)
+            pcache[key] = hit
+        return hit
+
+    def prim_off(j: int, size: int) -> float:
+        key = (id(networks[j]), 2, size)
+        hit = pcache.get(key)
+        if hit is None:
+            hit = networks[j].p2p_time(0, 1, max(1, size))
+            pcache[key] = hit
+        return hit
+
+    zeros = np.zeros(n)
+    one_node = m_nodes == 1
+    p_le1 = p <= 1
+    off_fraction = np.asarray([
+        (min(1.0, 2.0 / math.sqrt(r)) if r > 1 else 1.0) for r in rpn
+    ])
+
+    def comm_cost(r: int, kind: str, neighbors: int) -> np.ndarray:
+        sizes = SZ[:, r]
+        if kind == "halo":
+            if neighbors <= 0:
+                return zeros
+            shm = np.asarray([prim_shm(j, int(sizes[j])) for j in range(n)])
+            t_off = np.asarray([
+                0.0 if one_node[j] else prim_off(j, int(sizes[j]))
+                for j in range(n)
+            ])
+            off = neighbors * off_fraction
+            on = neighbors - off
+            return np.where(one_node, neighbors * shm,
+                            off * t_off + on * shm)
+        typ = np.asarray([prim_typ(j, int(sizes[j])) for j in range(n)])
+        if kind in ("allreduce", "bcast", "reduce"):
+            return np.where(p_le1, 0.0, clog * typ)
+        if kind in ("allgather", "gather"):
+            return np.where(p_le1, 0.0, (p - 1) * typ)
+        if kind == "alltoall":
+            rounds = (p - 1) * typ
+            nic = ((p - rpn) * rpn * np.maximum(sizes, 1)) / link_bw
+            return np.where(p_le1, 0.0, np.maximum(rounds, nic))
+        # p2p / ring
+        return typ
+
+    # -- the walk, occurrence by occurrence, in scalar op order --------------
+    n_names = len(tape.names)
+    ph_sec = [np.zeros(n) for _ in range(n_names)]
+    ph_comp = [np.zeros(n) for _ in range(n_names)]
+    ph_comm = [np.zeros(n) for _ in range(n_names)]
+    ph_tf = [np.zeros(n) for _ in range(n_names)]
+    ph_tb = [np.zeros(n) for _ in range(n_names)]
+
+    for occ, name_idx in enumerate(tape.occ_names):
+        t_compute = np.zeros(n)
+        t_comm = np.zeros(n)
+        serial = np.zeros(n)
+        tf_sum = np.zeros(n)
+        tb_sum = np.zeros(n)
+        for r in tape.occ_rows[occ]:
+            _, kind, kernel, comm_kind, neighbors, has_rate = tape.rows[r]
+            if kind == _K_SECONDS:
+                t = S[:, r] * IMB[:, r]
+                if compute_scale is not None:
+                    t = t * compute_scale
+                t_compute = t_compute + t
+            elif kind == _K_COMPUTE:
+                f = F[:, r]
+                nonzero = f != 0.0
+                if not np.any(nonzero):
+                    tf = zeros
+                elif has_rate:
+                    agg = np.asarray([
+                        mappings[j].n_ranks * mappings[j].rank_compute_rate(
+                            0, RATE[j, r])
+                        if nonzero[j] else 1.0
+                        for j in range(n)
+                    ])
+                    tf = np.where(nonzero, f / agg, 0.0)
+                else:
+                    agg = agg_rate_for_kernel(kernel, nonzero)
+                    tf = np.where(nonzero, f / agg, 0.0)
+                if rate_scale is not None:
+                    tf = tf / rate_scale
+                b = B[:, r]
+                tb = np.where(b != 0.0, b / agg_bw, 0.0)
+                t = np.maximum(tf, tb) * IMB[:, r]
+                if compute_scale is not None:
+                    t = t * compute_scale
+                t_compute = t_compute + t
+                tf_sum = tf_sum + tf
+                tb_sum = tb_sum + tb
+            elif kind == _K_MEM:
+                b = B[:, r]
+                tb = np.where(b != 0.0, b / agg_bw, 0.0)
+                t = tb if compute_scale is None else tb * compute_scale
+                t_compute = t_compute + t
+                tb_sum = tb_sum + tb
+            elif kind == _K_SERIAL:
+                s = S[:, r]
+                if serial_scale is not None:
+                    s = s * serial_scale
+                serial = serial + s
+            elif kind == _K_COMM:
+                one = comm_cost(r, comm_kind, neighbors)
+                cnt = CNT[:, r]
+                cost = np.where(cnt <= 0.0, 0.0, cnt * one)
+                if comm_scale is not None:
+                    cost = cost * comm_scale
+                t_comm = t_comm + cost
+            else:  # _K_BARRIER
+                typ1 = np.asarray([prim_typ(j, 1) for j in range(n)])
+                cost = np.where(p_le1, 0.0, clog * typ1)
+                if comm_scale is not None:
+                    cost = cost * comm_scale
+                t_comm = t_comm + cost
+        total = t_compute + t_comm + serial
+        mult = MULT[:, occ]
+        ph_sec[name_idx] = ph_sec[name_idx] + mult * total
+        ph_comp[name_idx] = ph_comp[name_idx] + mult * t_compute
+        ph_comm[name_idx] = ph_comm[name_idx] + mult * t_comm
+        ph_tf[name_idx] = ph_tf[name_idx] + mult * tf_sum
+        ph_tb[name_idx] = ph_tb[name_idx] + mult * tb_sum
+
+    elapsed = np.zeros(n)
+    for arr in ph_sec:
+        elapsed = elapsed + arr
+
+    payloads = []
+    for j in range(n):
+        per_phase = tuple(
+            (tape.names[i], float(ph_sec[i][j]), float(ph_comp[i][j]),
+             float(ph_comm[i][j]), float(ph_tf[i][j]), float(ph_tb[i][j]))
+            for i in range(n_names)
+        )
+        payloads.append((int(p[j]), float(elapsed[j]), per_phase))
+    return payloads
+
+
+_SHARED: BatchAnalyticBackend | None = None
+
+
+def shared_batch_backend() -> BatchAnalyticBackend:
+    """Process-wide backend instance for the auto-routing call sites."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = BatchAnalyticBackend()
+    return _SHARED
+
+
+BACKENDS[BatchAnalyticBackend.name] = BatchAnalyticBackend

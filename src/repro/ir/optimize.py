@@ -1,0 +1,260 @@
+"""IR optimizer passes: shrink a Program without changing its cost.
+
+Three passes, composable via :func:`optimize_program`:
+
+* :func:`fold_constants` — merge adjacent :class:`SerialOp` chains into
+  one op (left-to-right sums, so the analytic serial term is **bit
+  identical**), drop ops that provably contribute zero time (zero-work
+  compute/mem ops, non-positive-count comm ops), inline ``Loop(1, ...)``
+  and neutralize ``Loop(0, ...)`` while *preserving its phase names* (a
+  zero-trip loop still registers its phases as 0.0 entries in every
+  backend's per-phase breakdown).
+* :func:`fuse_ops` — fuse adjacent compatible ops **within one phase**:
+  ``MemOp + MemOp`` (bytes sum), fixed-seconds ``ComputeOp`` pairs with
+  equal imbalance, and modeled ``ComputeOp`` pairs with identical
+  kernel/rate/imbalance/dtype when both are pure-flops or pure-bytes.
+  Never across phase boundaries, and never ``ComputeOp + MemOp`` — the
+  roofline ``max(t_flops, t_bytes)`` makes that fusion wrong
+  (``max(f, b1 + b2) != max(f, b1) + b2``).
+* :func:`collapse_loops` — innermost-first, rewrite ``Loop(k, phases)``
+  whose ops are all *loop-invariant* (everything except :class:`Barrier`
+  and fractional-count :class:`CommOp`, whose DES lowering subsamples by
+  step index) into the phases with work quantities scaled by ``k``.
+  This is what turns a 1000-iteration time-step loop into a single
+  scaled phase for the DES/fastcoll lowering paths.
+
+Analytic-cost contract: ``fold_constants`` is exact; ``fuse_ops`` and
+``collapse_loops`` reassociate floating-point sums (``k*(a+b)`` vs
+``k*a + k*b``) and therefore agree with the unoptimized program only to
+rel ~1 ulp, gated at 1e-12 by the property tests.  The batched analytic
+path used for the committed figures runs **without** these passes so
+EXPERIMENTS.md stays byte-identical; the passes are an opt-in for the
+lowering-bound backends (``DESBackend.run(..., optimize=True)``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ir.ops import Barrier, CommOp, ComputeOp, Loop, MemOp, Phase, SerialOp
+from repro.ir.program import Program
+
+__all__ = [
+    "PASS_VERSION",
+    "collapse_loops",
+    "fold_constants",
+    "fuse_ops",
+    "op_count",
+    "optimize_program",
+]
+
+#: bump when any pass changes behavior — part of the experiment result
+#: cache key (:func:`repro.harness.parallel.cache_key`), so a pass edit
+#: invalidates cached figure data instead of silently reusing it.
+PASS_VERSION = 1
+
+
+def op_count(program: Program) -> int:
+    """Number of ops in the program body (loops counted once, not
+    unrolled) — the quantity the passes shrink."""
+
+    def walk(items) -> int:
+        total = 0
+        for item in items:
+            if isinstance(item, Loop):
+                total += walk(item.body)
+            else:
+                total += len(item.ops)
+        return total
+
+    return walk(program.body)
+
+
+# -- pass 1: constant folding -------------------------------------------------
+
+
+def _is_zero_op(op) -> bool:
+    """Ops whose analytic contribution is exactly ``+0.0``."""
+    if isinstance(op, SerialOp):
+        return op.seconds == 0.0
+    if isinstance(op, MemOp):
+        return op.bytes_moved == 0.0
+    if isinstance(op, ComputeOp):
+        if op.seconds is not None:
+            return op.seconds == 0.0
+        return op.flops == 0.0 and op.bytes_moved == 0.0
+    if isinstance(op, CommOp):
+        return op.count <= 0
+    return False  # Barrier
+
+
+def _fold_phase(phase: Phase) -> Phase:
+    ops: list = []
+    for op in phase.ops:
+        if _is_zero_op(op):
+            continue
+        if (isinstance(op, SerialOp) and ops
+                and isinstance(ops[-1], SerialOp)):
+            # left-to-right sum == the backend's own accumulation order
+            ops[-1] = SerialOp(ops[-1].seconds + op.seconds)
+            continue
+        ops.append(op)
+    return Phase(phase.name, tuple(ops))
+
+
+def _empty_phases(items) -> list[Phase]:
+    """The phases under a zero-trip loop, emptied but name-preserving."""
+    out: list[Phase] = []
+    for item in items:
+        if isinstance(item, Loop):
+            out.extend(_empty_phases(item.body))
+        else:
+            out.append(Phase(item.name, ()))
+    return out
+
+
+def _fold_items(items) -> list:
+    out: list = []
+    for item in items:
+        if isinstance(item, Loop):
+            body = _fold_items(item.body)
+            if item.count == 0:
+                out.extend(_empty_phases(body))
+            elif item.count == 1:
+                out.extend(body)
+            else:
+                out.append(Loop(item.count, tuple(body)))
+        else:
+            out.append(_fold_phase(item))
+    return out
+
+
+def fold_constants(program: Program) -> Program:
+    """Exact simplifications: merge SerialOp chains, drop zero-cost ops,
+    inline trivial loops (``count`` 0 or 1) keeping phase names alive."""
+    return dataclasses.replace(program, body=tuple(_fold_items(program.body)))
+
+
+# -- pass 2: op fusion --------------------------------------------------------
+
+
+def _fused(a, b):
+    """The fusion of adjacent ops ``a; b``, or None if not fusable."""
+    if isinstance(a, MemOp) and isinstance(b, MemOp):
+        return MemOp(a.bytes_moved + b.bytes_moved, label=a.label)
+    if isinstance(a, SerialOp) and isinstance(b, SerialOp):
+        return SerialOp(a.seconds + b.seconds)
+    if not (isinstance(a, ComputeOp) and isinstance(b, ComputeOp)):
+        return None
+    if a.seconds is not None and b.seconds is not None:
+        if a.imbalance == b.imbalance:
+            return dataclasses.replace(a, seconds=a.seconds + b.seconds)
+        return None
+    if a.seconds is not None or b.seconds is not None:
+        return None
+    same_model = (a.kernel == b.kernel
+                  and a.rate_per_core == b.rate_per_core
+                  and a.imbalance == b.imbalance
+                  and a.dtype == b.dtype)
+    if not same_model:
+        return None
+    # pure-flops or pure-bytes pairs only: mixing arms would change which
+    # roofline branch wins, so max(f1+f2, b1+b2) could differ.
+    if a.bytes_moved == 0.0 and b.bytes_moved == 0.0:
+        return dataclasses.replace(a, flops=a.flops + b.flops)
+    if a.flops == 0.0 and b.flops == 0.0:
+        return dataclasses.replace(a, bytes_moved=a.bytes_moved + b.bytes_moved)
+    return None
+
+
+def _fuse_phase(phase: Phase) -> Phase:
+    ops: list = []
+    for op in phase.ops:
+        if ops:
+            merged = _fused(ops[-1], op)
+            if merged is not None:
+                ops[-1] = merged
+                continue
+        ops.append(op)
+    return Phase(phase.name, tuple(ops))
+
+
+def _fuse_items(items) -> list:
+    out: list = []
+    for item in items:
+        if isinstance(item, Loop):
+            out.append(Loop(item.count, tuple(_fuse_items(item.body))))
+        else:
+            out.append(_fuse_phase(item))
+    return out
+
+
+def fuse_ops(program: Program) -> Program:
+    """Fuse adjacent compatible ops within each phase (never across
+    phases; never ComputeOp with MemOp — see module docstring)."""
+    return dataclasses.replace(program, body=tuple(_fuse_items(program.body)))
+
+
+# -- pass 3: loop collapsing --------------------------------------------------
+
+
+def _loop_invariant(op) -> bool:
+    """Ops whose per-iteration expansion does not depend on the step
+    index, so ``k`` iterations == one occurrence of the op scaled by
+    ``k``.  Barriers synchronize per iteration (DES semantics), and
+    fractional-count CommOps are subsampled by step index in the
+    lowering — neither is invariant."""
+    if isinstance(op, Barrier):
+        return False
+    if isinstance(op, CommOp):
+        return op.count >= 1.0
+    return True
+
+
+def _scaled(op, k: int):
+    if isinstance(op, ComputeOp):
+        if op.seconds is not None:
+            return dataclasses.replace(op, seconds=op.seconds * k)
+        return dataclasses.replace(op, flops=op.flops * k,
+                                   bytes_moved=op.bytes_moved * k)
+    if isinstance(op, MemOp):
+        return dataclasses.replace(op, bytes_moved=op.bytes_moved * k)
+    if isinstance(op, SerialOp):
+        return SerialOp(op.seconds * k)
+    assert isinstance(op, CommOp)
+    return dataclasses.replace(op, count=op.count * k)
+
+
+def _collapse_items(items) -> list:
+    out: list = []
+    for item in items:
+        if not isinstance(item, Loop):
+            out.append(item)
+            continue
+        body = _collapse_items(item.body)  # innermost first
+        collapsible = (
+            item.count > 1
+            and all(isinstance(b, Phase) for b in body)
+            and all(_loop_invariant(op) for b in body for op in b.ops)
+        )
+        if collapsible:
+            out.extend(
+                Phase(b.name, tuple(_scaled(op, item.count) for op in b.ops))
+                for b in body
+            )
+        else:
+            out.append(Loop(item.count, tuple(body)))
+    return out
+
+
+def collapse_loops(program: Program) -> Program:
+    """Rewrite loops over invariant ops into scaled single phases
+    (innermost first, so nested invariant loops collapse fully)."""
+    return dataclasses.replace(
+        program, body=tuple(_collapse_items(program.body)))
+
+
+def optimize_program(program: Program) -> Program:
+    """All passes in order: fold, fuse, collapse, and a final fuse to
+    merge ops that loop collapsing made adjacent."""
+    return fuse_ops(collapse_loops(fuse_ops(fold_constants(program))))

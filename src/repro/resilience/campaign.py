@@ -33,7 +33,9 @@ from repro.resilience.checkpoint import CheckpointModel, TimeToSolution
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.schedule import (
     FaultSchedule,
+    LinkDegrade,
     NodeCrash,
+    SlowdownOnset,
     random_schedule,
 )
 from repro.sched.jobs import Job
@@ -78,6 +80,9 @@ class Trial:
     reallocation_error: str | None
     time_to_solution: TimeToSolution | None
     diagnostics: list[dict] = field(default_factory=list)
+    #: batched-analytic steady-state slowdown estimate (None when the
+    #: baseline is degenerate); crashes/noise are invisible to it.
+    analytic_estimate: float | None = None
 
     @property
     def slowdown(self) -> float:
@@ -103,6 +108,7 @@ class Trial:
                 if self.time_to_solution is not None else None
             ),
             "diagnostics": self.diagnostics,
+            "analytic_slowdown_estimate": self.analytic_estimate,
         }
 
 
@@ -142,6 +148,7 @@ class CampaignResult:
             f"{self.n_nodes} nodes x {self.ranks_per_node} ranks, "
             f"{self.steps} steps ==",
             f"{'int':>3s} {'events':>6s} {'elapsed':>10s} {'slowdown':>8s} "
+            f"{'est':>6s} "
             f"{'failed':>6s} {'detect':>6s} {'latency':>9s} {'ToS':>9s}",
         ]
         for t in self.trials:
@@ -153,9 +160,14 @@ class CampaignResult:
                 f"{t.time_to_solution.total_s:.0f}s"
                 if t.time_to_solution is not None else "-"
             )
+            est = (
+                f"{t.analytic_estimate:.2f}x"
+                if t.analytic_estimate is not None else "-"
+            )
             lines.append(
                 f"{t.intensity:>3d} {len(t.schedule):>6d} "
                 f"{t.faulty_elapsed:>9.4f}s {t.slowdown:>7.2f}x "
+                f"{est:>6s} "
                 f"{t.n_rank_failures:>6d} {t.n_detections:>6d} "
                 f"{latency:>9s} {tos:>9s}"
             )
@@ -184,6 +196,59 @@ def _schedule_for(
         seed=seed * 1000 + intensity,
     )
     return FaultSchedule((crash, *extra))
+
+
+def _analytic_overrides(schedule: FaultSchedule) -> dict[str, float] | None:
+    """Steady-state derating knobs for the batched analytic estimate.
+
+    The worst :class:`LinkDegrade` factor becomes a ``comm_scale`` and the
+    worst :class:`SlowdownOnset` factor a ``compute_scale``.  Crashes,
+    recoveries and noise bursts are dynamic effects the static analytic
+    model cannot express and are excluded (dead links, factor 0, likewise
+    — those end the run rather than slowing it).
+    """
+    comm = 1.0
+    compute = 1.0
+    for event in schedule:
+        if isinstance(event, LinkDegrade) and event.factor > 0.0:
+            comm = min(comm, event.factor)
+        elif isinstance(event, SlowdownOnset):
+            compute = min(compute, event.factor)
+    overrides: dict[str, float] = {}
+    if comm < 1.0:
+        overrides["comm_scale"] = 1.0 / comm
+    if compute < 1.0:
+        overrides["compute_scale"] = 1.0 / compute
+    return overrides or None
+
+
+def _analytic_estimates(
+    program: Program,
+    model,
+    n_nodes: int,
+    mapping: RankMapping,
+    schedules: dict[int, FaultSchedule],
+) -> dict[int, float]:
+    """Cheap cross-check of the DES slowdowns: price the healthy program
+    and one derated variant per intensity in a single
+    :class:`~repro.ir.batch.BatchAnalyticBackend` pass and return
+    per-intensity predicted slowdown factors."""
+    from repro.ir.batch import BatchJob, shared_batch_backend
+
+    order = sorted(schedules)
+    jobs = [BatchJob(program, model, n_nodes, mapping=mapping,
+                     check_memory=False)]
+    jobs += [
+        BatchJob(program, model, n_nodes, mapping=mapping,
+                 check_memory=False,
+                 overrides=_analytic_overrides(schedules[i]))
+        for i in order
+    ]
+    results = shared_batch_backend().run_batch(jobs)
+    base = results[0].elapsed
+    if base <= 0.0:
+        return {}
+    return {i: r.elapsed / base for i, r in zip(order, results[1:])}
 
 
 def resilience_campaign(
@@ -230,13 +295,19 @@ def resilience_campaign(
         mapping=mapping, check_memory=False, trace="aggregate",
     ).world
     assert healthy is not None
-    trials: list[Trial] = []
+    schedules: dict[int, FaultSchedule] = {}
     for intensity in intensities:
         if intensity < 0:
             raise ConfigurationError("intensity must be >= 0")
-        schedule = _schedule_for(
+        schedules[intensity] = _schedule_for(
             intensity, n_nodes, healthy.elapsed, seed
         )
+    estimates = _analytic_estimates(
+        program, model, n_nodes, mapping, schedules
+    )
+    trials: list[Trial] = []
+    for intensity in intensities:
+        schedule = schedules[intensity]
         result = backend.run(
             program, model, n_nodes,
             mapping=mapping, check_memory=False, trace="aggregate",
@@ -245,11 +316,13 @@ def resilience_campaign(
         assert result is not None
         state = result.resilience
         assert state is not None
-        trials.append(_analyse_trial(
+        trial = _analyse_trial(
             intensity, schedule, healthy.elapsed, result, state,
             model=model, mapping=mapping, checkpoint=checkpoint,
             job_work_s=job_work_s, seed=seed,
-        ))
+        )
+        trial.analytic_estimate = estimates.get(intensity)
+        trials.append(trial)
     return CampaignResult(
         cluster=cluster,
         n_nodes=n_nodes,

@@ -30,9 +30,19 @@ class Scheduler:
                  *, seed: int | None = None):
         self.cluster = cluster
         self.topology = topology
-        self._rng = make_rng(seed, "scheduler", cluster.name)
+        self._seed = seed
+        # Lazy: only SCATTER paths draw randomness, and feasibility-only
+        # schedulers (one per sweep point) never should pay for seeding.
+        self._rng_state = None
         self._busy: set[int] = set()
         self._failed: set[int] = set()
+
+    @property
+    def _rng(self):
+        if self._rng_state is None:
+            self._rng_state = make_rng(self._seed, "scheduler",
+                                       self.cluster.name)
+        return self._rng_state
 
     def _allocatable(self) -> list[int]:
         return [n for n in range(self.cluster.n_nodes)

@@ -140,26 +140,60 @@ _IR_EXACT_COMM = ("allreduce", "allgather", "alltoall", "halo", "ring",
 
 @st.composite
 def ir_programs(draw, *, max_phases: int = 3, max_ops: int = 3,
-                max_steps: int = 3):
+                max_steps: int = 3, rich: bool = False):
     """Draw a random bulk-synchronous :class:`repro.ir.Program`.
 
     Structure: ``steps`` repetitions of 1..``max_phases`` phases, each
     holding fixed-seconds compute, barriers, and exact-subset CommOps.
     Rank counts are chosen by the test (programs carry no rank count);
     use power-of-two ranks so the fastcoll allreduce stays exact.
+
+    ``rich=True`` widens the op mix with the analytic-only shapes the IR
+    optimizer must handle — SerialOps, MemOps, explicit-rate roofline
+    ComputeOps, fractional CommOp counts — and wraps some phases in
+    nested loops, including zero- and one-trip loops.  Rich programs are
+    meant for optimizer/batch properties, not DES differentials (the DES
+    subsamples fractional-count CommOps by step index).
     """
-    from repro.ir import Barrier, CommOp, ComputeOp, Loop, Phase, Program
+    from repro.ir import (
+        Barrier,
+        CommOp,
+        ComputeOp,
+        Loop,
+        MemOp,
+        Phase,
+        Program,
+        SerialOp,
+    )
+
+    kinds = ("compute", "barrier", "comm")
+    if rich:
+        kinds = kinds + ("serial", "mem", "roofline")
 
     def one_op(i):
-        kind = draw(st.sampled_from(("compute", "barrier", "comm")))
+        kind = draw(st.sampled_from(kinds))
         if kind == "compute":
-            return ComputeOp(seconds=draw(st.integers(1, 50)) * 1e-6)
+            return ComputeOp(seconds=draw(st.integers(1, 50)) * 1e-6,
+                             imbalance=draw(st.sampled_from([1.0, 1.25]))
+                             if rich else 1.0)
         if kind == "barrier":
             return Barrier()
+        if kind == "serial":
+            return SerialOp(draw(st.integers(0, 30)) * 1e-6)
+        if kind == "mem":
+            return MemOp(float(draw(st.sampled_from((0, 4096, 1 << 20)))))
+        if kind == "roofline":
+            return ComputeOp(
+                flops=float(draw(st.sampled_from((0, 10**6, 10**9)))),
+                bytes_moved=float(draw(st.sampled_from((0, 1 << 16)))),
+                rate_per_core=draw(st.sampled_from((1e9, 4e9))),
+                imbalance=draw(st.sampled_from([1.0, 1.5])),
+            )
         return CommOp(
             draw(st.sampled_from(_IR_EXACT_COMM)),
             draw(st.sampled_from(_SIZES)),
-            count=draw(st.sampled_from([1.0, 2.0])),
+            count=draw(st.sampled_from([1.0, 2.0, 0.5] if rich
+                                       else [1.0, 2.0])),
             neighbors=draw(st.sampled_from([2, 4, 6])),
         )
 
@@ -171,8 +205,15 @@ def ir_programs(draw, *, max_phases: int = 3, max_ops: int = 3,
         )
         for i in range(n_phases)
     )
+    body: tuple = phases
+    if rich and draw(st.booleans()):
+        # wrap a suffix of the phases in a nested loop (possibly empty
+        # or single-trip — the optimizer's fold/collapse edge cases)
+        cut = draw(st.integers(0, len(phases)))
+        trips = draw(st.sampled_from([0, 1, 2, 5]))
+        body = phases[:cut] + (Loop(trips, phases[cut:]),)
     steps = draw(st.integers(1, max_steps))
-    return Program(name="random-ir", body=(Loop(steps, phases),),
+    return Program(name="random-ir", body=(Loop(steps, body),),
                    steps=steps)
 
 

@@ -1,0 +1,200 @@
+"""Batched analytic backend: tapes, caches, and bitwise parity.
+
+The contract under test is the differential gate of the batch subsystem:
+``BatchAnalyticBackend`` must reproduce the scalar ``AnalyticBackend``
+**bit-for-bit** — same phase breakdowns, same elapsed, same errors — on
+every program shape the repo prices, whether points arrive one at a time
+through ``run`` or stacked through ``run_batch``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.apps import ALL_APPS, get_app
+from repro.ir import (
+    AnalyticBackend,
+    BatchAnalyticBackend,
+    BatchJob,
+    CommOp,
+    ComputeOp,
+    Loop,
+    Phase,
+    Program,
+    compile_tape,
+    get_backend,
+)
+from repro.ir.batch import clear_caches, shared_batch_backend
+from repro.machine.presets import cte_arm, marenostrum4
+from repro.network.model import network_for
+from repro.util.errors import ConfigurationError
+
+from .strategies import ir_programs
+
+_ARM = cte_arm(192)
+_MN4 = marenostrum4(192)
+
+
+def _assert_results_equal(a, b):
+    assert a.phase_seconds == b.phase_seconds
+    assert a.phase_compute == b.phase_compute
+    assert a.phase_comm == b.phase_comm
+    assert a.phase_flops_time == b.phase_flops_time
+    assert a.phase_bytes_time == b.phase_bytes_time
+    assert a.elapsed == b.elapsed
+    assert a.n_ranks == b.n_ranks
+
+
+class TestBitwiseParity:
+    @pytest.mark.parametrize("name", sorted(ALL_APPS))
+    @pytest.mark.parametrize("cluster", [_ARM, _MN4], ids=["arm", "mn4"])
+    def test_apps_match_scalar(self, name, cluster):
+        app = get_app(name)
+        binary = app.build(cluster)
+        batch = BatchAnalyticBackend()
+        scalar = AnalyticBackend()
+        for n in (32, 64, 128):
+            mapping = app.mapping(cluster, n)
+            program = app.program(mapping, steps=1)
+            kwargs = dict(mapping=mapping, binary=binary,
+                          check_memory=False)
+            _assert_results_equal(
+                scalar.run(program, cluster, n, **kwargs),
+                batch.run(program, cluster, n, **kwargs),
+            )
+
+    def test_run_batch_matches_per_point_runs(self):
+        app = get_app("nemo")
+        binary = app.build(_ARM)
+        nodes = [8, 16, 32, 64]
+        jobs, singles = [], []
+        backend = BatchAnalyticBackend()
+        for n in nodes:
+            mapping = app.mapping(_ARM, n)
+            program = app.program(mapping, steps=1)
+            jobs.append(BatchJob(program, _ARM, n, mapping=mapping,
+                                 binary=binary, check_memory=False))
+            singles.append(backend.run(program, _ARM, n, mapping=mapping,
+                                       binary=binary, check_memory=False))
+        for single, batched in zip(singles, backend.run_batch(jobs)):
+            _assert_results_equal(single, batched)
+
+    def test_explicit_network_matches_scalar(self):
+        program = Program(
+            name="net",
+            body=(Phase("x", (CommOp("allreduce", 4096),
+                              CommOp("halo", 65536, neighbors=6))),),
+        )
+        network = network_for(_ARM, n_nodes=16)
+        scalar = AnalyticBackend().run(program, _ARM, 16, network=network,
+                                       check_memory=False)
+        batched = BatchAnalyticBackend().run(program, _ARM, 16,
+                                             network=network,
+                                             check_memory=False)
+        _assert_results_equal(scalar, batched)
+
+    def test_osu_allreduce_scaling_matches_scalar(self):
+        from repro.bench.osu import allreduce_scaling
+
+        nodes = [2, 4, 8, 16, 32]
+        out = allreduce_scaling(_ARM, nodes)
+        program = Program(
+            name="osu-allreduce",
+            body=(Phase("allreduce", (CommOp("allreduce", 8),)),),
+            ranks_per_node=48,
+        )
+        scalar = AnalyticBackend()
+        for n in nodes:
+            result = scalar.run(program, _ARM, n, check_memory=False)
+            assert out[n] == result.phase_comm["allreduce"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=ir_programs(rich=True))
+def test_random_programs_match_scalar_bitwise(program):
+    scalar = AnalyticBackend().run(program, _ARM, 4, check_memory=False)
+    batched = BatchAnalyticBackend().run(program, _ARM, 4,
+                                         check_memory=False)
+    _assert_results_equal(scalar, batched)
+
+
+class TestOverrides:
+    def _program(self):
+        return Program(
+            name="knobs",
+            body=(Phase("x", (ComputeOp(seconds=1e-3),
+                              CommOp("allreduce", 8),)),),
+        )
+
+    def test_compute_scale(self):
+        backend = BatchAnalyticBackend()
+        base = backend.run(self._program(), _ARM, 4, check_memory=False)
+        out = backend.run(self._program(), _ARM, 4, check_memory=False,
+                          overrides={"compute_scale": 2.0})
+        assert out.phase_compute["x"] == pytest.approx(
+            2.0 * base.phase_compute["x"])
+        assert out.phase_comm["x"] == base.phase_comm["x"]
+
+    def test_comm_scale(self):
+        backend = BatchAnalyticBackend()
+        base = backend.run(self._program(), _ARM, 4, check_memory=False)
+        out = backend.run(self._program(), _ARM, 4, check_memory=False,
+                          overrides={"comm_scale": 3.0})
+        assert out.phase_comm["x"] == pytest.approx(
+            3.0 * base.phase_comm["x"])
+        assert out.phase_compute["x"] == base.phase_compute["x"]
+
+    def test_identity_overrides_bitwise_noop(self):
+        backend = BatchAnalyticBackend()
+        base = backend.run(self._program(), _ARM, 4, check_memory=False)
+        out = backend.run(self._program(), _ARM, 4, check_memory=False,
+                          overrides={"compute_scale": 1.0,
+                                     "comm_scale": 1.0})
+        _assert_results_equal(base, out)
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="override"):
+            BatchAnalyticBackend().run(
+                self._program(), _ARM, 4, check_memory=False,
+                overrides={"warp_factor": 9.0})
+
+
+class TestTapeAndCaches:
+    def test_tape_cached_per_program(self):
+        program = Program(
+            name="tape",
+            body=(Loop(3, (Phase("x", (ComputeOp(seconds=1e-6),)),)),),
+            steps=3,
+        )
+        assert compile_tape(program) is compile_tape(program)
+
+    def test_registry_exposes_batch(self):
+        assert isinstance(get_backend("batch"), BatchAnalyticBackend)
+
+    def test_shared_backend_is_singleton(self):
+        assert shared_batch_backend() is shared_batch_backend()
+
+    def test_clear_caches_preserves_results(self):
+        program = Program(
+            name="cc", body=(Phase("x", (CommOp("ring", 4096),)),))
+        backend = BatchAnalyticBackend()
+        before = backend.run(program, _ARM, 8, check_memory=False)
+        clear_caches()
+        after = backend.run(program, _ARM, 8, check_memory=False)
+        _assert_results_equal(before, after)
+
+    def test_sweep_memo_hits_are_copies(self):
+        app = get_app("alya")
+        first = app.sweep_timings(_ARM, [16, 32])
+        first[16].phase_seconds["tamper"] = 1.0
+        again = app.sweep_timings(_ARM, [16, 32])
+        assert "tamper" not in again[16].phase_seconds
+
+    def test_unknown_run_kwarg_rejected(self):
+        program = Program(
+            name="kw", body=(Phase("x", (ComputeOp(seconds=1e-6),)),))
+        with pytest.raises(ConfigurationError, match="fault_schedule"):
+            BatchAnalyticBackend().run(program, _ARM, 4,
+                                       check_memory=False,
+                                       fault_schedule=None)

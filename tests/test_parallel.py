@@ -66,6 +66,35 @@ class TestResultCache:
         assert len(list(tmp_path.glob("*.json"))) == 2
 
 
+class TestPoolThreshold:
+    def test_small_suite_never_spawns_a_pool(self, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not be hit
+            raise AssertionError("pool spawned below the cost threshold")
+
+        monkeypatch.setattr(
+            "repro.harness.parallel.ProcessPoolExecutor", boom
+        )
+        monkeypatch.setenv("REPRO_POOL_MIN_SECONDS", "1e9")
+        payloads = run_experiments(_IDS, jobs=4)
+        assert [p["experiment"] for p in payloads] == _IDS
+
+    def test_forced_pool_matches_serial(self, monkeypatch):
+        serial = run_experiments(_IDS, jobs=1)
+        monkeypatch.setenv("REPRO_POOL_MIN_SECONDS", "0")
+        fanout = run_experiments(_IDS, jobs=2)
+        assert json.dumps(serial) == json.dumps(fanout)
+
+    def test_bad_threshold_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_MIN_SECONDS", "fast")
+        with pytest.raises(ConfigurationError):
+            run_experiments(_IDS, jobs=2)
+
+    def test_cache_key_depends_on_pass_version(self, monkeypatch):
+        key = cache_key(_IDS[0])
+        monkeypatch.setattr("repro.ir.optimize.PASS_VERSION", 10**9)
+        assert cache_key(_IDS[0]) != key
+
+
 class TestCli:
     def test_run_jobs_json(self, capsys):
         assert main(["run", "fig1_fpu", "--json", "--jobs", "2"]) == 0
