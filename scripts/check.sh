@@ -153,6 +153,14 @@ EOF
     if ! python scripts/bench.py --quick --out "$(mktemp -d)/BENCH_substrate.json" 2>/dev/null; then
         status=1
     fi
+    echo "== static analyzer gate (all bundled programs x both presets) =="
+    for cluster in cte-arm mn4; do
+        if ! PYTHONPATH=src python -m repro.harness.cli analyze all \
+                --cluster "$cluster" --nodes 48 --strict >/dev/null; then
+            echo "static analysis found new diagnostics on $cluster" >&2
+            status=1
+        fi
+    done
     echo "== resilience smoke =="
     if ! PYTHONPATH=src python -m repro.harness.cli resilience \
             --nodes 4 --intensity 1 --steps 5 --json >/dev/null; then

@@ -68,16 +68,20 @@ def source_fingerprint() -> str:
 def cache_key(exp_id: str, backend: str = "analytic") -> str:
     """Cache file stem for one experiment under the current source tree.
 
-    The execution backend and the IR optimizer pass version are part of
-    the content hash, so a cached analytic result is never served for a
-    DES (or fastcoll) request, and a pass-semantics change invalidates
-    results even if it ships without a source diff (e.g. a data-only
-    toggle).
+    The execution backend, the IR optimizer pass version, and the static
+    analyzer version are part of the content hash, so a cached analytic
+    result is never served for a DES (or fastcoll) request, and a
+    pass-semantics or analyzer-behavior change invalidates results even
+    if it ships without a source diff (e.g. a data-only toggle) — the
+    pass-soundness certificate is only as good as the analyzer that
+    issued it.
     """
+    from repro.ir.analyze import ANALYZE_VERSION
     from repro.ir.optimize import PASS_VERSION
 
     digest = hashlib.sha256(
         f"{exp_id}\n{backend}\npasses-v{PASS_VERSION}\n"
+        f"analysis-v{ANALYZE_VERSION}\n"
         f"{source_fingerprint()}".encode()
     ).hexdigest()
     return f"{exp_id}-{digest[:16]}"

@@ -28,6 +28,11 @@ execution backends:
 Vocabulary: :class:`ComputeOp`, :class:`MemOp`, :class:`SerialOp`,
 :class:`CommOp`, :class:`Barrier` inside :class:`Phase` blocks, repeated
 by :class:`Loop` nodes of a :class:`Program`.  See ``docs/IR.md``.
+
+The static analyzer (:mod:`repro.ir.analyze`, ``repro-lab analyze``)
+checks the same op streams — communication safety, resource bounds,
+optimizer-pass soundness — without executing any backend; see
+``docs/ANALYSIS.md``.
 """
 
 from repro.ir.ops import (
@@ -61,6 +66,15 @@ from repro.ir.optimize import (
     fuse_ops,
     op_count,
     optimize_program,
+)
+from repro.ir.analyze import (
+    ANALYZE_VERSION,
+    PassCertificate,
+    analyze_program,
+    certified_optimize,
+    certify,
+    effect_summary,
+    static_clean,
 )
 
 __all__ = [
@@ -100,4 +114,11 @@ __all__ = [
     "collapse_loops",
     "optimize_program",
     "op_count",
+    "ANALYZE_VERSION",
+    "PassCertificate",
+    "analyze_program",
+    "certified_optimize",
+    "certify",
+    "effect_summary",
+    "static_clean",
 ]

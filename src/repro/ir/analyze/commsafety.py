@@ -1,0 +1,418 @@
+"""Communication-safety analysis over abstract traces.
+
+Two independent passes over the :class:`~repro.ir.analyze.trace.Traces`
+of a program:
+
+1. **Abstract matching walk** — every rank holds a program counter; sends
+   post without blocking (faithful to the simulated MPI, where eager
+   sends buffer and rendezvous sends delay time but never matching
+   order); a receive blocks until a matching posted send exists on its
+   ``(src, dst, channel)`` key; a collective blocks until *all* ranks
+   reach the same per-rank call index, at which point the entries are
+   checked for agreement (kind — STA004, root — STA005, payload size —
+   STA006).  At quiescence, ranks still blocked form a wait-for graph:
+   a cycle is a static deadlock (STA001); an acyclic chain bottoms out
+   in a receive no future send can satisfy (STA003) or a rank that
+   exited without reaching the collective its peers wait at (STA004).
+   Leftover posted sends on a cleanly terminating program are unmatched
+   sends (STA002).
+
+2. **Overtaking hazard scan** (STA007, the PR-3 bug class) — per rank,
+   per destination channel, a rendezvous-sized send followed by an
+   eager-sized send from a *different* operation with no synchronizing
+   collective strictly between them can be overtaken: the simulated MPI
+   matches FIFO per ``(source, channel)`` in *arrival* order, and an
+   eager message arrives immediately while a rendezvous payload waits
+   for the handshake — so the receiver's earlier receive consumes the
+   later message.  A symmetric collective strictly between the two
+   operations is the only static protection: completing it
+   happens-after every rank entered it, hence after every earlier
+   receive completed.  The collective *itself* does not protect its own
+   pair with the next operation — which is exactly why the historical
+   constant-tag scheme (adjacent same-kind collectives sharing one
+   channel) was a real bug.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Hashable, Iterator, Sequence
+
+from repro.ir.analyze.trace import (
+    CollEv,
+    RecvEv,
+    SendEv,
+    Traces,
+)
+from repro.verify.diagnostics import Diagnostic
+
+__all__ = ["check_traces"]
+
+
+def _label(traces: Traces, op_id: int) -> str:
+    return traces.op_labels.get(op_id, f"op {op_id}")
+
+
+# -- pass 1: abstract matching walk ------------------------------------------
+
+
+def _matching_walk(traces: Traces) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    R = traces.n_ranks
+    tr = traces.per_rank
+    pc = [0] * R
+    lengths = [len(t) for t in tr]
+    # (src, dst, channel) -> queue of posted SendEv not yet consumed
+    posted: dict[tuple, deque] = defaultdict(deque)
+    # (src, dst, channel) -> ranks blocked waiting for such a send
+    waiting_recv: dict[tuple, list[int]] = defaultdict(list)
+    coll_at: dict[int, dict[int, CollEv]] = defaultdict(dict)
+    coll_released: set[int] = set()
+    blocked: list[tuple | None] = [None] * R  # ("recv", ev) | ("coll", ev)
+    ready = deque(range(R))
+    in_ready = [True] * R
+
+    def wake(rank: int) -> None:
+        if not in_ready[rank]:
+            in_ready[rank] = True
+            ready.append(rank)
+
+    def validate(idx: int, group: dict[int, CollEv]) -> None:
+        kinds = {ev.kind for ev in group.values()}
+        if len(kinds) > 1:
+            by_kind = {k: min(r for r, e in group.items() if e.kind == k)
+                       for k in kinds}
+            diags.append(Diagnostic(
+                "STA004",
+                f"collective call #{idx} disagrees on the operation: "
+                + ", ".join(f"rank {r} calls {k}"
+                            for k, r in sorted(by_kind.items())),
+                hint="every rank must issue the same collective sequence; "
+                "check conditional phases and fractional CommOp counts",
+                location=f"collective #{idx}",
+                details={"index": idx, "kinds": sorted(kinds)},
+            ))
+            return
+        kind = next(iter(kinds))
+        roots = {ev.root for ev in group.values()}
+        if len(roots) > 1:
+            diags.append(Diagnostic(
+                "STA005",
+                f"{kind} #{idx} disagrees on the root rank: "
+                f"{sorted(r for r in roots if r is not None)}",
+                hint="rooted collectives need one root agreed by all ranks",
+                location=f"collective #{idx}",
+                details={"index": idx, "kind": kind,
+                         "roots": sorted(r for r in roots if r is not None)},
+            ))
+        sizes = {ev.size for ev in group.values()}
+        if len(sizes) > 1:
+            diags.append(Diagnostic(
+                "STA006",
+                f"{kind} #{idx} payload sizes differ across ranks: "
+                f"{sorted(sizes)} bytes",
+                hint="mismatched payload sizes usually indicate a "
+                "decomposition bug even when the call sequence matches",
+                location=f"collective #{idx}",
+                details={"index": idx, "kind": kind,
+                         "sizes": sorted(sizes)},
+            ))
+
+    while ready:
+        r = ready.popleft()
+        in_ready[r] = False
+        t = tr[r]
+        i = pc[r]
+        n = lengths[r]
+        blocked[r] = None
+        while i < n:
+            ev = t[i]
+            cls = type(ev)
+            if cls is SendEv:
+                key = (r, ev.dst, ev.channel)
+                posted[key].append(ev)
+                w = waiting_recv.get(key)
+                if w:
+                    wake(w.pop())
+                i += 1
+            elif cls is RecvEv:
+                key = (ev.src, r, ev.channel)
+                q = posted.get(key)
+                if q:
+                    q.popleft()
+                    i += 1
+                else:
+                    waiting_recv[key].append(r)
+                    blocked[r] = ("recv", ev)
+                    break
+            else:  # CollEv
+                idx = ev.index
+                if idx in coll_released:
+                    i += 1
+                    continue
+                group = coll_at[idx]
+                group[r] = ev
+                if len(group) == R:
+                    validate(idx, group)
+                    coll_released.add(idx)
+                    for rr in group:
+                        if rr != r:
+                            wake(rr)
+                    i += 1
+                else:
+                    blocked[r] = ("coll", ev)
+                    break
+        pc[r] = i
+
+    # -- quiescence analysis -------------------------------------------------
+    blocked_ranks = [r for r in range(R) if blocked[r] is not None]
+    if not blocked_ranks:
+        leftovers = [(key, len(q)) for key, q in posted.items() if q]
+        if leftovers:
+            total = sum(n for _, n in leftovers)
+            (src, dst, chan), _ = leftovers[0]
+            ev = posted[(src, dst, chan)][0]
+            diags.append(Diagnostic(
+                "STA002",
+                f"{total} posted send(s) are never received; first: "
+                f"rank {src} -> rank {dst} ({_label(traces, ev.op_id)}, "
+                f"{ev.size} bytes)",
+                hint="a send without a matching receive leaks buffer space "
+                "and usually indicates an asymmetric exchange pattern",
+                location=f"rank {src} -> rank {dst}",
+                details={"count": total,
+                         "first": {"src": src, "dst": dst,
+                                   "size": ev.size, "op": ev.op_id}},
+            ))
+        return diags
+
+    # ranks blocked at *different* collective calls = sequence divergence
+    # (in the real MPI their internal messages would cross-match) — report
+    # the root cause instead of the wait-for cycle it induces.
+    coll_blocked = {
+        r: blocked[r][1] for r in blocked_ranks
+        if blocked[r][0] == "coll"  # type: ignore[index]
+    }
+    divergent = len({ev.index for ev in coll_blocked.values()}) > 1
+    if divergent:
+        examples = sorted(coll_blocked.items())[:4]
+        diags.append(Diagnostic(
+            "STA004",
+            "ranks are blocked at different collective calls: "
+            + ", ".join(
+                f"rank {r} at #{ev.index} ({_label(traces, ev.op_id)})"
+                for r, ev in examples),
+            hint="a rank skipped (or added) a collective relative to its "
+            "peers; collective sequences must be identical on every rank",
+            location="collective sequence",
+            details={"blocked": {r: ev.index
+                                 for r, ev in sorted(coll_blocked.items())
+                                 }},
+        ))
+
+    # wait-for edges; terminal blocked states emit their own root cause.
+    edges: dict[int, list[int]] = {}
+    for r in blocked_ranks:
+        what, ev = blocked[r]  # type: ignore[misc]
+        if what == "recv":
+            src = ev.src
+            future = any(
+                type(e) is SendEv and e.dst == r and e.channel == ev.channel
+                for e in tr[src][pc[src]:]
+            )
+            if not future and not posted.get((src, r, ev.channel)):
+                diags.append(Diagnostic(
+                    "STA003",
+                    f"rank {r} blocks receiving from rank {src} in "
+                    f"{_label(traces, ev.op_id)} but rank {src} never sends "
+                    "a matching message",
+                    hint="the matching send is missing entirely — check the "
+                    "partner arithmetic of the exchange",
+                    location=f"rank {r} <- rank {src}",
+                    details={"rank": r, "src": src, "op": ev.op_id},
+                ))
+            else:
+                edges[r] = [src]
+        else:  # blocked at a collective
+            idx = ev.index
+            arrived = coll_at[idx]
+            laggards = [s for s in range(R) if s not in arrived]
+            finished = [s for s in laggards if blocked[s] is None]
+            if finished:
+                diags.append(Diagnostic(
+                    "STA004",
+                    f"rank {r} blocks in collective #{idx} "
+                    f"({_label(traces, ev.op_id)}) but rank(s) "
+                    f"{finished[:8]} finish with fewer collective calls",
+                    hint="collective call counts must match on every rank; "
+                    "a rank-conditional barrier or collective diverges here",
+                    location=f"collective #{idx}",
+                    details={"index": idx, "rank": r,
+                             "short_ranks": finished[:32]},
+                ))
+            still_blocked = [s for s in laggards if blocked[s] is not None]
+            if still_blocked:
+                edges[r] = still_blocked
+
+    # cycle detection over the blocked-rank graph (iterative, colored DFS)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    state: dict[int, int] = {}
+    cycle: list[int] | None = None
+    for start in edges:
+        if cycle:
+            break
+        if state.get(start, WHITE) != WHITE:
+            continue
+        state[start] = GRAY
+        path = [start]
+        stack: list[tuple[int, Iterator[int]]] = [(start, iter(edges[start]))]
+        while stack and cycle is None:
+            node, it = stack[-1]
+            descended = False
+            for nxt in it:
+                if nxt not in edges:
+                    continue  # blocked on a terminal (already diagnosed)
+                status = state.get(nxt, WHITE)
+                if status == GRAY:
+                    cycle = path[path.index(nxt):] + [nxt]
+                    break
+                if status == WHITE:
+                    state[nxt] = GRAY
+                    path.append(nxt)
+                    stack.append((nxt, iter(edges[nxt])))
+                    descended = True
+                    break
+            else:
+                state[node] = BLACK
+                path.pop()
+                stack.pop()
+            if descended:
+                continue
+    if cycle and not divergent:
+        diags.append(Diagnostic(
+            "STA001",
+            "cyclic wait-for dependency among ranks "
+            + " -> ".join(str(r) for r in cycle),
+            hint="break the cycle by reordering the exchange (e.g. "
+            "even/odd phasing) or by posting the send side first",
+            location=f"ranks {sorted(set(cycle))}",
+            details={"cycle": cycle},
+        ))
+    elif not any(d.rule_id in ("STA003", "STA004") for d in diags):
+        # blocked without a cycle and without an identified root cause —
+        # report the first blocked rank honestly (MPI008's static analogue).
+        r = blocked_ranks[0]
+        what, ev = blocked[r]  # type: ignore[misc]
+        diags.append(Diagnostic(
+            "STA003",
+            f"rank {r} blocks forever in {_label(traces, ev.op_id)} "
+            "with no cycle and no satisfiable continuation",
+            location=f"rank {r}",
+            details={"rank": r, "op": ev.op_id},
+        ))
+    return diags
+
+
+# -- pass 2: overtaking hazard scan ------------------------------------------
+
+
+def _ceil_pow2_partners(kind: str, r: int, p: int,
+                        root: int | None) -> Sequence[Hashable]:
+    """Destination keys of the internal sends of one collective entry —
+    just enough partner structure for channel-reuse detection."""
+    if p <= 1:
+        return ()
+    if kind == "allreduce":
+        out = []
+        k = 1
+        while k < p:
+            partner = r ^ k
+            if partner < p:
+                out.append(partner)
+            k <<= 1
+        return out
+    if kind == "barrier":
+        out = []
+        k = 1
+        while k < p:
+            out.append((r + k) % p)
+            k <<= 1
+        return out
+    if kind == "allgather":
+        return ((r + 1) % p,)
+    if kind == "alltoall":
+        return ("*",)  # every other rank; one sentinel key suffices
+    # rooted tree (bcast/reduce/gather): edges depend on the root; two
+    # instances share partners iff they share a root — key on the root.
+    return (("tree", root),)
+
+
+def _hazard_scan(traces: Traces) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    eager = traces.eager_threshold
+    seen: set[tuple] = set()  # dedupe across SPMD-symmetric ranks
+    for r in range(traces.n_ranks):
+        syncs: list[int] = []  # op_ids of synchronizing collectives, sorted
+        # (dst_key, channel) -> (op_id, size, phase) of last rendezvous send
+        last_rzv: dict[tuple, tuple[int, int, str]] = {}
+
+        def use(dst_key: Hashable, channel: tuple, size: int,
+                op_id: int, phase: str) -> None:
+            key = (dst_key, channel)
+            prev = last_rzv.get(key)
+            if prev is not None and size <= eager:
+                o1, size1, phase1 = prev
+                if o1 != op_id and (not syncs or syncs[-1] <= o1):
+                    # no synchronizing collective strictly between o1, op_id
+                    dedupe = (channel, size1, size, phase1, phase)
+                    if dedupe not in seen:
+                        seen.add(dedupe)
+                        diags.append(Diagnostic(
+                            "STA007",
+                            f"rendezvous send ({size1} bytes, {phase1}) is "
+                            f"followed by an eager send ({size} bytes, "
+                            f"{phase}) on the same channel {channel} with no "
+                            "synchronizing collective between them: the "
+                            "eager message can arrive first and be consumed "
+                            "by the earlier receive",
+                            hint="separate the two operations with a barrier "
+                            "or a symmetric collective, or give them "
+                            "distinct channels (instance-numbered tags)",
+                            location=f"rank {r} -> {dst_key}",
+                            details={"channel": list(channel),
+                                     "rendezvous_bytes": size1,
+                                     "eager_bytes": size,
+                                     "phases": [phase1, phase]},
+                        ))
+            if size > eager:
+                last_rzv[key] = (op_id, size, phase)
+
+        for ev in traces.per_rank[r]:
+            cls = type(ev)
+            if cls is SendEv:
+                use(ev.dst, ev.channel, ev.size, ev.op_id, ev.phase)
+            elif cls is CollEv:
+                for dst_key in _ceil_pow2_partners(
+                        ev.kind, r, traces.n_ranks, ev.root):
+                    use(dst_key, ev.channel, ev.size, ev.op_id, ev.phase)
+                if ev.synchronizing:
+                    syncs.append(ev.op_id)
+    return diags
+
+
+def check_traces(traces: Traces, *, include_ok: bool = False,
+                 name: str = "") -> list[Diagnostic]:
+    """All communication-safety diagnostics for one set of traces."""
+    diags = _matching_walk(traces)
+    diags.extend(_hazard_scan(traces))
+    if include_ok and not diags:
+        suffix = " (loop prefix)" if traces.truncated else ""
+        diags.append(Diagnostic(
+            "STA015",
+            f"all sends matched, collectives agree, no overtaking hazard "
+            f"across {traces.n_ranks} ranks{suffix}",
+            location=name or "program",
+            details={"n_ranks": traces.n_ranks,
+                     "truncated": traces.truncated},
+        ))
+    return diags

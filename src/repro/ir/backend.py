@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.machine.cluster import ClusterModel
 from repro.network.model import NetworkModel
@@ -123,7 +123,7 @@ class Backend(abc.ABC):
         return built
 
 
-def _compute_ops(program: "Program"):
+def _compute_ops(program: "Program") -> "Iterator[ComputeOp]":
     from repro.ir.ops import ComputeOp
 
     for phase, _ in program.iter_phases():

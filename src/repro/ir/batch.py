@@ -101,7 +101,10 @@ class Tape:
                  "occ_mult", "occ_rows", "toolchain_rows",
                  "kernel_needed", "digest")
 
-    def __init__(self, structure, names, occ_names, rows, cols, occ_mult):
+    def __init__(self, structure: tuple, names: tuple[str, ...],
+                 occ_names: tuple[int, ...], rows: tuple[tuple, ...],
+                 cols: dict[str, np.ndarray],
+                 occ_mult: np.ndarray) -> None:
         self.structure = structure
         self.names = names              # distinct phase names, first-appearance order
         self.occ_names = occ_names      # name index per occurrence
@@ -135,7 +138,8 @@ class Tape:
         return len(self.occ_names)
 
 
-def _rows_by_occurrence(rows, n_occ) -> tuple[tuple[int, ...], ...]:
+def _rows_by_occurrence(rows: tuple[tuple, ...],
+                        n_occ: int) -> tuple[tuple[int, ...], ...]:
     by_occ: list[list[int]] = [[] for _ in range(n_occ)]
     for i, row in enumerate(rows):
         by_occ[row[0]].append(i)
@@ -152,9 +156,11 @@ def compile_tape(program: Program) -> Tape:
     rows: list[tuple] = []
     cols: dict[str, list[float]] = {c: [] for c in _COLUMNS}
 
-    def push(occ, kind, kernel=None, comm_kind="", neighbors=0,
-             has_rate=False, *, flops=0.0, bytes_=0.0, seconds=0.0,
-             imbalance=1.0, rate=0.0, size=0, count=0.0):
+    def push(occ: int, kind: int, kernel: Any = None, comm_kind: str = "",
+             neighbors: int = 0, has_rate: bool = False, *,
+             flops: float = 0.0, bytes_: float = 0.0, seconds: float = 0.0,
+             imbalance: float = 1.0, rate: float = 0.0, size: int = 0,
+             count: float = 0.0) -> None:
         rows.append((occ, kind, kernel, comm_kind, neighbors, has_rate))
         cols["flops"].append(flops)
         cols["bytes"].append(bytes_)
@@ -209,7 +215,11 @@ class BatchJob:
     """One evaluation point of a batched run.
 
     Mirrors the keyword surface of ``AnalyticBackend.run``; ``overrides``
-    adds the batch-only what-if knobs of :data:`OVERRIDE_KEYS`.
+    adds the batch-only what-if knobs of :data:`OVERRIDE_KEYS`, and
+    ``analyze=True`` admission-checks the program against the static
+    communication-safety analyzer (:func:`repro.ir.analyze.static_clean`,
+    memoized) before pricing it — the analytic walk would happily price a
+    program whose lowered form deadlocks.
     """
 
     program: Program
@@ -220,6 +230,7 @@ class BatchJob:
     binary: Binary | None = None
     check_memory: bool = True
     overrides: dict[str, float] | None = None
+    analyze: bool = False
 
 
 # -- process-local caches -----------------------------------------------------
@@ -299,7 +310,7 @@ def _rank_bw(mapping: RankMapping) -> float:
 _COMPILER_FP: dict[int, tuple[Any, bytes]] = {}
 
 
-def _compiler_fp(compiler) -> bytes:
+def _compiler_fp(compiler: Any) -> bytes:
     """Content digest of a compiler profile.  Labels are NOT unique —
     what-if experiments patch vec_table on a profile keeping its label —
     so the whole frozen-dataclass repr is hashed (id-memoized: profiles
@@ -346,8 +357,9 @@ class _JobCtx:
     __slots__ = ("job", "tape", "mapping", "binary", "network", "digest",
                  "overrides")
 
-    def __init__(self, job, tape, mapping, binary, network, digest,
-                 overrides):
+    def __init__(self, job: "BatchJob", tape: Tape, mapping: RankMapping,
+                 binary: Binary | None, network: NetworkModel,
+                 digest: bytes, overrides: tuple) -> None:
         self.job = job
         self.tape = tape
         self.mapping = mapping
@@ -373,6 +385,7 @@ class BatchAnalyticBackend(Backend):
         binary: Binary | None = None,
         check_memory: bool = True,
         overrides: dict[str, float] | None = None,
+        analyze: bool = False,
         **kwargs: Any,
     ) -> RunResult:
         if kwargs:
@@ -382,6 +395,7 @@ class BatchAnalyticBackend(Backend):
         return self.run_batch([BatchJob(
             program, cluster, n_nodes, mapping=mapping, network=network,
             binary=binary, check_memory=check_memory, overrides=overrides,
+            analyze=analyze,
         )])[0]
 
     def run_batch(self, jobs: Sequence[BatchJob]) -> list[RunResult]:
@@ -400,6 +414,16 @@ class BatchAnalyticBackend(Backend):
         tape = compile_tape(job.program)
         mapping = (job.mapping if job.mapping is not None
                    else job.program.mapping(job.cluster, job.n_nodes))
+        if job.analyze:
+            from repro.ir.analyze import static_clean
+
+            if not static_clean(job.program, mapping.n_ranks):
+                raise ConfigurationError(
+                    f"program {job.program.name!r} fails static "
+                    "communication-safety analysis at "
+                    f"{mapping.n_ranks} ranks; run `repro-lab analyze` "
+                    "for the diagnostics"
+                )
         binary = _resolve_binary(job.program, job.cluster, job.binary,
                                  tape.kernel_needed)
         overrides = dict(job.overrides) if job.overrides else {}
@@ -558,7 +582,7 @@ def _evaluate(ctxs: list[_JobCtx]) -> list[tuple]:
     # and never trigger toolchain/rate validation the scalar walk skips)
     kernel_agg: dict[Any, np.ndarray] = {}
 
-    def agg_rate_for_kernel(kernel, needed: np.ndarray) -> np.ndarray:
+    def agg_rate_for_kernel(kernel: Any, needed: np.ndarray) -> np.ndarray:
         arr = kernel_agg.get(kernel)
         if arr is None:
             arr = np.full(n, np.nan)

@@ -40,7 +40,7 @@ class DESBackend(Backend):
         network: NetworkModel | None = None,
         binary: Binary | None = None,
         check_memory: bool = True,
-        verify: bool = False,
+        verify: bool | str = False,
         trace: bool | str = True,
         nic_contention: bool = False,
         compute_noise: float = 0.0,
@@ -62,6 +62,13 @@ class DESBackend(Backend):
         if check_memory:
             program.check_feasible(cluster, n_nodes)
         mapping = self._mapping(program, cluster, n_nodes, mapping)
+        if verify == "auto":
+            # record-and-check only when the static analyzer could not
+            # prove the communication pattern safe — the common clean case
+            # skips the recorder entirely (memoized per program x scale).
+            from repro.ir.analyze import static_clean
+
+            verify = not static_clean(program, mapping.n_ranks)
         binary = self._binary(program, cluster, binary)
         world = World(
             mapping,

@@ -41,7 +41,7 @@ rank counts when comparing against the analytic model.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterator, Sequence
 
 from repro.ir.ops import Barrier, CommOp, ComputeOp, Loop, MemOp, Phase, SerialOp
 from repro.simmpi.mapping import RankMapping
@@ -51,6 +51,7 @@ from repro.util.errors import ConfigurationError
 
 if TYPE_CHECKING:
     from repro.ir.program import Program
+    from repro.machine.core import CoreModel
     from repro.simmpi.comm import Comm
 
 
@@ -129,7 +130,7 @@ def _comm_reps(op: CommOp, step: int) -> int:
     return max(1, round(op.count))
 
 
-def _emit_comm(comm: "Comm", op: CommOp, n_ranks: int):
+def _emit_comm(comm: "Comm", op: CommOp, n_ranks: int) -> Iterator[Any]:
     if op.kind == "halo":
         ndims = _halo_ndims(op.neighbors)
         for nb in grid_neighbors(comm.rank, n_ranks, ndims=ndims):
@@ -166,7 +167,7 @@ def _emit_comm(comm: "Comm", op: CommOp, n_ranks: int):
 
 
 def _emit_phase(comm: "Comm", phase: Phase, step: int, n_ranks: int,
-                core, binary: Binary | None):
+                core: "CoreModel", binary: Binary | None) -> Iterator[Any]:
     comm.set_phase(phase.name)
     for op in phase.ops:
         if isinstance(op, ComputeOp):
@@ -210,7 +211,9 @@ def _emit_phase(comm: "Comm", phase: Phase, step: int, n_ranks: int,
             raise ConfigurationError(f"cannot lower op {op!r}")
 
 
-def _emit_items(comm: "Comm", items, step: int, n_ranks: int, core, binary):
+def _emit_items(comm: "Comm", items: Sequence[Phase | Loop], step: int,
+                n_ranks: int, core: "CoreModel",
+                binary: Binary | None) -> Iterator[Any]:
     for item in items:
         if isinstance(item, Loop):
             for i in range(item.count):
@@ -231,7 +234,7 @@ def lower(
     core = mapping.cluster.node.core_model
     n_ranks = mapping.n_ranks
 
-    def rank_program(comm: "Comm"):
+    def rank_program(comm: "Comm") -> Generator[Any, Any, float]:
         yield from _emit_items(comm, program.body, 0, n_ranks, core, binary)
         return comm.now
 

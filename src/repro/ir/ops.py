@@ -12,10 +12,13 @@ where a per-rank quantity is needed.  Communication quantities are
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 from repro.toolchain.kernels import KernelClass
 from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.network.collectives import CollectiveCosts
 
 #: communication patterns a :class:`CommOp` may carry.  ``halo`` expands
 #: to neighbor sendrecvs on a process grid (see :mod:`repro.ir.lower`),
@@ -105,7 +108,7 @@ class CommOp:
         if self.size < 0:
             raise ConfigurationError("message size must be non-negative")
 
-    def cost(self, costs) -> float:
+    def cost(self, costs: CollectiveCosts) -> float:
         """Analytic cost through :class:`~repro.network.collectives.CollectiveCosts`."""
         if self.count <= 0:
             return 0.0

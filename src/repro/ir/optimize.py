@@ -35,8 +35,9 @@ lowering-bound backends (``DESBackend.run(..., optimize=True)``).
 from __future__ import annotations
 
 import dataclasses
+from typing import Sequence
 
-from repro.ir.ops import Barrier, CommOp, ComputeOp, Loop, MemOp, Phase, SerialOp
+from repro.ir.ops import Barrier, CommOp, ComputeOp, Loop, MemOp, Op, Phase, SerialOp
 from repro.ir.program import Program
 
 __all__ = [
@@ -58,7 +59,7 @@ def op_count(program: Program) -> int:
     """Number of ops in the program body (loops counted once, not
     unrolled) — the quantity the passes shrink."""
 
-    def walk(items) -> int:
+    def walk(items: Sequence[Phase | Loop]) -> int:
         total = 0
         for item in items:
             if isinstance(item, Loop):
@@ -73,7 +74,7 @@ def op_count(program: Program) -> int:
 # -- pass 1: constant folding -------------------------------------------------
 
 
-def _is_zero_op(op) -> bool:
+def _is_zero_op(op: Op) -> bool:
     """Ops whose analytic contribution is exactly ``+0.0``."""
     if isinstance(op, SerialOp):
         return op.seconds == 0.0
@@ -89,7 +90,7 @@ def _is_zero_op(op) -> bool:
 
 
 def _fold_phase(phase: Phase) -> Phase:
-    ops: list = []
+    ops: list[Op] = []
     for op in phase.ops:
         if _is_zero_op(op):
             continue
@@ -102,7 +103,7 @@ def _fold_phase(phase: Phase) -> Phase:
     return Phase(phase.name, tuple(ops))
 
 
-def _empty_phases(items) -> list[Phase]:
+def _empty_phases(items: Sequence[Phase | Loop]) -> list[Phase]:
     """The phases under a zero-trip loop, emptied but name-preserving."""
     out: list[Phase] = []
     for item in items:
@@ -113,8 +114,8 @@ def _empty_phases(items) -> list[Phase]:
     return out
 
 
-def _fold_items(items) -> list:
-    out: list = []
+def _fold_items(items: Sequence[Phase | Loop]) -> list[Phase | Loop]:
+    out: list[Phase | Loop] = []
     for item in items:
         if isinstance(item, Loop):
             body = _fold_items(item.body)
@@ -138,7 +139,7 @@ def fold_constants(program: Program) -> Program:
 # -- pass 2: op fusion --------------------------------------------------------
 
 
-def _fused(a, b):
+def _fused(a: Op, b: Op) -> Op | None:
     """The fusion of adjacent ops ``a; b``, or None if not fusable."""
     if isinstance(a, MemOp) and isinstance(b, MemOp):
         return MemOp(a.bytes_moved + b.bytes_moved, label=a.label)
@@ -168,7 +169,7 @@ def _fused(a, b):
 
 
 def _fuse_phase(phase: Phase) -> Phase:
-    ops: list = []
+    ops: list[Op] = []
     for op in phase.ops:
         if ops:
             merged = _fused(ops[-1], op)
@@ -179,8 +180,8 @@ def _fuse_phase(phase: Phase) -> Phase:
     return Phase(phase.name, tuple(ops))
 
 
-def _fuse_items(items) -> list:
-    out: list = []
+def _fuse_items(items: Sequence[Phase | Loop]) -> list[Phase | Loop]:
+    out: list[Phase | Loop] = []
     for item in items:
         if isinstance(item, Loop):
             out.append(Loop(item.count, tuple(_fuse_items(item.body))))
@@ -198,7 +199,7 @@ def fuse_ops(program: Program) -> Program:
 # -- pass 3: loop collapsing --------------------------------------------------
 
 
-def _loop_invariant(op) -> bool:
+def _loop_invariant(op: Op) -> bool:
     """Ops whose per-iteration expansion does not depend on the step
     index, so ``k`` iterations == one occurrence of the op scaled by
     ``k``.  Barriers synchronize per iteration (DES semantics), and
@@ -211,7 +212,7 @@ def _loop_invariant(op) -> bool:
     return True
 
 
-def _scaled(op, k: int):
+def _scaled(op: Op, k: int) -> Op:
     if isinstance(op, ComputeOp):
         if op.seconds is not None:
             return dataclasses.replace(op, seconds=op.seconds * k)
@@ -225,8 +226,8 @@ def _scaled(op, k: int):
     return dataclasses.replace(op, count=op.count * k)
 
 
-def _collapse_items(items) -> list:
-    out: list = []
+def _collapse_items(items: Sequence[Phase | Loop]) -> list[Phase | Loop]:
+    out: list[Phase | Loop] = []
     for item in items:
         if not isinstance(item, Loop):
             out.append(item)

@@ -10,7 +10,7 @@ same object — see :mod:`repro.ir.backend`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.ir.ops import Loop, Phase
 from repro.machine.cluster import ClusterModel
@@ -19,6 +19,9 @@ from repro.sched.scheduler import Scheduler
 from repro.simmpi.mapping import RankMapping
 from repro.toolchain.kernels import KernelClass
 from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.apps.base import PhaseWork
 
 
 @dataclass(frozen=True)
@@ -55,7 +58,8 @@ class Program:
         """Yield ``(phase, multiplicity)`` in execution order, loops
         flattened — the analytic backend's walk."""
 
-        def walk(items, mult: int):
+        def walk(items: tuple[Phase | Loop, ...],
+                 mult: int) -> Iterator[tuple[Phase, int]]:
             for item in items:
                 if isinstance(item, Loop):
                     yield from walk(item.body, mult * item.count)
@@ -103,7 +107,7 @@ class Program:
 
 def compile_phases(
     name: str,
-    phases,
+    phases: Iterable[PhaseWork],
     *,
     steps: int = 1,
     ranks_per_node: int = 1,

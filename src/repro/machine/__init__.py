@@ -27,6 +27,7 @@ from repro.machine.memory import MemoryModel
 from repro.machine.numa import NUMADomain, OnChipInterconnect
 from repro.machine.node import NodeModel
 from repro.machine.cluster import ClusterModel
+from repro.machine.capacity import PartitionCapacity
 from repro.machine.presets import (
     cte_arm,
     fugaku,
@@ -53,6 +54,7 @@ __all__ = [
     "OnChipInterconnect",
     "NodeModel",
     "ClusterModel",
+    "PartitionCapacity",
     "cte_arm",
     "fugaku",
     "marenostrum4",

@@ -1,0 +1,89 @@
+"""Partition capacity facts: the static resource envelope of a cluster slice.
+
+:class:`PartitionCapacity` condenses the node model into the handful of
+numbers the static resource analyzer (:mod:`repro.ir.analyze.resources`)
+reasons about — memory per node, cores per NUMA domain, NIC injection
+bandwidth — so "will this even fit?" questions are answerable without
+instantiating schedulers, mappings, or networks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.cluster import ClusterModel
+from repro.util.errors import ConfigurationError
+
+__all__ = ["PartitionCapacity"]
+
+
+@dataclass(frozen=True)
+class PartitionCapacity:
+    """The resource envelope of ``n_nodes`` nodes of one cluster."""
+
+    cluster_name: str
+    n_nodes: int
+    memory_bytes_per_node: int
+    cores_per_node: int
+    n_domains: int
+    cores_per_domain: int
+    domain_kind: str
+    nic_bandwidth: float
+
+    @classmethod
+    def of(cls, cluster: ClusterModel, n_nodes: int) -> "PartitionCapacity":
+        if not 1 <= n_nodes <= cluster.n_nodes:
+            raise ConfigurationError(
+                f"{n_nodes} nodes requested of {cluster.n_nodes} "
+                f"({cluster.name})"
+            )
+        node = cluster.node
+        return cls(
+            cluster_name=cluster.name,
+            n_nodes=n_nodes,
+            memory_bytes_per_node=node.memory_bytes,
+            cores_per_node=node.cores,
+            n_domains=len(node.domains),
+            cores_per_domain=node.domains[0].cores,
+            domain_kind=node.domains[0].kind,
+            nic_bandwidth=node.nic_bandwidth,
+        )
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return self.n_nodes * self.memory_bytes_per_node
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.cores_per_node
+
+    def footprint_per_node(
+        self, replicated_bytes_per_node: int, distributed_bytes_total: int
+    ) -> int:
+        """Per-node footprint at this partition size (the Table-IV split:
+        replicated bytes stay per node, decomposed bytes divide)."""
+        return (replicated_bytes_per_node
+                + distributed_bytes_total // self.n_nodes)
+
+    def fits(self, replicated_bytes_per_node: int,
+             distributed_bytes_total: int) -> bool:
+        return (self.footprint_per_node(
+            replicated_bytes_per_node, distributed_bytes_total)
+            <= self.memory_bytes_per_node)
+
+    def min_feasible_nodes(
+        self, replicated_bytes_per_node: int, distributed_bytes_total: int
+    ) -> int | None:
+        """Smallest node count whose per-node footprint fits, or None when
+        the replicated part alone exceeds node memory at any size."""
+        headroom = self.memory_bytes_per_node - replicated_bytes_per_node
+        if headroom < 0:
+            return None
+        if distributed_bytes_total <= 0 or headroom == 0:
+            return 1 if distributed_bytes_total <= headroom else None
+        n = max(1, math.ceil(distributed_bytes_total / headroom))
+        # floor division in the footprint can admit one node fewer
+        while n > 1 and distributed_bytes_total // (n - 1) <= headroom:
+            n -= 1
+        return n

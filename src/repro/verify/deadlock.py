@@ -75,7 +75,8 @@ def find_cycle(graph: dict[int, list[CommEvent]]) -> list[CommEvent] | None:
     """
     done: set[int] = set()  # fully explored, known cycle-free
 
-    def dfs(node: int, path: list[CommEvent], on_path: dict[int, int]):
+    def dfs(node: int, path: list[CommEvent],
+            on_path: dict[int, int]) -> list[CommEvent] | None:
         on_path[node] = len(path)
         for event in graph.get(node, []):
             peer = event.peer

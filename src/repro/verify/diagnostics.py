@@ -87,6 +87,24 @@ RULES: dict[str, Rule] = {
         Rule("RES008", Severity.INFO, "scheduler reallocated a job around failed nodes"),
         Rule("RES009", Severity.INFO, "checkpoint/restart cost charged to time-to-solution"),
         Rule("RES010", Severity.ERROR, "rendezvous send timed out (unreachable destination)"),
+        # -- static IR analyzer (repro.ir.analyze) --------------------------
+        Rule("STA001", Severity.ERROR, "static deadlock: cyclic wait-for dependency in the unrolled program"),
+        Rule("STA002", Severity.ERROR, "static unmatched send (message never received)"),
+        Rule("STA003", Severity.ERROR, "static unsatisfiable receive (no matching send exists)"),
+        Rule("STA004", Severity.ERROR, "collective call sequence diverges across ranks (static)"),
+        Rule("STA005", Severity.ERROR, "root rank disagreement in a rooted collective (static)"),
+        Rule("STA006", Severity.WARNING, "collective payload sizes differ across ranks (static)"),
+        Rule("STA007", Severity.ERROR, "eager/rendezvous overtaking hazard on a reused channel"),
+        Rule("STA008", Severity.ERROR, "per-node footprint exceeds node memory"),
+        Rule("STA009", Severity.WARNING, "per-node footprint within 10% of node memory"),
+        Rule("STA010", Severity.ERROR, "rank x thread layout oversubscribes node cores"),
+        Rule("STA011", Severity.WARNING, "rank layout misaligned with NUMA/CMG domain size"),
+        Rule("STA012", Severity.ADVICE, "NIC injection floor is a first-order cost term"),
+        Rule("STA013", Severity.ERROR, "optimizer pass changed the program's effect summary"),
+        Rule("STA014", Severity.INFO, "optimizer pass certificate verified"),
+        Rule("STA015", Severity.INFO, "communication proven statically safe"),
+        Rule("STA016", Severity.ADVICE, "dead op: contributes no modeled work"),
+        Rule("STA017", Severity.INFO, "per-node footprint fits node memory"),
         # -- vectorization advisor ------------------------------------------
         Rule("VEC001", Severity.ADVICE, "irregular access pattern defeats the autovectorizer"),
         Rule("VEC002", Severity.ADVICE, "immature SVE back end leaves the loop scalar"),

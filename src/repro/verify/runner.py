@@ -16,14 +16,20 @@ Everything lands in one :class:`DiagnosticReport` for text or JSON output.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.smp.pages import PagePolicy
 from repro.util.errors import ConfigurationError, ToolchainError
-from repro.verify.diagnostics import DiagnosticReport
+from repro.verify.diagnostics import Diagnostic, DiagnosticReport
 from repro.verify.placement import check_mapping
 from repro.verify.vectorization import advise_app
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.apps.base import AppModel
+    from repro.machine.cluster import ClusterModel
 
-def resolve_cluster(name: str, n_nodes: int | None = None):
+
+def resolve_cluster(name: str, n_nodes: int | None = None) -> ClusterModel:
     """Instantiate a cluster preset from a CLI-friendly name."""
     from repro.machine.presets import cte_arm, marenostrum4
 
@@ -45,16 +51,20 @@ def verify_app(
     ranks_per_node: int | None = None,
     threads_per_rank: int | None = None,
     page_policy: PagePolicy | None = None,
-    dynamic: bool = True,
+    dynamic: bool | str = True,
     include_ok: bool = False,
     steps: int = 1,
 ) -> DiagnosticReport:
-    """All three checker layers for one bundled application configuration.
+    """All checker layers for one bundled application configuration.
 
     ``ranks_per_node`` / ``threads_per_rank`` override the app's preferred
     layout for the *placement lint only* (e.g. lint the paper's OpenMP-only
     1 x 48 STREAM layout under a prepage policy); the dynamic MPI check
     always runs the app's own mapping.
+
+    ``dynamic`` accepts ``"auto"``: the DES message check (the expensive
+    layer) only runs when the static analyzer (``STA`` rules, which always
+    run) could *not* prove the communication pattern safe.
     """
     from repro.apps import get_app
 
@@ -83,13 +93,25 @@ def verify_app(
     # 2. vectorization advisor ----------------------------------------------
     report.extend(advise_app(app, machine, include_ok=include_ok))
 
-    # 3. dynamic MPI check ---------------------------------------------------
+    # 3. static IR analysis (STA rules) --------------------------------------
+    from repro.ir.analyze import analyze_program
+
+    program = app.program(app.mapping(machine, n_nodes), steps=steps)
+    sta = analyze_program(program, machine, n_nodes,
+                          include_ok=include_ok, price=False)
+    report.extend(sta)
+
+    # 4. dynamic MPI check ---------------------------------------------------
+    if dynamic == "auto":
+        # the analyzer's word is good: replay only what it could not prove
+        dynamic = not sta.clean
     if dynamic:
         report.extend(run_dynamic_check(app, machine, n_nodes, steps=steps))
     return report
 
 
-def run_dynamic_check(app, machine, n_nodes: int, *, steps: int = 1):
+def run_dynamic_check(app: AppModel, machine: ClusterModel, n_nodes: int,
+                      *, steps: int = 1) -> list[Diagnostic]:
     """Execute the app's compiled IR under simulated MPI with recording."""
     from repro.ir.desbackend import DESBackend
 

@@ -14,10 +14,16 @@ reproduces Table III's build matrix as a diagnostic stream.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.toolchain.compiler import CompilerProfile
 from repro.toolchain.kernels import IRREGULAR, KernelClass
 from repro.util.errors import CompileError, CompileHang
 from repro.verify.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.apps.base import AppModel
+    from repro.machine.cluster import ClusterModel
 
 #: Below this vector fraction a kernel effectively runs on the scalar core.
 SCALAR_THRESHOLD = 0.25
@@ -203,7 +209,8 @@ def advise_build(
     return diags
 
 
-def advise_app(app, cluster, *, include_ok: bool = False) -> list[Diagnostic]:
+def advise_app(app: "AppModel", cluster: "ClusterModel", *,
+               include_ok: bool = False) -> list[Diagnostic]:
     """Replay an application's build attempts (Table III) as diagnostics.
 
     ``app`` is a :class:`repro.apps.base.AppModel`; every compiler the
@@ -223,7 +230,8 @@ def advise_app(app, cluster, *, include_ok: bool = False) -> list[Diagnostic]:
 
 
 def advise_build_matrix(
-    apps: list, cluster, *, include_ok: bool = False
+    apps: "list[AppModel]", cluster: "ClusterModel", *,
+    include_ok: bool = False
 ) -> list[Diagnostic]:
     """Table III as a diagnostic stream: every app x toolchain cell."""
     diags: list[Diagnostic] = []

@@ -218,6 +218,122 @@ def ir_programs(draw, *, max_phases: int = 3, max_ops: int = 3,
 
 
 @st.composite
+def clean_ir_programs(draw, *, max_phases: int = 3, max_ops: int = 3,
+                      max_steps: int = 3):
+    """Draw a random SPMD IR program that is statically clean **by
+    construction** — the zero-false-positive half of the defect-injection
+    property.
+
+    Construction rules (each closes one real diagnostic class):
+
+    * all ranks run the same op stream (collective sequences agree);
+    * every point-to-point pattern is one of the symmetric exchanges the
+      lowering matches pairwise (halo/ring/p2p);
+    * all user-level sendrecvs in one program share a single payload size:
+      they share the one ``("user", 0)`` matching channel, so mixing a
+      rendezvous-sized send with a later eager-sized one would be a *true*
+      overtaking hazard, not a false positive.
+
+    Collective payloads still vary freely (instance-numbered channels), a
+    rooted collective may appear with either root, and a trailing
+    collective is always present so trace-level defect injection has a
+    victim.
+    """
+    from repro.ir import Barrier, CommOp, ComputeOp, Loop, Phase, Program
+
+    p2p_size = draw(st.sampled_from(_SIZES))
+    kinds = ("compute", "barrier", "allreduce", "allgather", "alltoall",
+             "bcast", "reduce", "halo", "ring", "p2p")
+
+    def one_op():
+        kind = draw(st.sampled_from(kinds))
+        if kind == "compute":
+            return ComputeOp(seconds=draw(st.integers(1, 50)) * 1e-6)
+        if kind == "barrier":
+            return Barrier()
+        if kind in ("halo", "ring", "p2p"):
+            return CommOp(kind, p2p_size,
+                          neighbors=draw(st.sampled_from((2, 4, 6))))
+        root = draw(st.integers(0, 1)) if kind in ("bcast", "reduce") else 0
+        return CommOp(kind, draw(st.sampled_from(_SIZES)), root=root)
+
+    n_phases = draw(st.integers(1, max_phases))
+    phases = tuple(
+        Phase(f"p{i}",
+              tuple(one_op() for _ in range(draw(st.integers(1, max_ops)))))
+        for i in range(n_phases)
+    ) + (Phase("sync", (CommOp("allreduce", 64),)),)
+    steps = draw(st.integers(1, max_steps))
+    return Program(name="random-clean-ir", body=(Loop(steps, phases),),
+                   steps=steps)
+
+
+#: trace-level defect kinds :func:`defect_cases` injects; the fourth kind,
+#: ``oversize_footprint``, mutates the program instead of the traces.
+_TRACE_DEFECTS = ("drop_collective", "skew_collective_kind",
+                  "skew_collective_size")
+
+
+@dataclass(frozen=True)
+class DefectCase:
+    """A statically-clean program plus one seeded defect.
+
+    ``mutate_traces`` applies trace-level defects (asymmetric by nature,
+    so they are injected into one rank's unrolled trace rather than the
+    SPMD program); ``mutated_program`` applies the program-level
+    footprint defect.  The analyzer must stay silent on the unmutated
+    artifact and flag the mutated one.
+    """
+
+    program: Any
+    n_ranks: int
+    defect: str
+
+    def mutate_traces(self, traces):
+        """Inject the defect into rank 1's trace (trace-level kinds)."""
+        from repro.ir.analyze import CollEv, Traces
+
+        assert self.defect in _TRACE_DEFECTS
+        victim = list(traces.per_rank[1])
+        at = next(i for i, ev in enumerate(victim)
+                  if isinstance(ev, CollEv))
+        ev = victim[at]
+        if self.defect == "drop_collective":
+            del victim[at]
+        elif self.defect == "skew_collective_kind":
+            new_kind = "allreduce" if ev.kind != "allreduce" else "barrier"
+            victim[at] = ev._replace(kind=new_kind)
+        else:  # skew_collective_size
+            victim[at] = ev._replace(size=ev.size + 777)
+        per_rank = list(traces.per_rank)
+        per_rank[1] = victim
+        return Traces(
+            n_ranks=traces.n_ranks,
+            per_rank=per_rank,
+            eager_threshold=traces.eager_threshold,
+            truncated=traces.truncated,
+            op_labels=traces.op_labels,
+        )
+
+    def mutated_program(self, memory_bytes_per_node: float):
+        """The program with a per-rank footprint no node can hold."""
+        from dataclasses import replace
+
+        assert self.defect == "oversize_footprint"
+        return replace(self.program,
+                       replicated_bytes_per_rank=2.0 * memory_bytes_per_node)
+
+
+@st.composite
+def defect_cases(draw) -> DefectCase:
+    """Draw a clean program and one defect to seed into it."""
+    program = draw(clean_ir_programs())
+    n_ranks = draw(st.sampled_from([2, 4, 8]))
+    defect = draw(st.sampled_from(_TRACE_DEFECTS + ("oversize_footprint",)))
+    return DefectCase(program=program, n_ranks=n_ranks, defect=defect)
+
+
+@st.composite
 def fault_schedules(draw, *, n_nodes: int, horizon: float = 0.02,
                     allow_crash: bool = True,
                     max_events: int = 4) -> FaultSchedule:
