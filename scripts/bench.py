@@ -238,6 +238,98 @@ def bench_ir_optimize(reps: int) -> dict:
     }
 
 
+def bench_des_sharded(quick: bool) -> dict:
+    """Sharded DES throughput on the fixed 768-rank NEMO program.
+
+    Reports, per shard count: total wall, engine events/s, and the
+    *critical-path* events/s — total events divided by the slowest
+    shard's accumulated simulation time, i.e. the throughput an
+    ideally parallel execution of the same windows would achieve.  On a
+    single-core host total wall stays ~flat (the shards time-share one
+    CPU and the windowing adds a few percent); the critical-path column
+    is what scales with cores.  Full mode adds the max-feasible-rank
+    smoke: 9216-rank NEMO under 8 shards, checked against the analytic
+    backend.
+    """
+    from repro.apps import get_app
+    from repro.des.shard import ShardedSpec, run_sharded
+    from repro.ir import AnalyticBackend
+    from repro.machine import cte_arm
+
+    app = get_app("nemo")
+    cluster = cte_arm(16)
+    mapping = app.mapping(cluster, 16)
+    program = app.program(mapping, steps=1)
+    binary = app.build(cluster)
+
+    def one(n_shards: int, workers: int) -> dict:
+        spec = ShardedSpec(
+            program=program, mapping=mapping, n_shards=n_shards,
+            binary=binary, world_kwargs={"trace": "off"},
+        )
+        t0 = time.perf_counter()
+        result, stats = run_sharded(spec, workers=workers)
+        wall = time.perf_counter() - t0
+        critical = max(stats.shard_wall_s.values())
+        return {
+            "n_shards": n_shards,
+            "workers": workers,
+            "wall_seconds": wall,
+            "events": stats.events,
+            "events_per_second": stats.events / wall,
+            "critical_path_seconds": critical,
+            "critical_path_events_per_second": stats.events / critical,
+            "windows": stats.windows,
+            "cross_messages": stats.cross_messages,
+            "lookahead_seconds": stats.lookahead_s,
+            "virtual_elapsed": result.elapsed,
+        }
+
+    shard_counts = (1, 2) if quick else (1, 2, 4, 8)
+    rows = [one(n, 0) for n in shard_counts]
+    baseline = rows[0]["virtual_elapsed"]
+    assert all(
+        abs(r["virtual_elapsed"] - baseline) <= 1e-9 * baseline
+        for r in rows
+    ), "sharded runs must agree on virtual time"
+    report = {
+        "program": "nemo",
+        "n_ranks": mapping.n_ranks,
+        "steps": 1,
+        "rows": rows,
+        "process_mode_4_shards": None if quick else one(4, 4),
+        "smoke_9216_ranks": None,
+    }
+    if not quick:
+        big_cluster = cte_arm(192)
+        big_mapping = app.mapping(big_cluster, 192)
+        big_program = app.program(big_mapping, steps=1)
+        big_binary = app.build(big_cluster)
+        analytic = AnalyticBackend().run(
+            big_program, big_cluster, 192, mapping=big_mapping,
+            binary=big_binary, check_memory=False,
+        )
+        spec = ShardedSpec(
+            program=big_program, mapping=big_mapping, n_shards=8,
+            binary=big_binary, world_kwargs={"trace": "off"},
+        )
+        t0 = time.perf_counter()
+        result, stats = run_sharded(spec)
+        wall = time.perf_counter() - t0
+        report["smoke_9216_ranks"] = {
+            "n_ranks": big_mapping.n_ranks,
+            "n_shards": 8,
+            "wall_seconds": wall,
+            "events": stats.events,
+            "events_per_second": stats.events / wall,
+            "virtual_elapsed": result.elapsed,
+            "analytic_elapsed": analytic.elapsed,
+            "relative_gap_vs_analytic": abs(
+                result.elapsed - analytic.elapsed) / analytic.elapsed,
+        }
+    return report
+
+
 def bench_figure_suite(jobs: int) -> dict:
     from repro.harness.experiment import list_experiments
     from repro.harness.parallel import run_experiments
@@ -292,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
         "ir_lowering": bench_ir_lowering(reps),
         "ir_optimize": bench_ir_optimize(reps),
         "batched_figure_suite": bench_batched_suite(max(1, reps // 2)),
+        "des_sharded": bench_des_sharded(args.quick),
         "figure_suite": bench_figure_suite(args.jobs),
     }
     out = Path(args.out) if args.out else (
@@ -325,6 +418,17 @@ def main(argv: list[str] | None = None) -> int:
           f"{bat['batched_seconds']:.4f}s "
           f"({bat['batched_points_per_second']:,.0f} pts/s, "
           f"{bat['speedup']:.1f}x)")
+    shd = report["des_sharded"]
+    top = shd["rows"][-1]
+    line = (f"sharded DES:  {top['n_shards']} shards "
+            f"{top['wall_seconds']:.2f}s wall "
+            f"({top['events_per_second']:,.0f} ev/s, critical path "
+            f"{top['critical_path_events_per_second']:,.0f} ev/s)")
+    if shd["smoke_9216_ranks"]:
+        smoke = shd["smoke_9216_ranks"]
+        line += (f"; 9216-rank smoke {smoke['wall_seconds']:.1f}s, "
+                 f"gap vs analytic {smoke['relative_gap_vs_analytic']:.3%}")
+    print(line)
     print(f"figure suite: serial {suite['serial_seconds']:.2f}s, "
           f"--jobs {suite['jobs']} {suite['parallel_seconds']:.2f}s "
           f"({suite['parallel_speedup']:.2f}x on {suite['cpu_count']} cpu), "

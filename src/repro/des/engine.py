@@ -50,7 +50,7 @@ class Event:
         "label",
     )
 
-    def __init__(self, engine: "Engine", label: str = ""):
+    def __init__(self, engine: "Engine", label: str = "") -> None:
         self.engine = engine
         #: ``None`` | one callable | list of callables (see module notes).
         self.callbacks: Any = None
@@ -118,7 +118,7 @@ class Timeout(Event):
 
     __slots__ = ()
 
-    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if not 0.0 <= delay < _INF:
             raise SimulationError(f"timeout delay must be finite and >= 0, got {delay}")
         # Inlined Event.__init__ without per-event label formatting.
@@ -145,7 +145,7 @@ class _Resume:
 
     __slots__ = ("process", "_value", "_ok")
 
-    def __init__(self, process: "Process"):
+    def __init__(self, process: "Process") -> None:
         self.process = process
         self._value: Any = None
         self._ok = True
@@ -166,7 +166,7 @@ class Process(Event):
 
     __slots__ = ("generator", "_resume", "_dead")
 
-    def __init__(self, engine: "Engine", generator: ProcessGen, label: str = ""):
+    def __init__(self, engine: "Engine", generator: ProcessGen, label: str = "") -> None:
         super().__init__(engine, label=label or getattr(generator, "__name__", "proc"))
         self.generator = generator
         self._dead = False
@@ -250,11 +250,27 @@ class Engine:
         self._heap: list[tuple[float, int, Any]] = []
         self._seq = 0
         self._live = 0  # processes started and not yet finished
+        #: cumulative count of processed (popped and resolved) calendar
+        #: entries — the events/s denominator of the engine benchmarks.
+        self.events_processed = 0
+        #: time of the last *processed* entry.  ``run(until)`` and
+        #: :meth:`run_window` advance :attr:`now` to the window end even
+        #: when nothing fired there; this keeps the real activity time.
+        self.last_event_time = 0.0
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def live(self) -> int:
+        """Processes started and not yet finished."""
+        return self._live
+
+    def next_time(self) -> float:
+        """Timestamp of the earliest pending calendar entry (inf if none)."""
+        return self._heap[0][0] if self._heap else _INF
 
     # -- scheduling ---------------------------------------------------------
 
@@ -287,25 +303,58 @@ class Engine:
         remain alive with nothing scheduled.
         """
         heap = self._heap
+        n = 0
         if until is None:
             while heap:
                 at, _, event = heappop(heap)
                 self._now = at
                 event._resolve()
+                n += 1
         else:
             while heap:
                 if heap[0][0] > until:
-                    self._now = until
-                    return until
+                    break
                 at, _, event = heappop(heap)
                 self._now = at
                 event._resolve()
+                n += 1
+        self.events_processed += n
+        if n:
+            self.last_event_time = self._now
+        if until is not None and heap:
+            self._now = until
+            return until
         if self._live > 0:
             raise DeadlockError(
                 f"{self._live} process(es) blocked forever at t={self._now:g}s "
                 "(mismatched send/recv or un-triggered event)"
             )
         return self._now
+
+    def run_window(self, until: float) -> int:
+        """Process every calendar entry with timestamp <= ``until``.
+
+        The windowed-execution primitive of the sharded driver
+        (:mod:`repro.des.shard`): unlike :meth:`run`, draining the
+        calendar with live processes is *not* an error here — a shard
+        legitimately goes idle while a cross-shard message is in flight.
+        The clock is left at ``until`` so later injected deliveries
+        (which the lookahead guarantees to be >= the window end) are
+        never in the engine's past.  Returns the number of entries
+        processed; deadlock detection is the caller's job, globally.
+        """
+        heap = self._heap
+        n = 0
+        while heap and heap[0][0] <= until:
+            at, _, event = heappop(heap)
+            self._now = at
+            event._resolve()
+            n += 1
+        self.events_processed += n
+        if n:
+            self.last_event_time = self._now
+        self._now = until
+        return n
 
     def run_all(self, generators: Iterable[ProcessGen]) -> float:
         """Convenience: register all generators, run to completion."""

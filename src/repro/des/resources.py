@@ -10,6 +10,7 @@ injection port).  ``AllOf`` waits for a set of events (MPI_Waitall).
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable
 from typing import Any
 
 from repro.des.engine import Engine, Event
@@ -26,7 +27,7 @@ class Resource:
         resource.release()
     """
 
-    def __init__(self, engine: Engine, capacity: int = 1, label: str = ""):
+    def __init__(self, engine: Engine, capacity: int = 1, label: str = "") -> None:
         if capacity < 1:
             raise SimulationError("resource capacity must be >= 1")
         self.engine = engine
@@ -76,7 +77,7 @@ class Channel:
 
     _ANY = object()
 
-    def __init__(self, engine: Engine, label: str = ""):
+    def __init__(self, engine: Engine, label: str = "") -> None:
         self.engine = engine
         self.label = label
         self._mailbox: dict[tuple[Any, Any], deque[Any]] = {}
@@ -146,7 +147,7 @@ class AnyOf(Event):
 
     __slots__ = ("_events",)
 
-    def __init__(self, engine: Engine, events: list[Event], label: str = "any_of"):
+    def __init__(self, engine: Engine, events: list[Event], label: str = "any_of") -> None:
         super().__init__(engine, label=label)
         self._events = list(events)
         if not self._events:
@@ -160,7 +161,7 @@ class AnyOf(Event):
             for idx, ev in enumerate(self._events):
                 ev.add_callback(self._make_callback(idx))
 
-    def _make_callback(self, idx: int):
+    def _make_callback(self, idx: int) -> Callable[[Event], None]:
         def on_child(child: Event) -> None:
             if self.triggered:
                 return
@@ -180,7 +181,7 @@ class AllOf(Event):
 
     __slots__ = ("_events", "_remaining")
 
-    def __init__(self, engine: Engine, events: list[Event], label: str = "all_of"):
+    def __init__(self, engine: Engine, events: list[Event], label: str = "all_of") -> None:
         super().__init__(engine, label=label)
         self._events = list(events)
         self._remaining = 0

@@ -1,0 +1,36 @@
+"""Sharded parallel DES with conservative lookahead.
+
+Splits one simulated MPI world into independent per-node (or per-CMG)
+sub-simulators synchronized in conservative lookahead windows — the
+classic Chandy-Misra/YAWNS scheme — so a full-machine simulation can use
+multiple cores while reproducing the single-engine run bit-exactly.
+
+See ``docs/PERFORMANCE.md`` (sharded DES section) for the lookahead
+derivation and the determinism guarantees, and their limits.
+"""
+
+from repro.des.shard.driver import (
+    MergedResilience,
+    ShardedSpec,
+    ShardStats,
+    run_sharded,
+)
+from repro.des.shard.partition import (
+    ShardPlan,
+    cross_shard_rank_pairs,
+    lookahead,
+)
+from repro.des.shard.subworld import CrossMsg, ShardResult, ShardWorld
+
+__all__ = [
+    "CrossMsg",
+    "MergedResilience",
+    "ShardPlan",
+    "ShardResult",
+    "ShardStats",
+    "ShardWorld",
+    "ShardedSpec",
+    "cross_shard_rank_pairs",
+    "lookahead",
+    "run_sharded",
+]

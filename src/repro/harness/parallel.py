@@ -68,19 +68,23 @@ def source_fingerprint() -> str:
 def cache_key(exp_id: str, backend: str = "analytic") -> str:
     """Cache file stem for one experiment under the current source tree.
 
-    The execution backend, the IR optimizer pass version, and the static
-    analyzer version are part of the content hash, so a cached analytic
-    result is never served for a DES (or fastcoll) request, and a
-    pass-semantics or analyzer-behavior change invalidates results even
-    if it ships without a source diff (e.g. a data-only toggle) — the
-    pass-soundness certificate is only as good as the analyzer that
-    issued it.
+    The execution backend, the installed backend options (DES shard
+    count & friends — ``repro.ir.backend_options_tag``), the IR
+    optimizer pass version, and the static analyzer version are part of
+    the content hash, so a cached analytic result is never served for a
+    DES (or fastcoll) request, a 1-shard result never for an 8-shard
+    one, and a pass-semantics or analyzer-behavior change invalidates
+    results even if it ships without a source diff (e.g. a data-only
+    toggle) — the pass-soundness certificate is only as good as the
+    analyzer that issued it.
     """
+    from repro.ir import backend_options_tag
     from repro.ir.analyze import ANALYZE_VERSION
     from repro.ir.optimize import PASS_VERSION
 
     digest = hashlib.sha256(
-        f"{exp_id}\n{backend}\npasses-v{PASS_VERSION}\n"
+        f"{exp_id}\n{backend}\nopts[{backend_options_tag()}]\n"
+        f"passes-v{PASS_VERSION}\n"
         f"analysis-v{ANALYZE_VERSION}\n"
         f"{source_fingerprint()}".encode()
     ).hexdigest()
@@ -116,6 +120,38 @@ def _run_one(exp_id: str, backend: str = "analytic") -> dict:
     }
 
 
+def _run_one_text(
+    exp_id: str, backend: str, options: dict | None = None
+) -> tuple[str, float]:
+    """Worker: run one experiment, returning its payload as **serialized
+    JSON** plus the wall seconds it took.
+
+    The text crosses the process boundary exactly once and is what the
+    parent writes to the cache verbatim — the old path pickled the big
+    payload dict back to the parent and then re-serialized it there,
+    paying twice for large DES results.  ``options`` re-installs the
+    parent's backend options (shard counts etc.) in spawned workers.
+    """
+    from repro.ir import set_backend_options
+
+    if options:
+        set_backend_options(**options)
+    start = time.perf_counter()
+    payload = _run_one(exp_id, backend)
+    return json.dumps(payload), time.perf_counter() - start
+
+
+#: per-task timing of the most recent ``run_experiments`` call:
+#: ``[(experiment id, wall seconds, "probe"|"pool"|"serial"|"cache")]``.
+_last_stats: list[tuple[str, float, str]] = []
+
+
+def last_run_stats() -> list[tuple[str, float, str]]:
+    """Per-task wall times of the most recent :func:`run_experiments`
+    call (cache hits report ~0 with source ``"cache"``)."""
+    return list(_last_stats)
+
+
 def resolve_cache_dir(cache_dir: str | os.PathLike | None) -> Path | None:
     """Explicit argument, else the ``REPRO_CACHE_DIR`` environment
     variable, else no caching."""
@@ -145,6 +181,8 @@ def run_experiments(
     from repro.ir import get_backend
 
     get_backend(backend)  # validate the name before any work
+    global _last_stats
+    stats: list[tuple[str, float, str]] = []
     cache = resolve_cache_dir(cache_dir)
     payloads: dict[str, dict] = {}
     missing: list[str] = []
@@ -155,11 +193,14 @@ def run_experiments(
             path = cache / f"{cache_key(exp_id, backend)}.json"
             if path.is_file():
                 payloads[exp_id] = json.loads(path.read_text())
+                stats.append((exp_id, 0.0, "cache"))
                 continue
         missing.append(exp_id)
     if missing:
         from repro.ir import default_backend_name, set_default_backend
+        from repro.ir.backend import _BACKEND_OPTIONS
 
+        options = dict(_BACKEND_OPTIONS)
         # Probe: run the first missing experiment in-process and time it.
         # Worker processes cost O(1 s) each to spawn and re-import; if the
         # measured per-task cost says the remaining work is cheaper than
@@ -167,36 +208,46 @@ def run_experiments(
         # fan-out ran *slower* than --jobs 1 on small suites).
         prev = default_backend_name()
         try:
-            start = time.perf_counter()
-            fresh = [_run_one(missing[0], backend)]
-            per_task = time.perf_counter() - start
+            text, wall = _run_one_text(missing[0], backend)
+            fresh = [text]
+            per_task = wall
         finally:
             set_default_backend(prev)
+        stats.append((missing[0], per_task, "probe"))
         rest = missing[1:]
         if (rest and jobs > 1
                 and per_task * len(rest) >= _pool_min_seconds()):
             workers = min(jobs, len(rest))
             # Chunk instead of one task per process dispatch: amortizes
             # pickling/IPC over len(rest)/workers tasks per round trip.
+            # Workers ship back the serialized text, never the payload
+            # dict, so a large result is serialized exactly once.
             chunksize = max(1, math.ceil(len(rest) / workers))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh += list(pool.map(_run_one, rest,
-                                       [backend] * len(rest),
-                                       chunksize=chunksize))
+                for exp_id, (text, wall) in zip(rest, pool.map(
+                        _run_one_text, rest, [backend] * len(rest),
+                        [options] * len(rest), chunksize=chunksize)):
+                    fresh.append(text)
+                    stats.append((exp_id, wall, "pool"))
         elif rest:
             prev = default_backend_name()
             try:
-                fresh += [_run_one(exp_id, backend) for exp_id in rest]
+                for exp_id in rest:
+                    text, wall = _run_one_text(exp_id, backend)
+                    fresh.append(text)
+                    stats.append((exp_id, wall, "serial"))
             finally:
                 set_default_backend(prev)
-        for exp_id, payload in zip(missing, fresh):
-            payloads[exp_id] = payload
+        for exp_id, text in zip(missing, fresh):
+            payloads[exp_id] = json.loads(text)
             if cache is not None:
                 cache.mkdir(parents=True, exist_ok=True)
                 path = cache / f"{cache_key(exp_id, backend)}.json"
                 tmp = path.with_suffix(".tmp")
-                # Preserve key order: reloaded payloads must serialize
-                # byte-identically to fresh ones.
-                tmp.write_text(json.dumps(payload))
+                # The worker-serialized text is the cache entry verbatim:
+                # reloaded payloads serialize byte-identically to fresh
+                # ones because both come from the same dump.
+                tmp.write_text(text)
                 tmp.replace(path)  # atomic publish; concurrent sweeps race safely
+    _last_stats = stats
     return [payloads[exp_id] for exp_id in exp_ids]

@@ -51,8 +51,11 @@ from repro.ir.backend import (
     BACKENDS,
     Backend,
     RunResult,
+    backend_option,
+    backend_options_tag,
     default_backend_name,
     get_backend,
+    set_backend_options,
     set_default_backend,
 )
 from repro.ir.analytic import AnalyticBackend
@@ -98,6 +101,9 @@ __all__ = [
     "get_backend",
     "default_backend_name",
     "set_default_backend",
+    "set_backend_options",
+    "backend_option",
+    "backend_options_tag",
     "AnalyticBackend",
     "BatchAnalyticBackend",
     "BatchJob",

@@ -35,6 +35,14 @@ BACKENDS: dict[str, type["Backend"]] = {}
 #: name of the process-wide default backend.
 _DEFAULT_BACKEND = "analytic"
 
+#: process-wide backend tuning options (``des_shards``, ``des_workers``,
+#: ``des_granularity``, ``des_hybrid``, ...).  Like the default backend
+#: itself, these steer code that calls ``get_backend(...).run(...)``
+#: without a way to thread per-call kwargs (the harness experiment
+#: registry); they are part of the sweep cache key via
+#: :func:`backend_options_tag`.
+_BACKEND_OPTIONS: dict[str, Any] = {}
+
 
 @dataclass
 class RunResult:
@@ -60,6 +68,8 @@ class RunResult:
     phase_flops_time: dict[str, float] = field(default_factory=dict)
     phase_bytes_time: dict[str, float] = field(default_factory=dict)
     world: "WorldResult | None" = None
+    #: sharded-DES driver accounting (``des`` backend with shards > 1).
+    shard_stats: dict[str, Any] | None = None
 
     @property
     def seconds_per_step(self) -> float:
@@ -163,6 +173,29 @@ def set_default_backend(name: str) -> None:
 
 def default_backend_name() -> str:
     return _DEFAULT_BACKEND
+
+
+def set_backend_options(**options: Any) -> None:
+    """Install process-wide backend options; a ``None`` value clears
+    the key (so ``set_backend_options(des_shards=None)`` resets)."""
+    for key, value in options.items():
+        if value is None:
+            _BACKEND_OPTIONS.pop(key, None)
+        else:
+            _BACKEND_OPTIONS[key] = value
+
+
+def backend_option(name: str, default: Any = None) -> Any:
+    """Read one process-wide backend option."""
+    return _BACKEND_OPTIONS.get(name, default)
+
+
+def backend_options_tag() -> str:
+    """Canonical ``k=v,...`` rendering of the installed options (sorted;
+    empty string when none are set) — cache-key material."""
+    return ",".join(
+        f"{key}={_BACKEND_OPTIONS[key]}" for key in sorted(_BACKEND_OPTIONS)
+    )
 
 
 def _ensure_registered() -> None:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.ir.backend import BACKENDS, Backend, RunResult
+from repro.ir.backend import BACKENDS, Backend, RunResult, backend_option
 from repro.ir.lower import lower
 from repro.ir.program import Program
 from repro.machine.cluster import ClusterModel
@@ -49,6 +49,10 @@ class DESBackend(Backend):
         fault_schedule: Any = None,
         resilience: Any = None,
         optimize: bool = False,
+        shards: int | None = None,
+        shard_workers: int | None = None,
+        shard_granularity: str | None = None,
+        hybrid: bool | None = None,
         **kwargs: Any,
     ) -> RunResult:
         if optimize:
@@ -70,21 +74,79 @@ class DESBackend(Backend):
 
             verify = not static_clean(program, mapping.n_ranks)
         binary = self._binary(program, cluster, binary)
-        world = World(
-            mapping,
-            network=network,
-            trace=trace,
-            fast_collectives=self.fast_collectives,
-            nic_contention=nic_contention,
-            compute_noise=compute_noise,
-            noise_seed=noise_seed,
-            heterogeneity=heterogeneity,
-            fault_schedule=fault_schedule,
-            resilience=resilience,
-            **kwargs,
-        )
-        world_result = world.run(lower(program, mapping, binary),
-                                 verify=verify)
+        if shards is None:
+            shards = int(backend_option("des_shards", 1))
+        if shard_workers is None:
+            shard_workers = int(backend_option("des_workers", 0))
+        if shard_granularity is None:
+            shard_granularity = str(backend_option("des_granularity", "node"))
+        if hybrid is None:
+            hybrid = bool(backend_option("des_hybrid", False))
+        shard_stats = None
+        if shards > 1:
+            # Sharded path: cross-shard traffic forbids the closed-form
+            # collectives (the outbox needs every message), so this is
+            # always the fully simulated exchange.  A requested shard
+            # count is clamped to the partition's unit count so one
+            # `--des-shards` setting works across a whole node-count sweep
+            # (the merged result is byte-identical for any count anyway);
+            # a 1-node point simply falls through to the single engine.
+            units = mapping.n_nodes
+            if shard_granularity == "cmg":
+                units *= len(mapping.cluster.node.domains)
+            shards = min(shards, units)
+        if shards > 1:
+            from repro.des.shard import ShardedSpec, run_sharded
+
+            spec = ShardedSpec(
+                program=program,
+                mapping=mapping,
+                n_shards=shards,
+                granularity=shard_granularity,
+                binary=binary,
+                verify=bool(verify),
+                world_kwargs=dict(
+                    network=network,
+                    trace=trace,
+                    nic_contention=nic_contention,
+                    compute_noise=compute_noise,
+                    noise_seed=noise_seed,
+                    heterogeneity=heterogeneity,
+                    fault_schedule=fault_schedule,
+                    resilience=resilience,
+                    **kwargs,
+                ),
+            )
+            world_result, stats = run_sharded(spec, workers=shard_workers)
+            shard_stats = stats.to_dict()
+        else:
+            # Hybrid fast path: when the static analyzer proves the
+            # program communication-clean (provably bulk-synchronous
+            # phases), big collectives take the fastcoll closed forms —
+            # mid-run, per collective instance, once the fault timeline
+            # is quiet (see World._use_fastcoll).
+            use_hybrid = False
+            if (hybrid and not self.fast_collectives and not nic_contention
+                    and not verify):
+                from repro.ir.analyze import static_clean
+
+                use_hybrid = static_clean(program, mapping.n_ranks)
+            world = World(
+                mapping,
+                network=network,
+                trace=trace,
+                fast_collectives=self.fast_collectives or use_hybrid,
+                hybrid_collectives=use_hybrid,
+                nic_contention=nic_contention,
+                compute_noise=compute_noise,
+                noise_seed=noise_seed,
+                heterogeneity=heterogeneity,
+                fault_schedule=fault_schedule,
+                resilience=resilience,
+                **kwargs,
+            )
+            world_result = world.run(lower(program, mapping, binary),
+                                     verify=verify)
         result = RunResult(
             backend=self.name,
             program=program.name,
@@ -94,6 +156,7 @@ class DESBackend(Backend):
             elapsed=world_result.elapsed,
             steps=program.steps,
             world=world_result,
+            shard_stats=shard_stats,
         )
         for name in program.phase_names():
             result.phase_seconds[name] = world_result.phase_time(

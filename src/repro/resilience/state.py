@@ -71,7 +71,16 @@ class ResilienceState:
         self.report: "DiagnosticReport" = DiagnosticReport(
             title="dynamic faults"
         )
-        self._rank_processes: list["Process"] = []
+        self._rank_processes: dict[int, "Process"] = {}
+        self._expected_ranks = 0
+        #: time of the last transition that changes the *network* (crash,
+        #: degrade, recover) — after it, link timings are constant and the
+        #: hybrid fastcoll gate may take the closed forms.
+        self._network_horizon = max(
+            (ev.at for ev in schedule
+             if isinstance(ev, (NodeCrash, LinkDegrade, LinkRecover))),
+            default=-float("inf"),
+        )
         max_node = schedule.max_node()
         if max_node >= world.mapping.n_nodes:
             from repro.util.errors import ConfigurationError
@@ -89,8 +98,21 @@ class ResilienceState:
         if not self.schedule.is_empty():
             self.world.engine.process(self._injector(), label="fault-injector")
 
-    def attach_processes(self, processes: list["Process"]) -> None:
-        self._rank_processes = processes
+    def attach_processes(
+        self, processes: "list[Process] | dict[int, Process]"
+    ) -> None:
+        """Register the rank processes this state supervises.
+
+        A full world passes the list for ranks 0..n-1; a sharded
+        sub-world passes a dict for its local ranks only — a crash of a
+        node whose ranks live elsewhere then only flips the fault state
+        here, and the owning shard records the rank deaths.
+        """
+        if isinstance(processes, dict):
+            self._rank_processes = dict(processes)
+        else:
+            self._rank_processes = dict(enumerate(processes))
+        self._expected_ranks = len(self._rank_processes)
 
     def supervise(self, rank: int,
                   gen: Generator[Any, Any, Any]) -> Generator[Any, Any, Any]:
@@ -115,9 +137,15 @@ class ResilienceState:
     def elapsed(self, fallback: float) -> float:
         """Last rank completion (normal or failed); the injector's tail
         events must not inflate the reported elapsed time."""
-        if len(self.finish_times) == self.world.mapping.n_ranks:
+        if (self._expected_ranks
+                and len(self.finish_times) == self._expected_ranks):
             return max(self.finish_times.values())
         return fallback
+
+    def network_quiet(self, now: float) -> bool:
+        """True once every network-affecting transition of the schedule
+        is strictly in the past (link timings can no longer change)."""
+        return now > self._network_horizon
 
     # -- queries (used by the robust communicator) --------------------------
 
@@ -222,9 +250,11 @@ class ResilienceState:
         for rank in range(mapping.n_ranks):
             if mapping.node_of(rank) != node:
                 continue
+            proc = self._rank_processes.get(rank)
+            if proc is None:
+                continue  # rank lives in another shard; its owner kills it
             failure = RankFailure(rank=rank, node=node, time=now,
                                   reason=f"node {node} crashed", kind="crash")
-            proc = self._rank_processes[rank]
             if proc.kill(failure):
                 self._record_failure(failure)
                 killed.append(rank)

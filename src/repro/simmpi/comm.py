@@ -245,10 +245,6 @@ class Comm:
         ) else world.network.link.p2p_time(nbytes, 0)
         dst_world = self.world_rank(dest)
         tagged = self._tagged(tag)
-
-        def deliver() -> None:
-            world.channel(dst_world).put(self.rank, tagged, payload)
-
         rendezvous = nbytes > world.eager_threshold
         if t_transfer == math.inf:
             return self._send_unreachable(dst_world, rendezvous)
@@ -257,11 +253,12 @@ class Comm:
             # the sender completes (and the message arrives) when its turn
             # through the port finishes.
             return world.engine.process(
-                self._nic_transfer(src_node, t_transfer, deliver),
+                self._nic_transfer(src_node, t_transfer, dst_world, tagged,
+                                   payload),
                 label=f"nic-send:{self.rank}->{dest}",
             )
-        delivery = world.engine.timeout(t_transfer)
-        delivery.add_callback(lambda _ev: deliver())
+        world.schedule_delivery(dst_world, self.rank, tagged, payload,
+                                t_transfer)
         if not rendezvous:
             return world.engine.timeout(world.send_overhead_s)
         return world.engine.timeout(t_transfer)
@@ -297,12 +294,17 @@ class Comm:
             world.engine.timeout(state.policy.send_timeout).add_callback(_expire)
         return ev
 
-    def _nic_transfer(self, node: int, t_transfer: float, deliver):
+    def _nic_transfer(self, node: int, t_transfer: float, dst_world: int,
+                      tagged: tuple, payload: Any):
+        # Delivery is committed at NIC-grant time (grant + t_transfer)
+        # through the world's delivery seam, so a sharded world sees the
+        # message the moment its timing is decided, not after the fact.
         nic = self.world.nic(node)
         yield nic.acquire()
         try:
+            self.world.schedule_delivery(dst_world, self.rank, tagged,
+                                         payload, t_transfer)
             yield self.world.engine.timeout(t_transfer)
-            deliver()
         finally:
             nic.release()
 
@@ -350,7 +352,7 @@ class Comm:
             return
         start = self.now
         world = self.world
-        if world._use_fastcoll():
+        if world._use_fastcoll(self):
             yield from world.fastcoll.participate(self, "barrier", None, {})
             self._trace(start, "barrier")
             return
@@ -373,7 +375,7 @@ class Comm:
             return payload
         start = self.now
         world = self.world
-        if world._use_fastcoll():
+        if world._use_fastcoll(self):
             data = yield from world.fastcoll.participate(
                 self, "bcast", payload, {"root": root, "size": size}
             )
@@ -417,7 +419,7 @@ class Comm:
         p = self.size
         start = self.now
         world = self.world
-        if p > 1 and world._use_fastcoll():
+        if p > 1 and world._use_fastcoll(self):
             result = yield from world.fastcoll.participate(
                 self, "reduce", payload, {"op": op, "root": root, "size": size}
             )
@@ -453,7 +455,7 @@ class Comm:
             return payload
         start = self.now
         world = self.world
-        if world._use_fastcoll():
+        if world._use_fastcoll(self):
             result = yield from world.fastcoll.participate(
                 self, "allreduce", payload, {"op": op, "size": size}
             )
@@ -517,7 +519,7 @@ class Comm:
             return [payload]
         start = self.now
         world = self.world
-        if world._use_fastcoll():
+        if world._use_fastcoll(self):
             blocks = yield from world.fastcoll.participate(
                 self, "allgather", payload, {"size": size}
             )
@@ -556,7 +558,7 @@ class Comm:
         )
         start = self.now
         world = self.world
-        if p > 1 and world._use_fastcoll():
+        if p > 1 and world._use_fastcoll(self):
             received = yield from world.fastcoll.participate(
                 self, "alltoall", payloads, {"size": size}
             )
@@ -636,7 +638,7 @@ class Comm:
             seconds = max(t_flops, t_bytes)
         if seconds < 0:
             raise ConfigurationError("compute time must be non-negative")
-        seconds *= self.world.noise_factor()
+        seconds *= self.world.noise_factor(self.world_rank(self.rank))
         seconds *= self.world.compute_slowdown(self.world_rank(self.rank))
         if seconds > 0:
             yield self.world.engine.timeout(seconds)

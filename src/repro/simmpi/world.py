@@ -89,6 +89,7 @@ class World:
         send_overhead_s: float = 0.2e-6,
         trace: bool | str = True,
         fast_collectives: bool = False,
+        hybrid_collectives: bool = False,
         nic_contention: bool = False,
         compute_noise: float = 0.0,
         noise_seed: int = 0,
@@ -118,7 +119,13 @@ class World:
         #: ``run(verify=True)`` and NIC-contention worlds always take the
         #: fully simulated path.
         self.fast_collectives = fast_collectives
+        #: with a fault schedule attached, allow closed-form collectives
+        #: once the fault timeline is exhausted (see ``_use_fastcoll``).
+        self.hybrid_collectives = hybrid_collectives
         self._fastcoll = None
+        #: per-collective-instance fastcoll decisions of the hybrid gate:
+        #: (comm_id, coll_seq) -> [decision, ranks seen].
+        self._hybrid_gate: dict[tuple[int, int], list] = {}
         self._channels: dict[int, Channel] = {}
         self._comm_ids: dict[tuple, int] = {}
         #: serialize rendezvous injections per node (real NICs do).
@@ -129,7 +136,11 @@ class World:
             raise ConfigurationError("compute_noise must be in [0, 1)")
         self.compute_noise = compute_noise
         self._noise_seed = noise_seed
-        self._noise_draws = 0
+        #: per-rank draw counters: rank r's k-th compute phase always sees
+        #: the same jitter regardless of how ranks interleave in the
+        #: calendar — which is what lets a sharded run (repro.des.shard)
+        #: reproduce an unsharded one bit-exactly under noise.
+        self._noise_draws: dict[int, int] = {}
         #: optional per-node/core performance deviations
         #: (:class:`repro.bench.variability.HeterogeneityModel`).
         self.heterogeneity = heterogeneity
@@ -150,19 +161,45 @@ class World:
                 resilience if resilience is not None else ResiliencePolicy(),
             )
 
-    def _use_fastcoll(self) -> bool:
+    def _use_fastcoll(self, comm: "Comm | None" = None) -> bool:
         """Analytic collectives apply only when nothing observes or
         perturbs the full per-message schedule: no verify recorder, no NIC
         contention model, no dynamic fault schedule (fault factors may
         change *during* a collective), and no statically dead link (the
-        closed forms cannot represent an unreachable pair)."""
-        return (
-            self.fast_collectives
-            and self.recorder is None
-            and not self.nic_contention
-            and self.resilience is None
-            and not self.network.faults.has_unreachable()
-        )
+        closed forms cannot represent an unreachable pair).
+
+        With ``hybrid_collectives`` a world *with* a fault schedule takes
+        the closed forms for collectives that provably run on a constant
+        fabric: once the schedule's last network transition has passed
+        (and nothing is unreachable or dead), every later collective is
+        exact under the closed forms.  The decision must be identical on
+        every rank of one collective instance — ranks straddling the
+        boundary would half-simulate, half-shortcut the same collective
+        and deadlock — so the *first arriver* decides per (comm_id,
+        coll_seq) and the rest follow.
+        """
+        if (not self.fast_collectives or self.recorder is not None
+                or self.nic_contention):
+            return False
+        state = self.resilience
+        if state is None:
+            return not self.network.faults.has_unreachable()
+        if not self.hybrid_collectives or comm is None:
+            return False
+        key = (comm._comm_id, comm._coll_seq)
+        entry = self._hybrid_gate.get(key)
+        if entry is None:
+            decision = (
+                state.network_quiet(self.engine.now)
+                and not state.failed_ranks
+                and not self.network.faults.has_unreachable()
+            )
+            entry = [decision, 0]
+            self._hybrid_gate[key] = entry
+        entry[1] += 1
+        if entry[1] >= comm.size:
+            del self._hybrid_gate[key]
+        return bool(entry[0])
 
     @property
     def fastcoll(self):
@@ -192,14 +229,22 @@ class World:
             self._nics[node] = res
         return res
 
-    def noise_factor(self) -> float:
-        """Deterministic multiplicative jitter for one compute phase."""
+    def noise_factor(self, rank: int) -> float:
+        """Deterministic multiplicative jitter for one compute phase.
+
+        Draw counters are per *rank*: the k-th compute of rank r sees
+        jitter ``rng(seed, "noise", r, k)`` independent of how the ranks
+        happen to interleave on the calendar, so any execution that
+        preserves each rank's own op order (sharded included) reproduces
+        the same perturbations.
+        """
         if self.compute_noise == 0.0:
             return 1.0
         from repro.util.rng import make_rng
 
-        self._noise_draws += 1
-        rng = make_rng(self._noise_seed, "noise", self._noise_draws)
+        draw = self._noise_draws.get(rank, 0) + 1
+        self._noise_draws[rank] = draw
+        rng = make_rng(self._noise_seed, "noise", rank, draw)
         return 1.0 + self.compute_noise * float(rng.random())
 
     def comm_id_for(self, key: tuple) -> int:
@@ -221,6 +266,32 @@ class World:
 
     def comm(self, rank: int) -> Comm:
         return Comm(self, rank)
+
+    def schedule_delivery(
+        self,
+        dst_rank: int,
+        src_comm_rank: int,
+        key: tuple,
+        payload: Any,
+        t_transfer: float,
+    ) -> None:
+        """Schedule a message to land in ``dst_rank``'s mailbox after
+        ``t_transfer`` seconds.
+
+        This is the single seam through which every simulated message
+        reaches its destination (``Comm._isend`` and the NIC-contention
+        path both call it) — and therefore the one method a sharded
+        sub-world (:class:`repro.des.shard.subworld.ShardWorld`) overrides
+        to divert cross-shard deliveries into its outbox *at send time*,
+        when the delivery is still guaranteed to be at least one lookahead
+        in the future.  ``src_comm_rank`` is the sender's rank *within the
+        sending communicator* (channel matching is by communicator-local
+        source).
+        """
+        delivery = self.engine.timeout(t_transfer)
+        delivery.add_callback(
+            lambda _ev: self.channel(dst_rank).put(src_comm_rank, key, payload)
+        )
 
     def run(
         self,

@@ -112,3 +112,71 @@ class TestCli:
 
     def test_unknown_experiment_rejected(self, capsys):
         assert main(["run", "no_such_experiment"]) == 2
+
+
+class _Echo:
+    """Trivial persistent-pool handler: returns what it is sent."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def handle(self, msg):
+        if msg == "boom":
+            raise ValueError("exploding handler")
+        return (self.tag, msg)
+
+
+def _make_echo(init):
+    return _Echo(init)
+
+
+class TestPersistentPool:
+    def test_call_all_routes_by_worker(self):
+        from repro.harness.procpool import PersistentPool
+
+        with PersistentPool(_make_echo, ["a", "b"]) as pool:
+            assert pool.call_all([1, 2]) == [("a", 1), ("b", 2)]
+            assert pool.call_all([3, 4]) == [("a", 3), ("b", 4)]
+            # Worker-side wall time is recorded per completed call.
+            assert len(pool.call_walls[0]) == 2
+            assert all(w >= 0.0 for w in pool.call_walls[0])
+
+    def test_worker_exception_reraised_in_parent(self):
+        from repro.harness.procpool import PersistentPool
+
+        pool = PersistentPool(_make_echo, ["a", "b"])
+        with pytest.raises(ValueError, match="exploding"):
+            pool.call_all(["boom", 1])
+
+    def test_message_count_must_match_workers(self):
+        from repro.harness.procpool import PersistentPool
+
+        with PersistentPool(_make_echo, ["a"]) as pool:
+            with pytest.raises(ValueError):
+                pool.call_all([1, 2])
+
+
+class TestRunStats:
+    def test_per_task_wall_times_surface(self, tmp_path):
+        from repro.harness.parallel import last_run_stats
+
+        run_experiments(_IDS[:2], jobs=1, cache_dir=tmp_path)
+        stats = last_run_stats()
+        assert [s[0] for s in stats] == _IDS[:2]
+        assert stats[0][2] == "probe"
+        assert stats[1][2] == "serial"
+        assert all(s[1] >= 0.0 for s in stats)
+        # Second sweep is served from cache; the stats say so.
+        run_experiments(_IDS[:2], jobs=1, cache_dir=tmp_path)
+        assert [s[2] for s in last_run_stats()] == ["cache", "cache"]
+
+    def test_cache_key_depends_on_backend_options(self):
+        from repro.ir import set_backend_options
+
+        key = cache_key(_IDS[0], "des")
+        set_backend_options(des_shards=8)
+        try:
+            assert cache_key(_IDS[0], "des") != key
+        finally:
+            set_backend_options(des_shards=None)
+        assert cache_key(_IDS[0], "des") == key
