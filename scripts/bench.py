@@ -9,7 +9,10 @@ Covers the layers the perf work targets:
 * batched tape evaluation vs the scalar analytic per-point loop over
   every app scaling sweep (points/second each, asserted identical);
 * the full figure/table experiment suite — serial, with ``--jobs N``
-  worker processes, and a cached re-run through the on-disk result cache.
+  worker processes, and a cached re-run through the on-disk result cache;
+* the capacity-planning service under seeded open-loop traffic — latency
+  percentiles, throughput, the saturation sweep, and the bit-exactness
+  audit (also written standalone as ``BENCH_service.json``).
 
 Numbers are wall-clock on the current host; the parallel speedup scales
 with available cores (a single-core container shows the fan-out overhead,
@@ -363,6 +366,18 @@ def bench_figure_suite(jobs: int) -> dict:
     }
 
 
+def bench_service_loadtest(quick: bool, out_dir: Path) -> dict:
+    """The capacity-planning service under seeded open-loop traffic
+    (docs/SERVICE.md): latency percentiles, throughput, the quota-free
+    saturation sweep, and the bit-exactness audit.  Also written
+    standalone as BENCH_service.json next to the main report."""
+    from repro.service.traffic import loadtest_bench, write_bench
+
+    payload = loadtest_bench(quick=quick)
+    write_bench(payload, out_dir / "BENCH_service.json")
+    return payload
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=None, metavar="FILE",
@@ -378,6 +393,9 @@ def main(argv: list[str] | None = None) -> int:
     events = 20_000 if args.quick else 100_000
     iterations = 5 if args.quick else 20
 
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+    )
     report = {
         "des_engine": bench_des_engine(reps, events),
         "allreduce_64_ranks": bench_allreduce(reps, iterations),
@@ -386,10 +404,8 @@ def main(argv: list[str] | None = None) -> int:
         "batched_figure_suite": bench_batched_suite(max(1, reps // 2)),
         "des_sharded": bench_des_sharded(args.quick),
         "figure_suite": bench_figure_suite(args.jobs),
+        "service_loadtest": bench_service_loadtest(args.quick, out.parent),
     }
-    out = Path(args.out) if args.out else (
-        Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
-    )
     out.write_text(json.dumps(report, indent=2) + "\n")
     des = report["des_engine"]
     coll = report["allreduce_64_ranks"]
@@ -434,7 +450,20 @@ def main(argv: list[str] | None = None) -> int:
           f"({suite['parallel_speedup']:.2f}x on {suite['cpu_count']} cpu), "
           f"cached rerun {suite['cached_rerun_seconds']:.2f}s "
           f"({suite['cached_speedup']:.1f}x)")
-    print(f"wrote {out}")
+    svc = report["service_loadtest"]
+    svc_load = svc["loadtest"]
+    svc_sat = svc["saturation"]
+    audit = svc["bit_exact_vs_run_batch"]
+    sat_txt = (f"saturation {svc_sat['saturation_rps']:,.0f} q/s"
+               if svc_sat["saturation_rps"] is not None
+               else f"sustained {svc_sat['max_sustained_rps']:,.0f} q/s "
+               f"(saturation not reached)")
+    audit_txt = (f"bit-exact {audit['checked']}/{audit['checked']}"
+                 if audit["identical"] else "BIT-EXACTNESS AUDIT FAILED")
+    print(f"service:      {svc_load['offered']} queries, "
+          f"{svc_load['throughput_rps']:,.0f} q/s, p50 "
+          f"{svc_load['latency_ms']['p50']:.1f} ms, p99 "
+          f"{svc_load['latency_ms']['p99']:.1f} ms, {sat_txt}, {audit_txt}")
     return 0
 
 

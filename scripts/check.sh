@@ -191,6 +191,35 @@ EOF
             status=1
         fi
     done
+    echo "== service smoke (HTTP + bit-exactness) =="
+    if ! PYTHONPATH=src python - <<'EOF'
+"""Boot a real HTTP server, drive ~50 seeded mixed queries through the
+open-loop generator, and hold the SERVICE.md guarantees: accounting
+sanity and byte-identity with a direct run_batch pass."""
+from repro.service import (
+    CapacityService, ServiceConfig, ServiceServer, TrafficConfig,
+    run_loadtest, verify_bit_exactness,
+)
+
+config = TrafficConfig(stages=((0.5, 100.0),), seed=3)
+service_config = ServiceConfig(quota_rate=1e6, quota_burst=1e6)
+with ServiceServer(CapacityService(service_config)) as server:
+    report, samples = run_loadtest(
+        config, url=server.url, keep_bodies=True, time_compression=10.0)
+assert report.offered >= 30, f"schedule too small: {report.offered}"
+assert report.offered == report.completed + report.rejected + report.errors
+assert report.errors == 0, f"unexpected errors: {report.per_status}"
+assert report.rejected == 0, "quota should be wide open in the smoke"
+assert report.latency_ms["p50"] <= report.latency_ms["p99"]
+with CapacityService(service_config) as reference:
+    audit = verify_bit_exactness(samples, reference)
+assert audit["checked"] >= 30 and audit["identical"], audit
+print(f"served {report.offered} queries over HTTP; "
+      f"{audit['checked']} bodies bit-identical to direct run_batch")
+EOF
+    then
+        status=1
+    fi
     echo "== resilience smoke =="
     if ! PYTHONPATH=src python -m repro.harness.cli resilience \
             --nodes 4 --intensity 1 --steps 5 --json >/dev/null; then

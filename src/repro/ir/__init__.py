@@ -59,7 +59,15 @@ from repro.ir.backend import (
     set_default_backend,
 )
 from repro.ir.analytic import AnalyticBackend
-from repro.ir.batch import BatchAnalyticBackend, BatchJob, Tape, compile_tape
+from repro.ir.batch import (
+    BatchAnalyticBackend,
+    BatchJob,
+    Tape,
+    TapeCache,
+    compile_tape,
+    set_tape_budget,
+    tape_cache_stats,
+)
 from repro.ir.desbackend import DESBackend, FastCollBackend
 from repro.ir.lower import grid_dims, grid_neighbors, lower
 from repro.ir.optimize import (
@@ -108,6 +116,9 @@ __all__ = [
     "BatchAnalyticBackend",
     "BatchJob",
     "Tape",
+    "TapeCache",
+    "set_tape_budget",
+    "tape_cache_stats",
     "compile_tape",
     "FastCollBackend",
     "DESBackend",

@@ -40,8 +40,9 @@ from __future__ import annotations
 
 import hashlib
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Any, Sequence
 
 import numpy as np
@@ -61,11 +62,14 @@ __all__ = [
     "BatchAnalyticBackend",
     "BatchJob",
     "Tape",
+    "TapeCache",
     "binary_fingerprint",
     "clear_caches",
     "cluster_fingerprint",
     "compile_tape",
+    "set_tape_budget",
     "shared_batch_backend",
+    "tape_cache_stats",
 ]
 
 #: model-parameter override knobs a :class:`BatchJob` accepts.  Each is a
@@ -137,6 +141,14 @@ class Tape:
     def n_occurrences(self) -> int:
         return len(self.occ_names)
 
+    @property
+    def nbytes(self) -> int:
+        """Resident-size estimate: the numpy columns plus a repr-length
+        proxy for the Python-side structure tuples.  Deterministic for a
+        given program, so eviction decisions are reproducible."""
+        return (sum(a.nbytes for a in self.cols.values())
+                + self.occ_mult.nbytes + len(repr(self.structure)))
+
 
 def _rows_by_occurrence(rows: tuple[tuple, ...],
                         n_occ: int) -> tuple[tuple[int, ...], ...]:
@@ -146,9 +158,119 @@ def _rows_by_occurrence(rows: tuple[tuple, ...],
     return tuple(tuple(r) for r in by_occ)
 
 
-@lru_cache(maxsize=1024)
+class TapeCache:
+    """Warm-tape store: an LRU over compiled tapes bounded by **both** an
+    entry count and an optional resident-byte budget.
+
+    This is the serving layer's eviction seam (ISSUE 8): a long-running
+    :class:`repro.service.CapacityService` keeps tapes warm across
+    requests but must bound resident memory.  Eviction is safe by
+    construction — :func:`compile_tape` is a pure function of the
+    program, so a cold recompute is bit-identical to a warm hit (pinned
+    by ``tests/test_service.py``).  Thread-safe; the budget counts
+    :attr:`Tape.nbytes` of every resident tape.
+    """
+
+    def __init__(self, max_entries: int = 1024,
+                 budget_bytes: int | None = None) -> None:
+        self._max_entries = max_entries
+        self._budget_bytes = budget_bytes
+        self._lock = threading.Lock()
+        self._tapes: OrderedDict[Program, Tape] = OrderedDict()
+        self._resident = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, program: Program) -> Tape:
+        with self._lock:
+            tape = self._tapes.get(program)
+            if tape is not None:
+                self.hits += 1
+                self._tapes.move_to_end(program)
+                return tape
+        built = _compile_tape(program)
+        with self._lock:
+            tape = self._tapes.get(program)
+            if tape is not None:  # raced compile: keep the resident one
+                self.hits += 1
+                self._tapes.move_to_end(program)
+                return tape
+            self.misses += 1
+            self._tapes[program] = built
+            self._resident += built.nbytes
+            self._evict_over_budget()
+            return built
+
+    def _evict_over_budget(self) -> None:
+        """Drop least-recently-used tapes until within bounds (the
+        newest entry always stays so oversized tapes still serve)."""
+        while len(self._tapes) > 1 and (
+            len(self._tapes) > self._max_entries
+            or (self._budget_bytes is not None
+                and self._resident > self._budget_bytes)
+        ):
+            _, victim = self._tapes.popitem(last=False)
+            self._resident -= victim.nbytes
+            self.evictions += 1
+
+    def set_budget(self, budget_bytes: int | None) -> None:
+        """Re-size the byte budget (``None`` = unbounded) and evict down
+        to it immediately."""
+        with self._lock:
+            self._budget_bytes = budget_bytes
+            self._evict_over_budget()
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident
+
+    @property
+    def budget_bytes(self) -> int | None:
+        return self._budget_bytes
+
+    def __len__(self) -> int:
+        return len(self._tapes)
+
+    def stats(self) -> dict[str, int | None]:
+        with self._lock:
+            return {
+                "entries": len(self._tapes),
+                "resident_bytes": self._resident,
+                "budget_bytes": self._budget_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._tapes.clear()
+            self._resident = 0
+            self.hits = self.misses = self.evictions = 0
+
+
+_TAPES = TapeCache()
+
+
 def compile_tape(program: Program) -> Tape:
-    """Flatten ``program`` into a :class:`Tape` (cached per Program)."""
+    """Flatten ``program`` into a :class:`Tape` (cached per Program in
+    the process-wide :class:`TapeCache`; see :func:`set_tape_budget`)."""
+    return _TAPES.get(program)
+
+
+def set_tape_budget(budget_bytes: int | None) -> None:
+    """Bound the resident bytes of warm compiled tapes (``None`` lifts
+    the bound).  Evicts least-recently-used tapes immediately."""
+    _TAPES.set_budget(budget_bytes)
+
+
+def tape_cache_stats() -> dict[str, int | None]:
+    """Entry/byte/hit/miss/eviction counters of the warm-tape store."""
+    return _TAPES.stats()
+
+
+def _compile_tape(program: Program) -> Tape:
     names: list[str] = []
     name_idx: dict[str, int] = {}
     occ_names: list[int] = []
@@ -254,7 +376,7 @@ def clear_caches() -> None:
     _BINARIES.clear()
     _RESULT_MEMO.clear()
     _BATCH_CACHE.clear()
-    compile_tape.cache_clear()
+    _TAPES.clear()
     import sys
 
     apps_base = sys.modules.get("repro.apps.base")
