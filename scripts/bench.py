@@ -366,6 +366,77 @@ def bench_figure_suite(jobs: int) -> dict:
     }
 
 
+def bench_ecm_pricing(quick: bool) -> dict:
+    """Roofline vs ECM pricing cost and separation on the kernel benches.
+
+    Prices the spmv/qcd node sweep on both paper clusters under each
+    registered pricing model (scalar analytic path) and re-prices one
+    point through the batched backend under ECM, asserting scalar and
+    batched agree bit-for-bit — the model-identity-in-cache-key
+    regression this row exists to catch.
+    """
+    from repro.bench.qcd import ir_program as qcd_ir
+    from repro.bench.qcd import pricing_points as qcd_points
+    from repro.bench.spmv import ir_program as spmv_ir
+    from repro.bench.spmv import pricing_points as spmv_points
+    from repro.ir import BatchAnalyticBackend
+    from repro.ir.analytic import AnalyticBackend
+    from repro.machine import cte_arm, marenostrum4
+
+    clusters = [cte_arm(192), marenostrum4(192)]
+    nodes = [1, 4, 16] if quick else [1, 2, 4, 8, 16, 32, 64]
+    t0 = time.perf_counter()
+    rows = []
+    for fn in (spmv_points, qcd_points):
+        for cluster in clusters:
+            for n in nodes:
+                roof, ecm = fn(cluster, n)
+                assert ecm.seconds >= roof.seconds, \
+                    "ECM must never price below the roofline"
+                rows.append({
+                    "bench": roof.bench, "cluster": roof.cluster,
+                    "n_nodes": n, "roofline_seconds": roof.seconds,
+                    "ecm_seconds": ecm.seconds,
+                    "ratio": ecm.seconds / roof.seconds,
+                })
+    wall = time.perf_counter() - t0
+    cluster = clusters[0]
+    for builder in (spmv_ir, qcd_ir):
+        program = builder(cluster, 16)
+        scalar = AnalyticBackend().run(program, cluster, 16,
+                                       check_memory=False, pricing="ecm")
+        batched = BatchAnalyticBackend().run(program, cluster, 16,
+                                             check_memory=False,
+                                             pricing="ecm")
+        assert batched.elapsed == scalar.elapsed, \
+            "batched ECM pricing must match scalar bit-for-bit"
+    return {
+        "points": len(rows),
+        "wall_seconds": wall,
+        "points_per_second": len(rows) / wall,
+        "max_ecm_over_roofline": max(r["ratio"] for r in rows),
+        "rows": rows,
+    }
+
+
+def bench_thunderx2_figure(quick: bool) -> dict:
+    """Wall cost of the ThunderX2 energy figure (ext_thunderx2_energy)
+    plus its headline numbers — exercises the registry-driven preset and
+    power-model resolution end to end."""
+    import repro.harness  # noqa: F401  (populate the experiment registry)
+    from repro.harness.experiment import run_experiment
+
+    reps = 1 if quick else 3
+    wall = best_of(lambda: run_experiment("ext_thunderx2_energy"), reps)
+    result = run_experiment("ext_thunderx2_energy")
+    return {
+        "experiment": "ext_thunderx2_energy",
+        "wall_seconds": wall,
+        "all_hold": all(e.holds for e in result.expectations),
+        "expectations": [e.render() for e in result.expectations],
+    }
+
+
 def bench_service_loadtest(quick: bool, out_dir: Path) -> dict:
     """The capacity-planning service under seeded open-loop traffic
     (docs/SERVICE.md): latency percentiles, throughput, the quota-free
@@ -403,6 +474,8 @@ def main(argv: list[str] | None = None) -> int:
         "ir_optimize": bench_ir_optimize(reps),
         "batched_figure_suite": bench_batched_suite(max(1, reps // 2)),
         "des_sharded": bench_des_sharded(args.quick),
+        "ecm_pricing": bench_ecm_pricing(args.quick),
+        "thunderx2_figure": bench_thunderx2_figure(args.quick),
         "figure_suite": bench_figure_suite(args.jobs),
         "service_loadtest": bench_service_loadtest(args.quick, out.parent),
     }
@@ -445,6 +518,14 @@ def main(argv: list[str] | None = None) -> int:
         line += (f"; 9216-rank smoke {smoke['wall_seconds']:.1f}s, "
                  f"gap vs analytic {smoke['relative_gap_vs_analytic']:.3%}")
     print(line)
+    ecm = report["ecm_pricing"]
+    print(f"ECM pricing:  {ecm['points']} points in "
+          f"{ecm['wall_seconds']:.3f}s "
+          f"({ecm['points_per_second']:,.0f} pts/s, max ECM/roofline "
+          f"{ecm['max_ecm_over_roofline']:.2f}x, batched bit-exact)")
+    tx2 = report["thunderx2_figure"]
+    print(f"ThunderX2:    energy figure {tx2['wall_seconds']:.3f}s, "
+          f"expectations {'hold' if tx2['all_hold'] else 'FAIL'}")
     print(f"figure suite: serial {suite['serial_seconds']:.2f}s, "
           f"--jobs {suite['jobs']} {suite['parallel_seconds']:.2f}s "
           f"({suite['parallel_speedup']:.2f}x on {suite['cpu_count']} cpu), "

@@ -191,6 +191,53 @@ EOF
             status=1
         fi
     done
+    echo "== ECM figure-suite smoke (batch backend, cold == warm) =="
+    if ! PYTHONPATH=src python - <<'EOF'
+"""Run a figure-suite slice under the batch backend with ECM pricing
+twice against a fresh cache: the warm pass must be served entirely from
+cache and byte-identical, and the cache keys must differ from the
+roofline keys — the model-identity-in-cache-key acceptance check."""
+import tempfile
+from repro.harness.parallel import cache_key, last_run_stats, run_experiments
+
+exp_ids = ["fig6_linpack", "fig11_nemo", "ext_ecm_kernels"]
+for exp_id in exp_ids:
+    assert cache_key(exp_id, "batch", "ecm") != cache_key(exp_id, "batch", "roofline"), \
+        f"pricing model must be part of the cache key ({exp_id})"
+with tempfile.TemporaryDirectory() as cache:
+    cold = run_experiments(exp_ids, cache_dir=cache,
+                           backend="batch", pricing="ecm")
+    warm = run_experiments(exp_ids, cache_dir=cache,
+                           backend="batch", pricing="ecm")
+    sources = {exp: src for exp, _, src in last_run_stats()}
+    assert all(src == "cache" for src in sources.values()), sources
+assert warm == cold, "warm ECM batch pass must be byte-identical to cold"
+print(f"ECM batch suite OK: {len(exp_ids)} experiments, cold == warm, "
+      "pricing in cache key")
+EOF
+    then
+        status=1
+    fi
+    echo "== EXPERIMENTS.md byte-identity audit =="
+    if ! PYTHONPATH=src python - <<'EOF'
+"""The committed EXPERIMENTS.md must be byte-identical to a fresh render
+under the default (roofline) pricing — the historical-output guarantee
+the pluggable pricing layer is required to preserve."""
+from pathlib import Path
+from repro.harness.cli import _render_experiments_md
+
+committed = Path("EXPERIMENTS.md").read_text()
+fresh = _render_experiments_md() + "\n"  # the CLI prints a trailing newline
+assert fresh == committed, (
+    "EXPERIMENTS.md drifted from a fresh default-pricing render; "
+    "regenerate with: PYTHONPATH=src python -m repro.harness.cli "
+    "experiments-md > EXPERIMENTS.md")
+print(f"EXPERIMENTS.md byte-identical under default pricing "
+      f"({len(committed)} bytes)")
+EOF
+    then
+        status=1
+    fi
     echo "== service smoke (HTTP + bit-exactness) =="
     if ! PYTHONPATH=src python - <<'EOF'
 """Boot a real HTTP server, drive ~50 seeded mixed queries through the

@@ -411,6 +411,7 @@ class AppModel(abc.ABC):
         memo_key = None
         if batched is not None:
             from repro.ir.batch import binary_fingerprint, cluster_fingerprint
+            from repro.machine.models import default_pricing_name
 
             if binary is None:
                 binary = self.build(cluster)
@@ -423,6 +424,7 @@ class AppModel(abc.ABC):
                 self.distributed_bytes_total,
                 cluster_fingerprint(cluster),
                 binary_fingerprint(binary),
+                default_pricing_name(),
                 tuple(n for n in nodes if n <= cluster.n_nodes),
             )
             hit = _SWEEP_MEMO.get(memo_key)

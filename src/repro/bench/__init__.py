@@ -8,7 +8,9 @@ corresponding figure/table:
 * :mod:`repro.bench.stream_bench` — Figs. 2-3 + Table II (STREAM);
 * :mod:`repro.bench.osu` — Figs. 4-5 (network point-to-point campaigns);
 * :mod:`repro.bench.linpack` — Fig. 6 (HPL scalability);
-* :mod:`repro.bench.hpcg` — Fig. 7 (HPCG vanilla/optimized).
+* :mod:`repro.bench.hpcg` — Fig. 7 (HPCG vanilla/optimized);
+* :mod:`repro.bench.spmv` / :mod:`repro.bench.qcd` — extension kernels
+  (CSR SpMV, Wilson-Dslash) priced under both machine models.
 """
 
 from repro.bench.fpu_ukernel import FPUResult, run_fpu_ukernel, fig1_data
@@ -27,6 +29,9 @@ from repro.bench.osu import (
 )
 from repro.bench.linpack import LinpackPoint, linpack_scaling, fig6_data
 from repro.bench.hpcg import HPCGPoint, hpcg_points, fig7_data
+from repro.bench.spmv import KernelPricing
+from repro.bench.spmv import pricing_points as spmv_pricing_points
+from repro.bench.qcd import pricing_points as qcd_pricing_points
 
 __all__ = [
     "FPUResult",
@@ -47,4 +52,7 @@ __all__ = [
     "HPCGPoint",
     "hpcg_points",
     "fig7_data",
+    "KernelPricing",
+    "spmv_pricing_points",
+    "qcd_pricing_points",
 ]

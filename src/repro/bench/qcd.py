@@ -1,0 +1,125 @@
+"""Lattice-QCD Wilson-Dslash benchmark (extension; stencil showcase).
+
+The hopping term of the Wilson fermion action: for every site of a local
+4-D lattice, accumulate the 8 neighboring spinors (4 directions x
+forward/backward), each multiplied by an SU(3) gauge link — the
+stencil-heavy kernel QCD machines like Fugaku's predecessors were
+designed around, and a natural A64FX workload (the paper's cluster is
+built from the same CPU).
+
+Per site the operator costs :data:`DSLASH_FLOPS_PER_SITE` flops and,
+without inter-site reuse, :data:`DSLASH_BYTES_PER_SITE` bytes: 8 gauge
+links (3x3 complex doubles) plus 8 neighbor spinors in, one spinor out.
+Caches capture part of the neighbor reuse, which is exactly the traffic
+the ECM pricing models on top of the roofline memory arm — together
+with :mod:`repro.bench.spmv` this is the figure pair behind
+``docs/MODELING.md``'s pricing section.
+
+The 4-D halo is declared with 8 neighbors; the DES lowering folds it
+onto its 3-D process grid (the documented ``_halo_ndims`` rule), which
+is honest for the time-extent-undecomposed layouts common in practice.
+"""
+
+from __future__ import annotations
+
+from repro.bench.spmv import KernelPricing
+from repro.machine.cluster import ClusterModel
+from repro.util.errors import ConfigurationError
+
+#: local lattice per rank (x, y, z, t) — weak scaling, 32k sites.
+LOCAL_LATTICE = (16, 16, 16, 8)
+
+#: flops per lattice site of the even-odd Wilson-Dslash operator
+#: (8 SU(3) matrix-vector products + spinor projections/accumulation).
+DSLASH_FLOPS_PER_SITE = 1320.0
+
+#: main-memory bytes per site without inter-site cache reuse: 8 gauge
+#: links x 144 B + 8 neighbor spinors x 192 B in... of which caches
+#: retain the shared-neighbor half; what main memory actually sees is
+#: the gauge field once plus ~2 spinors per site.
+DSLASH_BYTES_PER_SITE = 1536.0
+
+#: fraction of vector peak the fused link-multiply sustains (complex
+#: arithmetic vectorizes well; the shuffle overhead costs the rest).
+DSLASH_CORE_EFFICIENCY = 0.18
+
+
+def lattice_sites(lattice: tuple[int, int, int, int] | None = None) -> int:
+    nx, ny, nz, nt = lattice if lattice is not None else LOCAL_LATTICE
+    return nx * ny * nz * nt
+
+
+def dslash_rate_per_core(cluster: ClusterModel) -> float:
+    """Explicit per-core flop rate of the Dslash inner loop."""
+    node = cluster.node
+    return node.peak_flops / node.cores * DSLASH_CORE_EFFICIENCY
+
+
+def ir_program(
+    cluster: ClusterModel,
+    n_nodes: int,
+    *,
+    iterations: int = 1,
+    lattice: tuple[int, int, int, int] | None = None,
+):
+    """One Dslash application (repeated) as engine-agnostic IR.
+
+    Per iteration and rank: the Wilson-Dslash sweep over the local
+    lattice at the explicit stencil rate, the 4-D (8-neighbor) spinor
+    halo exchange, and the two CG dot-product allreduces.
+    """
+    from repro.ir import CommOp, ComputeOp, Loop, Phase, Program
+    from repro.toolchain.kernels import KernelClass
+
+    if iterations < 1:
+        raise ConfigurationError("qcd needs at least one iteration")
+    nx, ny, nz, nt = lattice if lattice is not None else LOCAL_LATTICE
+    sites = nx * ny * nz * nt
+    ranks_per_node = cluster.node.cores
+    n_ranks = n_nodes * ranks_per_node
+    flops = float(n_ranks) * sites * DSLASH_FLOPS_PER_SITE
+    bytes_moved = float(n_ranks) * sites * DSLASH_BYTES_PER_SITE
+    # one spinor (192 B) per boundary site of the largest face
+    face_bytes = 192 * ny * nz
+    return Program(
+        name="qcd-dslash",
+        body=(Loop(iterations, (Phase("dslash", (
+            ComputeOp(kernel=KernelClass.STENCIL, flops=flops,
+                      bytes_moved=bytes_moved,
+                      rate_per_core=dslash_rate_per_core(cluster),
+                      label="wilson-dslash"),
+            CommOp("halo", face_bytes, neighbors=8),
+            CommOp("allreduce", 8, count=2),
+        )),)),),
+        steps=iterations,
+        ranks_per_node=ranks_per_node,
+        threads_per_rank=1,
+        language="c",
+        kernels=(KernelClass.STENCIL,),
+    )
+
+
+def pricing_points(
+    cluster: ClusterModel,
+    n_nodes: int,
+    *,
+    models: tuple[str, ...] = ("roofline", "ecm"),
+    iterations: int = 1,
+) -> list[KernelPricing]:
+    """Price the bench under each requested machine model."""
+    from repro.ir.analytic import AnalyticBackend
+
+    program = ir_program(cluster, n_nodes, iterations=iterations)
+    engine = AnalyticBackend()
+    out = []
+    for name in models:
+        result = engine.run(program, cluster, n_nodes,
+                            check_memory=False, pricing=name)
+        flops = (n_nodes * cluster.node.cores * lattice_sites()
+                 * DSLASH_FLOPS_PER_SITE * iterations)
+        out.append(KernelPricing(
+            bench="qcd", cluster=cluster.name, n_nodes=n_nodes,
+            pricing=name, seconds=result.elapsed,
+            gflops=flops / result.elapsed / 1e9,
+        ))
+    return out

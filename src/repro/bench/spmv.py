@@ -1,0 +1,133 @@
+"""Distributed CSR SpMV benchmark (extension; machine-model showcase).
+
+A weak-scaled 27-point sparse matrix-vector product: each rank owns
+``ROWS_PER_RANK`` rows of a CSR matrix with :data:`NNZ_PER_ROW` nonzeros
+per row (8-byte values, 4-byte column indices), exchanges one subdomain
+face with its grid neighbors, and closes each iteration with the dot
+product of an outer Krylov loop.
+
+The kernel is the canonical *memory-hierarchy-bound* workload: its CSR
+gather streams the matrix once but touches ``x`` irregularly, so the
+in-cache traffic exceeds the main-memory traffic by the classic ~1.5x
+CSR factor.  The default roofline pricing sees only the memory arm; the
+ECM pricing (``--pricing ecm``) adds the cache-hierarchy transfer term
+and separates machines whose memory bandwidth is similar but whose cache
+hierarchies are not — the reason this bench exists.
+
+:func:`ir_program` follows the HPCG driver idiom (explicit
+``rate_per_core``, so no toolchain model is needed) and feeds the
+analyzer catalog, the service, and the pricing comparison below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cluster import ClusterModel
+from repro.util.errors import ConfigurationError
+
+#: rows of the sparse matrix owned by each rank (weak scaling).
+ROWS_PER_RANK = 1_000_000
+
+#: nonzeros per row of the 27-point coupling.
+NNZ_PER_ROW = 27
+
+#: flops per nonzero (one FMA).
+FLOPS_PER_NNZ = 2.0
+
+#: main-memory bytes per row: 27 x (8 B value + 4 B index) streamed once,
+#: one 8 B ``x`` load that misses on the irregular gather, one 8 B ``y``
+#: store, one 4 B row pointer.
+BYTES_PER_ROW = NNZ_PER_ROW * 12.0 + 8.0 + 8.0 + 4.0
+
+#: fraction of vector peak the gather-bound CSR inner loop sustains when
+#: it is *not* bandwidth-limited (indexed loads defeat wide vectors).
+SPMV_CORE_EFFICIENCY = 0.08
+
+
+@dataclass(frozen=True)
+class KernelPricing:
+    """One (cluster, pricing model) evaluation of a kernel bench."""
+
+    bench: str
+    cluster: str
+    n_nodes: int
+    pricing: str
+    seconds: float
+    gflops: float
+
+
+def spmv_rate_per_core(cluster: ClusterModel) -> float:
+    """Explicit per-core flop rate of the CSR inner loop (flop arm)."""
+    node = cluster.node
+    return node.peak_flops / node.cores * SPMV_CORE_EFFICIENCY
+
+
+def ir_program(
+    cluster: ClusterModel,
+    n_nodes: int,
+    *,
+    iterations: int = 1,
+    rows_per_rank: int | None = None,
+):
+    """The SpMV sweep as engine-agnostic IR (one rank per core).
+
+    Per iteration and rank: the 27-point CSR sweep over ``rows_per_rank``
+    rows at the explicit gather-bound rate, a 6-neighbor face exchange,
+    and the Krylov dot-product allreduce.
+    """
+    from repro.ir import CommOp, ComputeOp, Loop, Phase, Program
+    from repro.toolchain.kernels import KernelClass
+
+    if iterations < 1:
+        raise ConfigurationError("spmv needs at least one iteration")
+    rows = rows_per_rank if rows_per_rank is not None else ROWS_PER_RANK
+    ranks_per_node = cluster.node.cores
+    n_ranks = n_nodes * ranks_per_node
+    flops = float(n_ranks) * rows * NNZ_PER_ROW * FLOPS_PER_NNZ
+    bytes_moved = float(n_ranks) * rows * BYTES_PER_ROW
+    # one face of the rank's cubic subdomain, 8 B per boundary row
+    face_bytes = 8 * max(1, round(rows ** (2.0 / 3.0)))
+    return Program(
+        name="spmv",
+        body=(Loop(iterations, (Phase("spmv", (
+            ComputeOp(kernel=KernelClass.SPMV, flops=flops,
+                      bytes_moved=bytes_moved,
+                      rate_per_core=spmv_rate_per_core(cluster),
+                      label="csr-spmv"),
+            CommOp("halo", face_bytes, neighbors=6),
+            CommOp("allreduce", 8),
+        )),)),),
+        steps=iterations,
+        ranks_per_node=ranks_per_node,
+        threads_per_rank=1,
+        language="c",
+        kernels=(KernelClass.SPMV,),
+    )
+
+
+def pricing_points(
+    cluster: ClusterModel,
+    n_nodes: int,
+    *,
+    models: tuple[str, ...] = ("roofline", "ecm"),
+    iterations: int = 1,
+) -> list[KernelPricing]:
+    """Price the bench under each requested machine model."""
+    from repro.ir.analytic import AnalyticBackend
+
+    program = ir_program(cluster, n_nodes, iterations=iterations)
+    engine = AnalyticBackend()
+    out = []
+    for name in models:
+        result = engine.run(program, cluster, n_nodes,
+                            check_memory=False, pricing=name)
+        n_ranks = n_nodes * cluster.node.cores
+        flops = (n_ranks * ROWS_PER_RANK * NNZ_PER_ROW * FLOPS_PER_NNZ
+                 * iterations)
+        out.append(KernelPricing(
+            bench="spmv", cluster=cluster.name, n_nodes=n_nodes,
+            pricing=name, seconds=result.elapsed,
+            gflops=flops / result.elapsed / 1e9,
+        ))
+    return out

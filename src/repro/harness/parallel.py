@@ -65,25 +65,28 @@ def source_fingerprint() -> str:
     return _fingerprint
 
 
-def cache_key(exp_id: str, backend: str = "analytic") -> str:
+def cache_key(exp_id: str, backend: str = "analytic",
+              pricing: str = "roofline") -> str:
     """Cache file stem for one experiment under the current source tree.
 
-    The execution backend, the installed backend options (DES shard
-    count & friends — ``repro.ir.backend_options_tag``), the IR
-    optimizer pass version, and the static analyzer version are part of
-    the content hash, so a cached analytic result is never served for a
-    DES (or fastcoll) request, a 1-shard result never for an 8-shard
-    one, and a pass-semantics or analyzer-behavior change invalidates
-    results even if it ships without a source diff (e.g. a data-only
-    toggle) — the pass-soundness certificate is only as good as the
-    analyzer that issued it.
+    The execution backend, the pricing model, the installed backend
+    options (DES shard count & friends —
+    ``repro.ir.backend_options_tag``), the IR optimizer pass version, and
+    the static analyzer version are part of the content hash, so a cached
+    analytic result is never served for a DES (or fastcoll) request, a
+    roofline result never for an ECM one, a 1-shard result never for an
+    8-shard one, and a pass-semantics or analyzer-behavior change
+    invalidates results even if it ships without a source diff (e.g. a
+    data-only toggle) — the pass-soundness certificate is only as good as
+    the analyzer that issued it.
     """
     from repro.ir import backend_options_tag
     from repro.ir.analyze import ANALYZE_VERSION
     from repro.ir.optimize import PASS_VERSION
 
     digest = hashlib.sha256(
-        f"{exp_id}\n{backend}\nopts[{backend_options_tag()}]\n"
+        f"{exp_id}\n{backend}\npricing[{pricing}]\n"
+        f"opts[{backend_options_tag()}]\n"
         f"passes-v{PASS_VERSION}\n"
         f"analysis-v{ANALYZE_VERSION}\n"
         f"{source_fingerprint()}".encode()
@@ -105,12 +108,15 @@ def _pool_min_seconds() -> float:
         ) from None
 
 
-def _run_one(exp_id: str, backend: str = "analytic") -> dict:
+def _run_one(exp_id: str, backend: str = "analytic",
+             pricing: str = "roofline") -> dict:
     """Worker: run one experiment, return a JSON-safe payload."""
     import repro.harness  # noqa: F401  (populate REGISTRY in spawned workers)
     from repro.ir import set_default_backend
+    from repro.machine.models import set_default_pricing
 
     set_default_backend(backend)
+    set_default_pricing(pricing)
     result = run_experiment(exp_id)
     return {
         "experiment": exp_id,
@@ -121,7 +127,8 @@ def _run_one(exp_id: str, backend: str = "analytic") -> dict:
 
 
 def _run_one_text(
-    exp_id: str, backend: str, options: dict | None = None
+    exp_id: str, backend: str, options: dict | None = None,
+    pricing: str = "roofline",
 ) -> tuple[str, float]:
     """Worker: run one experiment, returning its payload as **serialized
     JSON** plus the wall seconds it took.
@@ -137,7 +144,7 @@ def _run_one_text(
     if options:
         set_backend_options(**options)
     start = time.perf_counter()
-    payload = _run_one(exp_id, backend)
+    payload = _run_one(exp_id, backend, pricing)
     return json.dumps(payload), time.perf_counter() - start
 
 
@@ -167,6 +174,7 @@ def run_experiments(
     jobs: int = 1,
     cache_dir: str | os.PathLike | None = None,
     backend: str = "analytic",
+    pricing: str | None = None,
 ) -> list[dict]:
     """Run experiments and return their payloads in input order.
 
@@ -174,13 +182,17 @@ def run_experiments(
     processes.  ``cache_dir`` (or ``$REPRO_CACHE_DIR``) enables the
     on-disk result cache; ``None`` disables caching entirely.
     ``backend`` selects the IR execution backend every worker installs as
-    the process default before running (and is part of the cache key).
+    the process default before running (and is part of the cache key);
+    ``pricing`` does the same for the machine-model pricing strategy
+    (``None`` keeps the process default, normally roofline).
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be >= 1")
     from repro.ir import get_backend
+    from repro.machine.models import resolve_pricing
 
     get_backend(backend)  # validate the name before any work
+    pricing = resolve_pricing(pricing).name  # validate + canonicalize
     global _last_stats
     stats: list[tuple[str, float, str]] = []
     cache = resolve_cache_dir(cache_dir)
@@ -190,7 +202,7 @@ def run_experiments(
         if exp_id in payloads or exp_id in missing:
             continue
         if cache is not None:
-            path = cache / f"{cache_key(exp_id, backend)}.json"
+            path = cache / f"{cache_key(exp_id, backend, pricing)}.json"
             if path.is_file():
                 payloads[exp_id] = json.loads(path.read_text())
                 stats.append((exp_id, 0.0, "cache"))
@@ -199,6 +211,7 @@ def run_experiments(
     if missing:
         from repro.ir import default_backend_name, set_default_backend
         from repro.ir.backend import _BACKEND_OPTIONS
+        from repro.machine.models import default_pricing_name, set_default_pricing
 
         options = dict(_BACKEND_OPTIONS)
         # Probe: run the first missing experiment in-process and time it.
@@ -207,12 +220,14 @@ def run_experiments(
         # that, a pool can only lose to serial (the old unconditional
         # fan-out ran *slower* than --jobs 1 on small suites).
         prev = default_backend_name()
+        prev_pricing = default_pricing_name()
         try:
-            text, wall = _run_one_text(missing[0], backend)
+            text, wall = _run_one_text(missing[0], backend, pricing=pricing)
             fresh = [text]
             per_task = wall
         finally:
             set_default_backend(prev)
+            set_default_pricing(prev_pricing)
         stats.append((missing[0], per_task, "probe"))
         rest = missing[1:]
         if (rest and jobs > 1
@@ -226,23 +241,27 @@ def run_experiments(
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 for exp_id, (text, wall) in zip(rest, pool.map(
                         _run_one_text, rest, [backend] * len(rest),
-                        [options] * len(rest), chunksize=chunksize)):
+                        [options] * len(rest), [pricing] * len(rest),
+                        chunksize=chunksize)):
                     fresh.append(text)
                     stats.append((exp_id, wall, "pool"))
         elif rest:
             prev = default_backend_name()
+            prev_pricing = default_pricing_name()
             try:
                 for exp_id in rest:
-                    text, wall = _run_one_text(exp_id, backend)
+                    text, wall = _run_one_text(exp_id, backend,
+                                               pricing=pricing)
                     fresh.append(text)
                     stats.append((exp_id, wall, "serial"))
             finally:
                 set_default_backend(prev)
+                set_default_pricing(prev_pricing)
         for exp_id, text in zip(missing, fresh):
             payloads[exp_id] = json.loads(text)
             if cache is not None:
                 cache.mkdir(parents=True, exist_ok=True)
-                path = cache / f"{cache_key(exp_id, backend)}.json"
+                path = cache / f"{cache_key(exp_id, backend, pricing)}.json"
                 tmp = path.with_suffix(".tmp")
                 # The worker-serialized text is the cache entry verbatim:
                 # reloaded payloads serialize byte-identically to fresh

@@ -28,6 +28,7 @@ from repro.ir.backend import BACKENDS, Backend, RunResult
 from repro.ir.ops import Barrier, CommOp, ComputeOp, MemOp, SerialOp
 from repro.ir.program import Program
 from repro.machine.cluster import ClusterModel
+from repro.machine.models import PricingContext, PricingModel, resolve_pricing
 from repro.network.collectives import CollectiveCosts
 from repro.network.model import NetworkModel, network_for
 from repro.simmpi.mapping import RankMapping
@@ -36,7 +37,13 @@ from repro.util.errors import ConfigurationError
 
 
 class AnalyticBackend(Backend):
-    """Closed-form roofline + collective-cost pricing (no simulation)."""
+    """Closed-form roofline + collective-cost pricing (no simulation).
+
+    The ComputeOp/MemOp arithmetic is delegated to a pluggable
+    :class:`~repro.machine.models.PricingModel`; the default
+    ``RooflineModel`` reproduces the historical inline arithmetic
+    bit-for-bit.
+    """
 
     name = "analytic"
 
@@ -50,12 +57,14 @@ class AnalyticBackend(Backend):
         network: NetworkModel | None = None,
         binary: Binary | None = None,
         check_memory: bool = True,
+        pricing: str | PricingModel | None = None,
         **kwargs: Any,
     ) -> RunResult:
         if kwargs:
             raise ConfigurationError(
                 f"analytic backend does not accept {sorted(kwargs)}"
             )
+        model = resolve_pricing(pricing)
         if check_memory:
             program.check_feasible(cluster, n_nodes)
         mapping = self._mapping(program, cluster, n_nodes, mapping)
@@ -67,6 +76,14 @@ class AnalyticBackend(Backend):
         core = cluster.node.core_model
         n_ranks = mapping.n_ranks
         agg_bw = n_ranks * mapping.rank_memory_bandwidth(0)
+        ctx = PricingContext(
+            mapping=mapping,
+            cluster=cluster,
+            core=core,
+            binary=binary,
+            n_ranks=n_ranks,
+            agg_bw=agg_bw,
+        )
         result = RunResult(
             backend=self.name,
             program=program.name,
@@ -90,29 +107,12 @@ class AnalyticBackend(Backend):
             t_bytes_sum = 0.0
             for op in phase.ops:
                 if isinstance(op, ComputeOp):
-                    if op.seconds is not None:
-                        t_compute += op.seconds * op.imbalance
-                        continue
-                    if op.flops:
-                        if op.rate_per_core is not None:
-                            rate = op.rate_per_core
-                        elif binary is not None and op.kernel is not None:
-                            rate = binary.sustained_flops(core, op.kernel)
-                        else:
-                            raise ConfigurationError(
-                                f"compute op in phase {phase.name!r} needs a "
-                                "kernel class or an explicit rate_per_core"
-                            )
-                        agg_rate = n_ranks * mapping.rank_compute_rate(0, rate)
-                        t_flops = op.flops / agg_rate
-                    else:
-                        t_flops = 0.0
-                    t_bytes = op.bytes_moved / agg_bw if op.bytes_moved else 0.0
-                    t_compute += max(t_flops, t_bytes) * op.imbalance
-                    t_flops_sum += t_flops
-                    t_bytes_sum += t_bytes
+                    price = model.price_compute(op, ctx, phase=phase.name)
+                    t_compute += price.seconds
+                    t_flops_sum += price.t_flops
+                    t_bytes_sum += price.t_bytes
                 elif isinstance(op, MemOp):
-                    t_bytes = op.bytes_moved / agg_bw if op.bytes_moved else 0.0
+                    t_bytes = model.price_mem(op, ctx)
                     t_compute += t_bytes
                     t_bytes_sum += t_bytes
                 elif isinstance(op, SerialOp):

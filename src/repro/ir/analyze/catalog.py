@@ -16,7 +16,7 @@ __all__ = ["AnalysisTarget", "BENCH_NAMES", "bundled_targets", "target"]
 
 #: bench targets and the node count they are meant to run at
 #: (stream is a single-node workload by construction).
-BENCH_NAMES = ("stream", "linpack", "hpcg", "osu")
+BENCH_NAMES = ("stream", "linpack", "hpcg", "osu", "spmv", "qcd")
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,14 @@ def _bench_target(name: str, cluster: ClusterModel,
         return AnalysisTarget(name, ir_program(cluster, n_nodes), n_nodes)
     if name == "hpcg":
         from repro.bench.hpcg import ir_program
+
+        return AnalysisTarget(name, ir_program(cluster, n_nodes), n_nodes)
+    if name == "spmv":
+        from repro.bench.spmv import ir_program
+
+        return AnalysisTarget(name, ir_program(cluster, n_nodes), n_nodes)
+    if name == "qcd":
+        from repro.bench.qcd import ir_program
 
         return AnalysisTarget(name, ir_program(cluster, n_nodes), n_nodes)
     assert name == "osu"

@@ -54,6 +54,7 @@ from functools import lru_cache
 from repro.ir.ops import Barrier, CommOp, ComputeOp, Loop, MemOp, Op, Phase, SerialOp
 from repro.ir.optimize import optimize_program
 from repro.ir.program import Program
+from repro.machine.models import PricingModel, resolve_pricing
 
 __all__ = [
     "PassCertificate",
@@ -95,7 +96,8 @@ _ZERO_EFFECT = PhaseEffect(
 
 
 class _Accumulator:
-    def __init__(self) -> None:
+    def __init__(self, ray_homogeneous: bool = True) -> None:
+        self.ray_homogeneous = ray_homogeneous
         self.flops: dict = {}
         self.pure_bytes: dict = {}
         self.mixed: dict = {}
@@ -116,7 +118,12 @@ class _Accumulator:
                    else _frac(op.rate_per_core), op.dtype, _frac(op.imbalance))
             f, b = _frac(op.flops), _frac(op.bytes_moved)
             if f and b:
-                bucket = (key, f / b)
+                # ratio bucketing is sound only for ray-homogeneous pricing
+                # (roofline/ECM: both arms linear along a flops:bytes ray);
+                # under a non-homogeneous model mixed ops must survive as
+                # an exact multiset — any merge/split fails the certificate
+                bucket = ((key, f / b) if self.ray_homogeneous
+                          else (key, f, b))
                 tf, tb = self.mixed.get(bucket, (Fraction(0), Fraction(0)))
                 self.mixed[bucket] = (tf + m * f, tb + m * b)
             elif f:
@@ -165,7 +172,9 @@ class _Accumulator:
         )
 
 
-def effect_summary(program: Program) -> dict[str, PhaseEffect]:
+def effect_summary(
+    program: Program, *, ray_homogeneous: bool = True
+) -> dict[str, PhaseEffect]:
     """Canonical per-phase-name effect summary of ``program``."""
     acc: dict[str, _Accumulator] = {}
 
@@ -174,7 +183,7 @@ def effect_summary(program: Program) -> dict[str, PhaseEffect]:
             if isinstance(item, Loop):
                 walk(item.body, mult * item.count)
             else:
-                a = acc.setdefault(item.name, _Accumulator())
+                a = acc.setdefault(item.name, _Accumulator(ray_homogeneous))
                 if mult:
                     for op in item.ops:
                         a.add_op(op, mult)
@@ -236,11 +245,20 @@ def _field_mismatch(field_name: str, va: object, vb: object) -> bool:
     return any(not _values_close(da[k], db[k]) for k in da)
 
 
-def certify(before: Program, after: Program) -> PassCertificate:
+def certify(
+    before: Program, after: Program, *,
+    pricing: str | PricingModel | None = None,
+) -> PassCertificate:
     """Certify that ``after`` has the effects of ``before`` — exact in
-    structure, exact-modulo-reassociation in the numeric totals."""
-    a = effect_summary(before)
-    b = effect_summary(after)
+    structure, exact-modulo-reassociation in the numeric totals.
+
+    ``pricing`` selects the cost model whose soundness conditions apply:
+    a non-ray-homogeneous model tightens the mixed-op comparison to an
+    exact multiset (see :class:`_Accumulator`).
+    """
+    model = resolve_pricing(pricing)
+    a = effect_summary(before, ray_homogeneous=model.ray_homogeneous)
+    b = effect_summary(after, ray_homogeneous=model.ray_homogeneous)
     mismatches: list[str] = []
     if set(a) != set(b):
         only_a = sorted(set(a) - set(b))
@@ -259,14 +277,28 @@ def certify(before: Program, after: Program) -> PassCertificate:
                 mismatches.append(
                     f"phase {name!r}: {field_name} {va!r} != {vb!r}")
     digest = hashlib.sha256(
-        (repr(sorted(a.items())) + "|" + repr(sorted(b.items()))).encode()
+        (model.identity() + "|" + repr(sorted(a.items())) + "|"
+         + repr(sorted(b.items()))).encode()
     ).hexdigest()
     return PassCertificate(
         ok=not mismatches, mismatches=tuple(mismatches), digest=digest)
 
 
+def certified_optimize(
+    program: Program, pricing: str | PricingModel | None = None
+) -> tuple[Program, PassCertificate]:
+    """Run the standard pass pipeline and certify it on this program.
+
+    The pricing spec is resolved to a concrete model name BEFORE the memo
+    lookup, so changing the process default via ``set_default_pricing``
+    can never return a certificate minted under another model.
+    """
+    return _certified_optimize(program, resolve_pricing(pricing).name)
+
+
 @lru_cache(maxsize=512)
-def certified_optimize(program: Program) -> tuple[Program, PassCertificate]:
-    """Run the standard pass pipeline and certify it on this program."""
+def _certified_optimize(
+    program: Program, pricing_name: str
+) -> tuple[Program, PassCertificate]:
     optimized = optimize_program(program)
-    return optimized, certify(program, optimized)
+    return optimized, certify(program, optimized, pricing=pricing_name)

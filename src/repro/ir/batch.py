@@ -51,6 +51,13 @@ from repro.ir.backend import BACKENDS, Backend, RunResult
 from repro.ir.ops import Barrier, CommOp, ComputeOp, MemOp, SerialOp
 from repro.ir.program import Program
 from repro.machine.cluster import ClusterModel
+from repro.machine.models import (
+    PricingContext,
+    PricingModel,
+    column_extractors,
+    on_pricing_registered,
+    resolve_pricing,
+)
 from repro.network.model import NetworkModel, network_for
 from repro.simmpi.mapping import RankMapping
 from repro.toolchain.compiler import Binary
@@ -103,7 +110,7 @@ class Tape:
 
     __slots__ = ("structure", "names", "occ_names", "rows", "cols",
                  "occ_mult", "occ_rows", "toolchain_rows",
-                 "kernel_needed", "digest")
+                 "kernel_needed", "extra_names", "digest")
 
     def __init__(self, structure: tuple, names: tuple[str, ...],
                  occ_names: tuple[int, ...], rows: tuple[tuple, ...],
@@ -127,8 +134,13 @@ class Tape:
             i for i, (_, kind, kernel, _, _, has_rate) in enumerate(rows)
             if kind == _K_COMPUTE and not has_rate and kernel is None
         )
+        # pricing-model tape columns stacked next to the core ones; the
+        # digest covers them so a tape compiled before a model registered
+        # its columns never aliases one compiled after
+        self.extra_names = tuple(sorted(set(cols) - set(_COLUMNS)))
         digest = hashlib.sha256(repr(structure).encode())
-        for col in _COLUMNS:
+        for col in _COLUMNS + self.extra_names:
+            digest.update(col.encode())
             digest.update(cols[col].tobytes())
         digest.update(occ_mult.tobytes())
         self.digest = digest.digest()
@@ -276,13 +288,16 @@ def _compile_tape(program: Program) -> Tape:
     occ_names: list[int] = []
     occ_mult: list[int] = []
     rows: list[tuple] = []
-    cols: dict[str, list[float]] = {c: [] for c in _COLUMNS}
+    extractors = column_extractors()
+    cols: dict[str, list[float]] = {
+        c: [] for c in _COLUMNS + tuple(sorted(extractors))
+    }
 
     def push(occ: int, kind: int, kernel: Any = None, comm_kind: str = "",
              neighbors: int = 0, has_rate: bool = False, *,
              flops: float = 0.0, bytes_: float = 0.0, seconds: float = 0.0,
              imbalance: float = 1.0, rate: float = 0.0, size: int = 0,
-             count: float = 0.0) -> None:
+             count: float = 0.0, op: Any = None) -> None:
         rows.append((occ, kind, kernel, comm_kind, neighbors, has_rate))
         cols["flops"].append(flops)
         cols["bytes"].append(bytes_)
@@ -291,6 +306,8 @@ def _compile_tape(program: Program) -> Tape:
         cols["rate"].append(rate)
         cols["size"].append(size)
         cols["count"].append(count)
+        for name, extractor in extractors.items():
+            cols[name].append(extractor(op) if op is not None else 0.0)
 
     for phase, mult in program.iter_phases():
         if phase.name not in name_idx:
@@ -309,9 +326,9 @@ def _compile_tape(program: Program) -> Tape:
                          has_rate=op.rate_per_core is not None,
                          flops=op.flops, bytes_=op.bytes_moved,
                          imbalance=op.imbalance,
-                         rate=op.rate_per_core or 0.0)
+                         rate=op.rate_per_core or 0.0, op=op)
             elif isinstance(op, MemOp):
-                push(occ, _K_MEM, bytes_=op.bytes_moved)
+                push(occ, _K_MEM, bytes_=op.bytes_moved, op=op)
             elif isinstance(op, SerialOp):
                 push(occ, _K_SERIAL, seconds=op.seconds)
             elif isinstance(op, CommOp):
@@ -326,7 +343,7 @@ def _compile_tape(program: Program) -> Tape:
     np_cols = {
         c: np.asarray(cols[c],
                       dtype=np.int64 if c == "size" else np.float64)
-        for c in _COLUMNS
+        for c in cols
     }
     return Tape(structure, tuple(names), tuple(occ_names), tuple(rows),
                 np_cols, np.asarray(occ_mult, dtype=np.int64))
@@ -353,6 +370,9 @@ class BatchJob:
     check_memory: bool = True
     overrides: dict[str, float] | None = None
     analyze: bool = False
+    #: pricing model name/instance (None = process default, i.e. roofline);
+    #: the resolved model's identity is folded into every cache key
+    pricing: str | PricingModel | None = None
 
 
 # -- process-local caches -----------------------------------------------------
@@ -477,11 +497,12 @@ class _JobCtx:
     """Per-job evaluation context resolved during prepare."""
 
     __slots__ = ("job", "tape", "mapping", "binary", "network", "digest",
-                 "overrides")
+                 "overrides", "model", "pricing_prep")
 
     def __init__(self, job: "BatchJob", tape: Tape, mapping: RankMapping,
                  binary: Binary | None, network: NetworkModel,
-                 digest: bytes, overrides: tuple) -> None:
+                 digest: bytes, overrides: tuple, model: PricingModel,
+                 pricing_prep: float) -> None:
         self.job = job
         self.tape = tape
         self.mapping = mapping
@@ -489,6 +510,8 @@ class _JobCtx:
         self.network = network
         self.digest = digest
         self.overrides = overrides
+        self.model = model
+        self.pricing_prep = pricing_prep
 
 
 class BatchAnalyticBackend(Backend):
@@ -508,6 +531,7 @@ class BatchAnalyticBackend(Backend):
         check_memory: bool = True,
         overrides: dict[str, float] | None = None,
         analyze: bool = False,
+        pricing: str | PricingModel | None = None,
         **kwargs: Any,
     ) -> RunResult:
         if kwargs:
@@ -517,7 +541,7 @@ class BatchAnalyticBackend(Backend):
         return self.run_batch([BatchJob(
             program, cluster, n_nodes, mapping=mapping, network=network,
             binary=binary, check_memory=check_memory, overrides=overrides,
-            analyze=analyze,
+            analyze=analyze, pricing=pricing,
         )])[0]
 
     def run_batch(self, jobs: Sequence[BatchJob]) -> list[RunResult]:
@@ -548,6 +572,15 @@ class BatchAnalyticBackend(Backend):
                 )
         binary = _resolve_binary(job.program, job.cluster, job.binary,
                                  tape.kernel_needed)
+        model = resolve_pricing(job.pricing)
+        prep = model.prepare(PricingContext(
+            mapping=mapping,
+            cluster=job.cluster,
+            core=job.cluster.node.core_model,
+            binary=binary,
+            n_ranks=mapping.n_ranks,
+            agg_bw=mapping.n_ranks * _rank_bw(mapping),
+        ))
         overrides = dict(job.overrides) if job.overrides else {}
         bad = set(overrides) - OVERRIDE_KEYS
         if bad:
@@ -569,9 +602,10 @@ class BatchAnalyticBackend(Backend):
             h.update(repr(None if binary is None
                           else _binary_key(binary)).encode())
             h.update(repr(tuple(sorted(overrides.items()))).encode())
+            h.update(model.identity().encode())
             digest = h.digest()
         return _JobCtx(job, tape, mapping, binary, network, digest,
-                       overrides)
+                       overrides, model, prep)
 
     # -- cache orchestration -------------------------------------------------
 
@@ -597,7 +631,8 @@ class BatchAnalyticBackend(Backend):
         if missing:
             groups: dict[tuple, list[int]] = {}
             for i in missing:
-                groups.setdefault(ctxs[i].tape.structure, []).append(i)
+                key = (ctxs[i].tape.structure, ctxs[i].model.identity())
+                groups.setdefault(key, []).append(i)
             if len(_RESULT_MEMO) > _MEMO_MAX:
                 _RESULT_MEMO.clear()
             for indices in groups.values():
@@ -657,6 +692,17 @@ def _evaluate(ctxs: list[_JobCtx]) -> list[tuple]:
     IMB, RATE, CNT = stack("imbalance"), stack("rate"), stack("count")
     SZ = stack("size")
     MULT = np.stack([c.tape.occ_mult for c in ctxs])  # (n_points, n_occ)
+
+    # pricing model (one per structure group — the group key includes the
+    # model identity) and its extra tape columns / per-job prepare scalars
+    model = ctxs[0].model
+    EXTRA = {name: stack(name) for name in tape.extra_names}
+    preps = np.asarray([c.pricing_prep for c in ctxs])
+
+    def data_seconds(r: int, b: np.ndarray) -> np.ndarray:
+        return model.batch_data_seconds(
+            b, {name: col[:, r] for name, col in EXTRA.items()},
+            agg_bw, preps)
 
     mappings = [c.mapping for c in ctxs]
     networks = [c.network for c in ctxs]
@@ -821,7 +867,7 @@ def _evaluate(ctxs: list[_JobCtx]) -> list[tuple]:
                 if rate_scale is not None:
                     tf = tf / rate_scale
                 b = B[:, r]
-                tb = np.where(b != 0.0, b / agg_bw, 0.0)
+                tb = data_seconds(r, b)
                 t = np.maximum(tf, tb) * IMB[:, r]
                 if compute_scale is not None:
                     t = t * compute_scale
@@ -830,7 +876,7 @@ def _evaluate(ctxs: list[_JobCtx]) -> list[tuple]:
                 tb_sum = tb_sum + tb
             elif kind == _K_MEM:
                 b = B[:, r]
-                tb = np.where(b != 0.0, b / agg_bw, 0.0)
+                tb = data_seconds(r, b)
                 t = tb if compute_scale is None else tb * compute_scale
                 t_compute = t_compute + t
                 tb_sum = tb_sum + tb
@@ -873,6 +919,18 @@ def _evaluate(ctxs: list[_JobCtx]) -> list[tuple]:
         )
         payloads.append((int(p[j]), float(elapsed[j]), per_phase))
     return payloads
+
+
+def _on_new_pricing_model(_model: PricingModel) -> None:
+    """A late-registered model may declare tape columns existing tapes
+    lack; drop every compiled tape (and the payload memos keyed off their
+    digests) so the next compile stacks the new columns."""
+    _TAPES.clear()
+    _RESULT_MEMO.clear()
+    _BATCH_CACHE.clear()
+
+
+on_pricing_registered(_on_new_pricing_model)
 
 
 _SHARED: BatchAnalyticBackend | None = None

@@ -17,10 +17,12 @@ from repro.ir.backend import BACKENDS, Backend, RunResult, backend_option
 from repro.ir.lower import lower
 from repro.ir.program import Program
 from repro.machine.cluster import ClusterModel
+from repro.machine.models import PricingModel, RooflineModel, resolve_pricing
 from repro.network.model import NetworkModel
 from repro.simmpi.mapping import RankMapping
 from repro.simmpi.world import World
 from repro.toolchain.compiler import Binary
+from repro.util.errors import ConfigurationError
 
 
 class DESBackend(Backend):
@@ -53,8 +55,10 @@ class DESBackend(Backend):
         shard_workers: int | None = None,
         shard_granularity: str | None = None,
         hybrid: bool | None = None,
+        pricing: str | PricingModel | None = None,
         **kwargs: Any,
     ) -> RunResult:
+        model = resolve_pricing(pricing)
         if optimize:
             # collapse invariant time-step loops before lowering: a
             # 1000-iteration loop becomes one scaled phase, shrinking the
@@ -96,6 +100,11 @@ class DESBackend(Backend):
                 units *= len(mapping.cluster.node.domains)
             shards = min(shards, units)
         if shards > 1:
+            if not isinstance(model, RooflineModel):
+                raise ConfigurationError(
+                    "sharded DES supports only the default roofline "
+                    f"pricing; got {model.name!r} — run with shards=1"
+                )
             from repro.des.shard import ShardedSpec, run_sharded
 
             spec = ShardedSpec(
@@ -145,8 +154,9 @@ class DESBackend(Backend):
                 resilience=resilience,
                 **kwargs,
             )
-            world_result = world.run(lower(program, mapping, binary),
-                                     verify=verify)
+            world_result = world.run(
+                lower(program, mapping, binary, pricing=model),
+                verify=verify)
         result = RunResult(
             backend=self.name,
             program=program.name,

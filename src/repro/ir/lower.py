@@ -44,6 +44,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterator, Sequence
 
 from repro.ir.ops import Barrier, CommOp, ComputeOp, Loop, MemOp, Phase, SerialOp
+from repro.machine.models import (
+    PricingContext,
+    PricingModel,
+    RooflineModel,
+    resolve_pricing,
+)
 from repro.simmpi.mapping import RankMapping
 from repro.simmpi.payload import VirtualPayload
 from repro.toolchain.compiler import Binary
@@ -167,10 +173,20 @@ def _emit_comm(comm: "Comm", op: CommOp, n_ranks: int) -> Iterator[Any]:
 
 
 def _emit_phase(comm: "Comm", phase: Phase, step: int, n_ranks: int,
-                core: "CoreModel", binary: Binary | None) -> Iterator[Any]:
+                core: "CoreModel", binary: Binary | None,
+                pctx: "PricingContext | None" = None,
+                model: "PricingModel | None" = None) -> Iterator[Any]:
     comm.set_phase(phase.name)
     for op in phase.ops:
         if isinstance(op, ComputeOp):
+            if pctx is not None and model is not None:
+                # non-roofline pricing: charge the model's wall time as a
+                # fixed-seconds compute event (every rank advances by the
+                # bulk-synchronous op duration); noise/slowdown factors in
+                # Comm.compute still apply on top.
+                price = model.price_compute(op, pctx, phase=phase.name)
+                yield from comm.compute(price.seconds, label=op.label)
+                continue
             if op.seconds is not None:
                 yield from comm.compute(op.seconds * op.imbalance,
                                         label=op.label)
@@ -194,6 +210,10 @@ def _emit_phase(comm: "Comm", phase: Phase, step: int, n_ranks: int,
                 label=op.label,
             )
         elif isinstance(op, MemOp):
+            if pctx is not None and model is not None:
+                yield from comm.compute(model.price_mem(op, pctx),
+                                        label=op.label)
+                continue
             yield from comm.compute(
                 flops=0.0,
                 bytes_moved=op.bytes_moved / n_ranks,
@@ -212,30 +232,56 @@ def _emit_phase(comm: "Comm", phase: Phase, step: int, n_ranks: int,
 
 
 def _emit_items(comm: "Comm", items: Sequence[Phase | Loop], step: int,
-                n_ranks: int, core: "CoreModel",
-                binary: Binary | None) -> Iterator[Any]:
+                n_ranks: int, core: "CoreModel", binary: Binary | None,
+                pctx: "PricingContext | None" = None,
+                model: "PricingModel | None" = None) -> Iterator[Any]:
     for item in items:
         if isinstance(item, Loop):
             for i in range(item.count):
                 # the innermost loop index drives fractional-count
                 # subsampling — for app programs it is the step index.
                 yield from _emit_items(comm, item.body, i, n_ranks, core,
-                                       binary)
+                                       binary, pctx, model)
         else:
-            yield from _emit_phase(comm, item, step, n_ranks, core, binary)
+            yield from _emit_phase(comm, item, step, n_ranks, core, binary,
+                                   pctx, model)
 
 
 def lower(
     program: "Program",
     mapping: RankMapping,
     binary: Binary | None = None,
+    *,
+    pricing: "str | PricingModel | None" = None,
 ) -> Callable:
-    """Return the rank program (generator function) for ``program``."""
+    """Return the rank program (generator function) for ``program``.
+
+    ``pricing`` selects the compute-event cost model.  The default
+    roofline model keeps the historical emit path verbatim (per-rank
+    flops/bytes shares priced inside :meth:`Comm.compute`); any other
+    model prices each ComputeOp/MemOp to wall-clock seconds up front via
+    :meth:`PricingModel.price_compute` and emits fixed-seconds events.
+    """
     core = mapping.cluster.node.core_model
     n_ranks = mapping.n_ranks
+    model = resolve_pricing(pricing)
+    if isinstance(model, RooflineModel):
+        pctx: PricingContext | None = None
+        emit_model: PricingModel | None = None
+    else:
+        pctx = PricingContext(
+            mapping=mapping,
+            cluster=mapping.cluster,
+            core=core,
+            binary=binary,
+            n_ranks=n_ranks,
+            agg_bw=n_ranks * mapping.rank_memory_bandwidth(0),
+        )
+        emit_model = model
 
     def rank_program(comm: "Comm") -> Generator[Any, Any, float]:
-        yield from _emit_items(comm, program.body, 0, n_ranks, core, binary)
+        yield from _emit_items(comm, program.body, 0, n_ranks, core, binary,
+                               pctx, emit_model)
         return comm.now
 
     return rank_program

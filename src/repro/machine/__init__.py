@@ -32,9 +32,28 @@ from repro.machine.presets import (
     cte_arm,
     fugaku,
     marenostrum4,
+    thunderx2,
     table1,
+    MachinePreset,
+    MachineRegistry,
+    MACHINES,
     PRESETS,
     get_preset,
+    register_preset,
+)
+from repro.machine.models import (
+    ComputePrice,
+    ECMModel,
+    PricingContext,
+    PricingModel,
+    PRICING_MODELS,
+    RooflineModel,
+    default_pricing_name,
+    get_pricing_model,
+    pricing_model_names,
+    register_pricing_model,
+    resolve_pricing,
+    set_default_pricing,
 )
 
 __all__ = [
@@ -58,7 +77,24 @@ __all__ = [
     "cte_arm",
     "fugaku",
     "marenostrum4",
+    "thunderx2",
     "table1",
+    "MachinePreset",
+    "MachineRegistry",
+    "MACHINES",
     "PRESETS",
     "get_preset",
+    "register_preset",
+    "ComputePrice",
+    "ECMModel",
+    "PricingContext",
+    "PricingModel",
+    "PRICING_MODELS",
+    "RooflineModel",
+    "default_pricing_name",
+    "get_pricing_model",
+    "pricing_model_names",
+    "register_pricing_model",
+    "resolve_pricing",
+    "set_default_pricing",
 ]

@@ -1,0 +1,388 @@
+"""Pluggable pricing models: roofline and ECM compute-op cost strategies.
+
+Historically the roofline arithmetic lived inline in
+:class:`repro.ir.analytic.AnalyticBackend` and was duplicated by the
+batched tape compiler, so an alternative cost model (or a new machine
+that wants one) required touching every backend by hand.  This module
+extracts pricing behind a small strategy interface:
+
+* :class:`RooflineModel` — a bit-exact extraction of the historical
+  ``max(flops / agg_rate, bytes / agg_bw) * imbalance`` arithmetic.  The
+  committed EXPERIMENTS.md figures are byte-identical under this default.
+* :class:`ECMModel` — an Execution-Cache-Memory style model ("ECM modeling
+  and performance tuning of SpMV and Lattice QCD on A64FX", PAPERS.md):
+  on A64FX the cache hierarchy does not overlap with the memory transfer,
+  so the data arm adds per-level transfer terms derived from
+  :class:`repro.machine.cache.CacheLevel` line size and latency on top of
+  the pure main-memory roofline bound.  ECM therefore never prices a
+  compute op *faster* than roofline (a property test pins this).
+
+Models vectorize through the batched tape evaluator via
+:meth:`PricingModel.tape_columns`: each model may declare extra per-op
+columns (pure functions of the op) that ``compile_tape`` stacks next to
+``flops``/``bytes`` and :meth:`PricingModel.batch_data_seconds` consumes
+as numpy arrays.  Scalar and batched evaluation share the exact same
+expression shapes, so batched == scalar stays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.machine.cluster import ClusterModel
+from repro.machine.core import CoreModel
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (machine <- ir)
+    import numpy as np
+
+#: In-flight cache-line streams per core assumed by the ECM transfer terms;
+#: A64FX sustains 8 outstanding L2 prefetch streams per core (ECM paper,
+#: Section IV), which hides ``latency / 8`` cycles of each line transfer.
+ECM_LINE_CONCURRENCY = 8.0
+
+#: Cache-hierarchy traffic amplification per kernel class (ECM paper,
+#: Table 2 idiom): streaming kernels move write-allocate lines (4/3),
+#: sparse/indirect kernels re-touch index + value streams (1.5), stencils
+#: get partial reuse out of the line buffers (1.25).  Keyed by
+#: ``KernelClass.name`` so this module never imports ``repro.toolchain``.
+ECM_TRAFFIC_FACTORS: dict[str | None, float] = {
+    "STREAM": 4.0 / 3.0,
+    "SPMV": 1.5,
+    "STENCIL": 1.25,
+    "KRYLOV": 4.0 / 3.0,
+    "FEM_ASSEMBLY": 1.5,
+    "MD_NONBONDED": 1.25,
+}
+
+
+@dataclass(frozen=True)
+class ComputePrice:
+    """Priced cost of one compute/mem op occurrence.
+
+    ``seconds`` is the wall-clock charge (already imbalance-weighted);
+    ``t_flops``/``t_bytes`` are the un-weighted roofline arms feeding the
+    per-phase flops-time / bytes-time accounting.
+    """
+
+    t_flops: float
+    t_bytes: float
+    seconds: float
+
+
+class PricingContext:
+    """Everything a pricing model may read while pricing one run.
+
+    Built once per (program, cluster, mapping, binary) evaluation; models
+    memoize derived per-context state (e.g. the ECM hierarchy term) in
+    ``memo`` keyed by their name.
+    """
+
+    __slots__ = ("agg_bw", "binary", "cluster", "core", "mapping", "memo",
+                 "n_ranks")
+
+    def __init__(
+        self,
+        *,
+        mapping: Any,
+        cluster: ClusterModel,
+        core: CoreModel,
+        binary: Any,
+        n_ranks: int,
+        agg_bw: float,
+    ) -> None:
+        self.mapping = mapping
+        self.cluster = cluster
+        self.core = core
+        self.binary = binary
+        self.n_ranks = n_ranks
+        self.agg_bw = agg_bw
+        self.memo: dict[str, float] = {}
+
+
+class PricingModel(ABC):
+    """Strategy pricing ComputeOp/MemOp data movement and flops.
+
+    Subclasses implement :meth:`data_seconds` (scalar) and
+    :meth:`batch_data_seconds` (vectorized over a tape column) with the
+    SAME expression shape, so the batched evaluator stays bit-identical
+    to the scalar walk under every model.
+    """
+
+    #: registry key and cache-key component
+    name: str = ""
+
+    #: True when the model prices two ops with equal (kernel, rate, dtype,
+    #: imbalance) proportionally to their flops/bytes — the property the
+    #: optimizer's mixed-op fusion certificate relies on.  Both built-in
+    #: models are ray-homogeneous; an affine (fixed-latency) model would
+    #: not be, and the pass-soundness guard then falls back to exact
+    #: multiset matching.
+    ray_homogeneous: bool = True
+
+    def identity(self) -> str:
+        """Stable string folded into tape/result cache keys."""
+        return self.name
+
+    def tape_columns(self) -> dict[str, Callable[[Any], float]]:
+        """Extra per-op tape columns this model needs, name -> extractor.
+
+        Extractors are pure functions of the op (no context), evaluated at
+        tape-compile time; ``batch_data_seconds`` receives them stacked as
+        numpy arrays.  Column names must be globally unique across models.
+        """
+        return {}
+
+    def prepare(self, ctx: PricingContext) -> float:
+        """Per-context scalar state (memoized by callers via ``ctx.memo``)."""
+        return 0.0
+
+    def _prep(self, ctx: PricingContext) -> float:
+        prep = ctx.memo.get(self.name)
+        if prep is None:
+            prep = ctx.memo[self.name] = self.prepare(ctx)
+        return prep
+
+    @abstractmethod
+    def data_seconds(self, bytes_moved: float, op: Any,
+                     ctx: PricingContext) -> float:
+        """Seconds to move ``bytes_moved`` bytes for one op occurrence."""
+
+    @abstractmethod
+    def batch_data_seconds(
+        self,
+        bytes_col: "np.ndarray",
+        extras: dict[str, "np.ndarray"],
+        agg_bw: "np.ndarray",
+        preps: "np.ndarray",
+    ) -> "np.ndarray":
+        """Vectorized :meth:`data_seconds` over one tape row x all jobs.
+
+        ``bytes_col`` / ``extras[...]`` are per-job op columns, ``agg_bw``
+        the per-job aggregate bandwidth, ``preps`` the per-job
+        :meth:`prepare` scalars.  Zero-byte entries must price to 0.0.
+        """
+
+    def price_compute(self, op: Any, ctx: PricingContext, *,
+                      phase: str = "") -> ComputePrice:
+        """Price one ComputeOp occurrence — the historical arithmetic.
+
+        Expression shapes and evaluation order match the pre-refactor
+        ``AnalyticBackend`` loop exactly; only the ``t_bytes`` arm is
+        delegated to the model.
+        """
+        if op.seconds is not None:
+            return ComputePrice(0.0, 0.0, op.seconds * op.imbalance)
+        if op.flops:
+            if op.rate_per_core is not None:
+                rate = op.rate_per_core
+            elif ctx.binary is not None and op.kernel is not None:
+                rate = ctx.binary.sustained_flops(ctx.core, op.kernel)
+            else:
+                raise ConfigurationError(
+                    f"compute op in phase {phase!r} needs a "
+                    "kernel class or an explicit rate_per_core"
+                )
+            agg_rate = ctx.n_ranks * ctx.mapping.rank_compute_rate(0, rate)
+            t_flops = op.flops / agg_rate
+        else:
+            t_flops = 0.0
+        t_bytes = (
+            self.data_seconds(op.bytes_moved, op, ctx)
+            if op.bytes_moved else 0.0
+        )
+        return ComputePrice(t_flops, t_bytes, max(t_flops, t_bytes) * op.imbalance)
+
+    def price_mem(self, op: Any, ctx: PricingContext) -> float:
+        """Price one MemOp occurrence (pure data movement)."""
+        return (
+            self.data_seconds(op.bytes_moved, op, ctx)
+            if op.bytes_moved else 0.0
+        )
+
+
+class RooflineModel(PricingModel):
+    """The historical pure-roofline data arm: ``bytes / aggregate_bw``."""
+
+    name = "roofline"
+
+    def data_seconds(self, bytes_moved: float, op: Any,
+                     ctx: PricingContext) -> float:
+        return bytes_moved / ctx.agg_bw
+
+    def batch_data_seconds(
+        self,
+        bytes_col: "np.ndarray",
+        extras: dict[str, "np.ndarray"],
+        agg_bw: "np.ndarray",
+        preps: "np.ndarray",
+    ) -> "np.ndarray":
+        import numpy as np
+
+        return np.where(bytes_col != 0.0, bytes_col / agg_bw, 0.0)
+
+
+def ecm_traffic_factor(kernel_name: str | None) -> float:
+    """Hierarchy-traffic amplification for one kernel class name."""
+    return ECM_TRAFFIC_FACTORS.get(kernel_name, 1.0)
+
+
+def _ecm_hier_bytes(op: Any) -> float:
+    """Tape-column extractor: cache-hierarchy bytes of one op."""
+    bytes_moved = float(getattr(op, "bytes_moved", 0.0) or 0.0)
+    if not bytes_moved:
+        return 0.0
+    kernel = getattr(op, "kernel", None)
+    return ecm_traffic_factor(kernel.name if kernel is not None else None) \
+        * bytes_moved
+
+
+class ECMModel(PricingModel):
+    """ECM-style data arm: main memory plus non-overlapping cache terms.
+
+    A64FX's in-order-ish memory pipeline does not overlap inter-cache
+    transfers with the HBM stream (ECM paper, Section III), so the data
+    time is the roofline memory term PLUS a per-level hierarchy term::
+
+        t_bytes = bytes / agg_bw  +  hier_bytes * prep
+
+    where ``hier_bytes`` amplifies the op's traffic by a per-kernel-class
+    factor and ``prep`` sums the reciprocal node-aggregate transfer
+    bandwidths of every cache level below L1 (L1 traffic is part of the
+    in-core execution arm).  Each level's node bandwidth follows from its
+    line size, latency, and :data:`ECM_LINE_CONCURRENCY` overlapped
+    streams per core, scaled by the fraction of cores the mapping keeps
+    active.
+    """
+
+    name = "ecm"
+
+    def tape_columns(self) -> dict[str, Callable[[Any], float]]:
+        return {"ecm_hier_bytes": _ecm_hier_bytes}
+
+    def prepare(self, ctx: PricingContext) -> float:
+        mapping = ctx.mapping
+        node = ctx.cluster.node
+        active = min(
+            1.0,
+            mapping.ranks_per_node * mapping.threads_per_rank / node.cores,
+        )
+        freq = ctx.core.frequency_hz
+        prep = 0.0
+        for lvl in node.caches.levels[1:]:
+            per_core = lvl.line_bytes * freq / max(
+                1.0, lvl.latency_cycles / ECM_LINE_CONCURRENCY
+            )
+            level_bw = per_core * lvl.shared_by * lvl.count * active
+            prep += 1.0 / (level_bw * mapping.n_nodes)
+        return prep
+
+    def data_seconds(self, bytes_moved: float, op: Any,
+                     ctx: PricingContext) -> float:
+        return bytes_moved / ctx.agg_bw + _ecm_hier_bytes(op) * self._prep(ctx)
+
+    def batch_data_seconds(
+        self,
+        bytes_col: "np.ndarray",
+        extras: dict[str, "np.ndarray"],
+        agg_bw: "np.ndarray",
+        preps: "np.ndarray",
+    ) -> "np.ndarray":
+        import numpy as np
+
+        return np.where(
+            bytes_col != 0.0,
+            bytes_col / agg_bw + extras["ecm_hier_bytes"] * preps,
+            0.0,
+        )
+
+
+#: Registered pricing models, name -> singleton instance.
+PRICING_MODELS: dict[str, PricingModel] = {}
+
+#: Callbacks fired when a new model registers (the batched tape cache
+#: subscribes so tapes compiled without a late model's columns are dropped).
+_REGISTRY_LISTENERS: list[Callable[[PricingModel], None]] = []
+
+
+def register_pricing_model(model: PricingModel) -> PricingModel:
+    """Register a pricing model; re-registering the same name replaces it."""
+    if not model.name:
+        raise ConfigurationError("pricing model needs a non-empty name")
+    PRICING_MODELS[model.name] = model
+    for listener in _REGISTRY_LISTENERS:
+        listener(model)
+    return model
+
+
+def on_pricing_registered(callback: Callable[[PricingModel], None]) -> None:
+    """Subscribe to future model registrations (idempotent)."""
+    if callback not in _REGISTRY_LISTENERS:
+        _REGISTRY_LISTENERS.append(callback)
+
+
+def get_pricing_model(name: str) -> PricingModel:
+    """Look up a registered pricing model by name."""
+    key = name.lower()
+    try:
+        return PRICING_MODELS[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown pricing model {name!r}; registered models: "
+            f"{', '.join(sorted(PRICING_MODELS))}"
+        ) from None
+
+
+def pricing_model_names() -> tuple[str, ...]:
+    """Registered model names, sorted (CLI choices are derived from this)."""
+    return tuple(sorted(PRICING_MODELS))
+
+
+def extra_tape_columns() -> tuple[str, ...]:
+    """Union of every registered model's extra tape columns, sorted.
+
+    The tape compiler stacks ALL of these so one compiled tape serves any
+    model; a tape's digest covers them, and the tape cache is invalidated
+    when a late registration adds new columns.
+    """
+    names: set[str] = set()
+    for model in PRICING_MODELS.values():
+        names.update(model.tape_columns())
+    return tuple(sorted(names))
+
+
+def column_extractors() -> dict[str, Callable[[Any], float]]:
+    """Extractor for every extra tape column across registered models."""
+    out: dict[str, Callable[[Any], float]] = {}
+    for model in PRICING_MODELS.values():
+        out.update(model.tape_columns())
+    return out
+
+
+register_pricing_model(RooflineModel())
+register_pricing_model(ECMModel())
+
+_DEFAULT_PRICING = "roofline"
+
+
+def set_default_pricing(name: str) -> None:
+    """Install the process-wide default pricing model (validated)."""
+    global _DEFAULT_PRICING
+    _DEFAULT_PRICING = get_pricing_model(name).name
+
+
+def default_pricing_name() -> str:
+    """Name of the process-wide default pricing model."""
+    return _DEFAULT_PRICING
+
+
+def resolve_pricing(spec: str | PricingModel | None) -> PricingModel:
+    """Resolve a pricing spec (name, instance, or None = default)."""
+    if spec is None:
+        return PRICING_MODELS[_DEFAULT_PRICING]
+    if isinstance(spec, PricingModel):
+        return spec
+    return get_pricing_model(spec)

@@ -1,13 +1,23 @@
-"""System presets: CTE-Arm and MareNostrum 4 (paper Table I).
+"""System presets: CTE-Arm, MareNostrum 4 (paper Table I), and siblings.
 
 Every first-principles number (frequencies, widths, channel counts, peaks)
 comes straight from Table I and the public A64FX micro-architecture manual.
 Calibrated behaviour constants (sustained efficiencies, ring-bus caps, scalar
 out-of-order factors) are annotated with the figure they were calibrated
 against; see DESIGN.md Section 4 for the calibration policy.
+
+Presets live in :data:`MACHINES`, a :class:`MachineRegistry` mapping
+canonical names (and aliases) to a factory plus typed metadata — default
+pricing model, power-model key, and ISA notes — so new machines land as
+registrations, not edits to every consumer.  ``repro-lab`` derives its
+cluster choices from the registry.
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from typing import Any
 
 from repro.machine.cache import CacheHierarchy, CacheLevel
 from repro.machine.cluster import ClusterModel
@@ -23,11 +33,15 @@ from repro.util.units import GB, KIB, MIB
 #: application code (weak OOO, Section VI); Skylake sustains ~90 %.
 A64FX_SCALAR_OOO = 0.35
 SKYLAKE_SCALAR_OOO = 0.90
+#: ThunderX2's 4-wide OOO core sits between the two (FGCS 2020 Dibona study).
+THUNDERX2_SCALAR_OOO = 0.75
 
 #: Calibrated against Fig. 3: 862.6 GB/s hybrid triad = 84 % of 1024 GB/s.
 HBM2_STREAM_EFFICIENCY = 0.8423
 #: Calibrated against Fig. 2: 201.2 GB/s = 78.6 % of 256 GB/s.
 DDR4_STREAM_EFFICIENCY = 0.786
+#: ThunderX2 triad sustains ~246 of 341 GB/s peak (FGCS 2020, 16 channels).
+THUNDERX2_STREAM_EFFICIENCY = 0.72
 
 #: Calibrated against Fig. 2's OpenMP-only plateau: with prepage-interleaved
 #: pages 3/4 of all STREAM traffic is remote, so a ring that sustains
@@ -38,6 +52,10 @@ A64FX_RING_LINK_BW = 115.0e9
 #: Skylake UPI: 3 links x ~20.8 GB/s sustained each direction.
 SKYLAKE_UPI_LINK_BW = 20.8e9
 SKYLAKE_UPI_TOTAL_BW = 62.4e9
+
+#: ThunderX2 CCPI2 inter-socket links: 2 x ~30 GB/s sustained.
+THUNDERX2_CCPI2_LINK_BW = 30.0e9
+THUNDERX2_CCPI2_TOTAL_BW = 60.0e9
 
 
 def _a64fx_core() -> CoreModel:
@@ -63,6 +81,19 @@ def _skylake_core() -> CoreModel:
         scalar_ooo_efficiency=SKYLAKE_SCALAR_OOO,
         # ~12 GB/s per core; ~9 threads saturate one socket's DDR4.
         per_core_stream_bw=12.0e9,
+    )
+
+
+def _thunderx2_core() -> CoreModel:
+    return CoreModel(
+        name="ThunderX2 CN9980",
+        frequency_hz=2.20e9,
+        fma_pipes=2,  # two 128-bit NEON FMA pipes -> 17.6 GF/s DP per core
+        vector_isas=(NEON,),
+        scalar_ooo_efficiency=THUNDERX2_SCALAR_OOO,
+        # ~10 GB/s per core; ~13 threads saturate one socket's 8 channels.
+        per_core_stream_bw=10.0e9,
+        irregular_access_efficiency=0.85,  # deep OOO hides gather latency
     )
 
 
@@ -192,17 +223,189 @@ def fugaku(n_nodes: int = 158_976) -> ClusterModel:
     )
 
 
-PRESETS = {"cte-arm": cte_arm, "marenostrum4": marenostrum4, "fugaku": fugaku}
+def thunderx2(n_nodes: int = 128) -> ClusterModel:
+    """ThunderX2 cluster: dual-socket Marvell CN9980 nodes, IB EDR fat-tree.
+
+    Modeled on the Dibona prototype of the 2020 FGCS Arm-HPC study
+    (PAPERS.md): 2 x 32 cores at 2.2 GHz with 128-bit NEON (17.6 GF/s DP
+    per core) and 8 DDR4-2666 channels per socket — a memory-rich,
+    vector-poor contrast to both A64FX and Skylake, used here primarily
+    for energy-to-solution figures (``repro-lab run ext_thunderx2_energy``).
+    """
+    core = _thunderx2_core()
+    ddr4 = MemoryModel(
+        technology="DDR4-2666",
+        channels=8,
+        channel_bw=256.0e9 / 12,  # 21.33 GB/s per channel, 16 channels/node
+        capacity_bytes=128 * GB,
+        stream_efficiency=THUNDERX2_STREAM_EFFICIENCY,
+        latency_s=95e-9,
+    )
+    domains = tuple(
+        NUMADomain(index=i, kind="socket", cores=32, core_model=core, memory=ddr4)
+        for i in range(2)
+    )
+    caches = CacheHierarchy(
+        levels=(
+            CacheLevel("L1", 32 * KIB, shared_by=1, count=64),
+            CacheLevel("L2", 256 * KIB, shared_by=1, count=64, latency_cycles=12.0),
+            CacheLevel("L3", 32 * MIB, shared_by=32, count=2, latency_cycles=45.0),
+        )
+    )
+    node = NodeModel(
+        name="ThunderX2 node",
+        sockets=2,
+        domains=domains,
+        caches=caches,
+        interconnect=OnChipInterconnect(
+            name="CCPI2",
+            link_bandwidth=THUNDERX2_CCPI2_LINK_BW,
+            total_bandwidth=THUNDERX2_CCPI2_TOTAL_BW,
+        ),
+        nic_bandwidth=12.5e9,  # InfiniBand EDR 100 Gbit/s
+        nic_latency_s=1.0e-6,
+    )
+    return ClusterModel(
+        name="ThunderX2",
+        integrator="Atos",
+        node=node,
+        n_nodes=n_nodes,
+        interconnect_name="InfiniBand EDR",
+        plot_color="green",
+        metadata={
+            "core_architecture": "Armv8",
+            "simd": "NEON",
+            "memory_technology": "DDR4-2666",
+            "memory_channels": "8 per socket",
+            "turbo": "Disabled",
+            "smt": "Disabled",
+        },
+    )
 
 
-def get_preset(name: str, **kwargs) -> ClusterModel:
-    """Look up a preset by name ('cte-arm' or 'marenostrum4')."""
-    key = name.lower().replace("_", "-").replace(" ", "-")
-    if key in ("mn4", "marenostrum-4"):
-        key = "marenostrum4"
-    if key not in PRESETS:
-        raise KeyError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}")
-    return PRESETS[key](**kwargs)
+@dataclass(frozen=True)
+class MachinePreset:
+    """A registered machine: factory plus typed metadata."""
+
+    name: str
+    factory: Callable[..., ClusterModel]
+    description: str
+    aliases: tuple[str, ...] = ()
+    #: default pricing model name (see :mod:`repro.machine.models`)
+    pricing: str = "roofline"
+    #: power model key (see :data:`repro.power.POWER_MODELS`)
+    power: str = ""
+    isa_notes: str = ""
+
+    def build(self, **kwargs: Any) -> ClusterModel:
+        return self.factory(**kwargs)
+
+
+class MachineRegistry:
+    """Name/alias -> :class:`MachinePreset` with normalized lookup."""
+
+    def __init__(self) -> None:
+        self._presets: dict[str, MachinePreset] = {}
+        self._aliases: dict[str, str] = {}
+
+    @staticmethod
+    def canonical(name: str) -> str:
+        return name.lower().replace("_", "-").replace(" ", "-")
+
+    def register(self, preset: MachinePreset, *, replace: bool = False) -> None:
+        key = self.canonical(preset.name)
+        if not replace and (key in self._presets or key in self._aliases):
+            raise KeyError(f"preset name {preset.name!r} already registered")
+        self._presets[key] = preset
+        for alias in preset.aliases:
+            akey = self.canonical(alias)
+            if not replace and self._aliases.get(akey, key) != key \
+                    and akey in self._aliases:
+                raise KeyError(f"alias {alias!r} already registered")
+            if akey in self._presets:
+                raise KeyError(f"alias {alias!r} collides with a preset name")
+            self._aliases[akey] = key
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical preset names, sorted (CLI choices derive from this)."""
+        return tuple(sorted(self._presets))
+
+    def __iter__(self) -> Iterator[MachinePreset]:
+        return iter(self._presets[k] for k in sorted(self._presets))
+
+    def __contains__(self, name: str) -> bool:
+        key = self.canonical(name)
+        return key in self._presets or key in self._aliases
+
+    def resolve(self, name: str) -> MachinePreset:
+        """Look up a preset by name or alias; error lists what exists."""
+        key = self.canonical(name)
+        key = self._aliases.get(key, key)
+        try:
+            return self._presets[key]
+        except KeyError:
+            raise KeyError(
+                f"unknown preset {name!r}; registered presets: "
+                f"{', '.join(self.names())}"
+            ) from None
+
+    def get(self, name: str, **kwargs: Any) -> ClusterModel:
+        return self.resolve(name).build(**kwargs)
+
+
+#: The process-wide machine registry; ``repro-lab`` and the service layer
+#: derive their cluster vocabularies from it.
+MACHINES = MachineRegistry()
+
+
+def register_preset(preset: MachinePreset, *, replace: bool = False) -> MachinePreset:
+    """Register a machine preset in :data:`MACHINES` (module-level sugar)."""
+    MACHINES.register(preset, replace=replace)
+    return preset
+
+
+register_preset(MachinePreset(
+    name="cte-arm",
+    factory=cte_arm,
+    description="192 single-socket A64FX nodes, TofuD 6-D torus (paper Table I)",
+    aliases=("arm", "a64fx"),
+    power="a64fx",
+    isa_notes="Armv8 + SVE 512-bit, 2 FMA pipes, NEON fallback",
+))
+register_preset(MachinePreset(
+    name="marenostrum4",
+    factory=marenostrum4,
+    description="3456 dual-socket Skylake 8160 nodes, Intel OmniPath (Table I)",
+    aliases=("mn4", "marenostrum-4", "skylake"),
+    power="skylake",
+    isa_notes="x86-64 + AVX-512, 2 FMA pipes",
+))
+register_preset(MachinePreset(
+    name="fugaku",
+    factory=fugaku,
+    description="158,976-node A64FX sibling of CTE-Arm (external validation)",
+    power="a64fx",
+    isa_notes="Armv8 + SVE 512-bit, 2 FMA pipes, NEON fallback",
+))
+register_preset(MachinePreset(
+    name="thunderx2",
+    factory=thunderx2,
+    description="Dual-socket Marvell ThunderX2 CN9980, IB EDR "
+                "(energy-to-solution figures)",
+    aliases=("tx2",),
+    power="thunderx2",
+    isa_notes="Armv8 + 128-bit NEON only, 2 FMA pipes",
+))
+
+#: Back-compat function table (canonical name -> factory).
+PRESETS: dict[str, Callable[..., ClusterModel]] = {
+    p.name: p.factory for p in MACHINES
+}
+
+
+def get_preset(name: str, **kwargs: Any) -> ClusterModel:
+    """Look up a preset by name or alias (e.g. 'cte-arm', 'mn4', 'tx2')."""
+    return MACHINES.get(name, **kwargs)
 
 
 def table1() -> Table:

@@ -17,8 +17,10 @@ and LINPACK/HPCG are strictly cheaper in energy on the A64FX.
 from repro.power.model import (
     PowerModel,
     EnergyReport,
+    POWER_MODELS,
     a64fx_power,
     skylake_power,
+    thunderx2_power,
     power_model_for,
     app_energy,
     linpack_energy,
@@ -27,8 +29,10 @@ from repro.power.model import (
 __all__ = [
     "PowerModel",
     "EnergyReport",
+    "POWER_MODELS",
     "a64fx_power",
     "skylake_power",
+    "thunderx2_power",
     "power_model_for",
     "app_energy",
     "linpack_energy",

@@ -69,6 +69,22 @@ SKYLAKE_POWER = PowerModel(
     mem_w_per_gbs=0.150,
 )
 
+#: Dual ThunderX2 CN9980 node: full-load ~375 W (FGCS 2020 Dibona study).
+THUNDERX2_POWER = PowerModel(
+    name="ThunderX2 node",
+    idle_w=100.0,
+    core_active_w=4.0,
+    mem_w_per_gbs=0.100,
+)
+
+#: Power models by registry key — :class:`repro.machine.MachinePreset`
+#: carries one of these keys in its ``power`` field.
+POWER_MODELS: dict[str, PowerModel] = {
+    "a64fx": A64FX_POWER,
+    "skylake": SKYLAKE_POWER,
+    "thunderx2": THUNDERX2_POWER,
+}
+
 
 def a64fx_power() -> PowerModel:
     return A64FX_POWER
@@ -78,10 +94,28 @@ def skylake_power() -> PowerModel:
     return SKYLAKE_POWER
 
 
+def thunderx2_power() -> PowerModel:
+    return THUNDERX2_POWER
+
+
 def power_model_for(cluster: ClusterModel) -> PowerModel:
-    """The power model matching a cluster preset (by CPU, not by name)."""
-    if cluster.node.core_model.name.startswith("A64FX"):
+    """The power model matching a cluster.
+
+    Resolved through the machine registry when the cluster name matches a
+    registered preset (the preset's ``power`` key), falling back to a
+    CPU-name heuristic for ad-hoc :class:`ClusterModel` instances.
+    """
+    from repro.machine.presets import MACHINES
+
+    if cluster.name in MACHINES:
+        key = MACHINES.resolve(cluster.name).power
+        if key in POWER_MODELS:
+            return POWER_MODELS[key]
+    core_name = cluster.node.core_model.name
+    if core_name.startswith("A64FX"):
         return A64FX_POWER
+    if "ThunderX2" in core_name:
+        return THUNDERX2_POWER
     return SKYLAKE_POWER
 
 

@@ -28,7 +28,6 @@ from dataclasses import dataclass, field
 from repro.ir.desbackend import DESBackend
 from repro.ir.ops import CommOp, ComputeOp, Loop, Phase
 from repro.ir.program import Program
-from repro.machine.presets import cte_arm, marenostrum4
 from repro.resilience.checkpoint import CheckpointModel, TimeToSolution
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.schedule import (
@@ -43,7 +42,6 @@ from repro.sched.scheduler import AllocationPolicy, Scheduler
 from repro.simmpi.mapping import RankMapping
 from repro.util.errors import AllocationError, ConfigurationError
 
-_CLUSTERS = {"cte-arm": cte_arm, "mn4": marenostrum4}
 
 #: per-step payloads of the representative program (bytes).
 _HALO_BYTES = 64 * 1024
@@ -271,13 +269,11 @@ def resilience_campaign(
     crash's *relative* position in the run (crash time / healthy
     elapsed) places it on the job's wall clock.
     """
-    if cluster not in _CLUSTERS:
-        raise ConfigurationError(
-            f"unknown cluster {cluster!r}; choose from {sorted(_CLUSTERS)}"
-        )
     if steps < 1:
         raise ConfigurationError("need at least one step")
-    model = _CLUSTERS[cluster]()
+    from repro.verify.runner import resolve_cluster
+
+    model = resolve_cluster(cluster)
     if n_nodes > model.n_nodes:
         raise ConfigurationError(
             f"{n_nodes} nodes requested of {model.n_nodes} on {cluster}"

@@ -57,8 +57,15 @@ __all__ = [
     "TokenBucket",
 ]
 
-#: cluster presets the service accepts (CLI-friendly aliases included).
-CLUSTERS = ("cte-arm", "mn4")
+def _registered_clusters() -> tuple[str, ...]:
+    from repro.machine.presets import MACHINES
+
+    return tuple(MACHINES.names())
+
+
+#: cluster presets the service accepts (registry-derived; CLI-friendly
+#: aliases from the registry work too).
+CLUSTERS = _registered_clusters()
 
 
 class ServiceError(Exception):
@@ -88,6 +95,7 @@ class Query:
     steps: int = 1
     overrides: tuple[tuple[str, float], ...] = ()
     client: str = "anonymous"
+    pricing: str = "roofline"
 
     @classmethod
     def from_request(cls, payload: Mapping[str, Any]) -> "Query":
@@ -96,7 +104,7 @@ class Query:
         if not isinstance(payload, Mapping):
             raise ServiceError(400, "request body must be a JSON object")
         unknown = set(payload) - {"workload", "cluster", "n_nodes", "steps",
-                                  "overrides", "client"}
+                                  "overrides", "client", "pricing"}
         if unknown:
             raise ServiceError(
                 400, f"unknown request field(s) {sorted(unknown)}")
@@ -132,9 +140,20 @@ class Query:
         client = payload.get("client", "anonymous")
         if not isinstance(client, str) or not client:
             raise ServiceError(400, "client must be a non-empty string")
+        pricing = payload.get("pricing", "roofline")
+        if not isinstance(pricing, str):
+            raise ServiceError(400, "pricing must be a string")
+        pricing = pricing.lower()
+        from repro.machine.models import PRICING_MODELS
+
+        if pricing not in PRICING_MODELS:
+            raise ServiceError(
+                400, f"unknown pricing model {pricing!r}; choose from "
+                f"{', '.join(sorted(PRICING_MODELS))}")
         return cls(workload=workload.lower(), cluster=cluster.lower(),
                    n_nodes=n_nodes, steps=steps,
-                   overrides=tuple(overrides), client=client)
+                   overrides=tuple(overrides), client=client,
+                   pricing=pricing)
 
     def to_request(self) -> dict[str, Any]:
         """The JSON request body equivalent of this query."""
@@ -145,6 +164,7 @@ class Query:
             "steps": self.steps,
             "overrides": dict(self.overrides),
             "client": self.client,
+            "pricing": self.pricing,
         }
 
 
@@ -427,7 +447,8 @@ class CapacityService:
             raise ServiceError(422, str(exc)) from exc
         return BatchJob(program, cluster, query.n_nodes,
                         check_memory=False,
-                        overrides=dict(query.overrides) or None)
+                        overrides=dict(query.overrides) or None,
+                        pricing=query.pricing)
 
     # -- the API -------------------------------------------------------------
 
@@ -454,6 +475,13 @@ class CapacityService:
         except (ConfigurationError, OutOfMemoryError) as exc:
             self.failed += 1
             raise ServiceError(422, str(exc)) from exc
+        except KeyError as exc:
+            # Registry presets without Table III toolchain defaults (e.g.
+            # an app workload on thunderx2) surface here from the batch
+            # layer's compiler resolution.
+            self.failed += 1
+            raise ServiceError(422, str(exc.args[0]) if exc.args
+                               else str(exc)) from exc
         return encode_result(query, result)
 
     def handle(self, payload: Mapping[str, Any], *,
@@ -498,6 +526,7 @@ def encode_result(query: Query, result: RunResult) -> dict[str, Any]:
         "n_nodes": query.n_nodes,
         "steps": result.steps,
         "overrides": dict(query.overrides),
+        "pricing": query.pricing,
         "n_ranks": result.n_ranks,
         "backend": result.backend,
         "elapsed_seconds": result.elapsed,

@@ -346,7 +346,8 @@ def virtual_report(config: TrafficConfig, *,
 # -- real execution -----------------------------------------------------------
 
 
-def _http_dispatch(url: str, query: Query) -> tuple[int, dict[str, Any]]:
+def _http_dispatch(url: str, query: Query,
+                   retries: int = 2) -> tuple[int, dict[str, Any]]:
     import urllib.error
     import urllib.request
 
@@ -354,15 +355,26 @@ def _http_dispatch(url: str, query: Query) -> tuple[int, dict[str, Any]]:
     request = urllib.request.Request(
         f"{url}/v1/price", data=data,
         headers={"Content-Type": "application/json"}, method="POST")
-    try:
-        with urllib.request.urlopen(request, timeout=30.0) as response:
-            return response.status, json.loads(response.read())
-    except urllib.error.HTTPError as exc:
+    # Transport-level failures (connection reset/refused while the
+    # ThreadingHTTPServer churns through its accept queue) are retried:
+    # /v1/price is a pure function of the request body, so a resend
+    # cannot double-count anything, and a vanished sample would otherwise
+    # abort the whole open-loop run.
+    for attempt in range(retries + 1):
         try:
-            body = json.loads(exc.read())
-        except ValueError:
-            body = {"error": str(exc), "status": exc.code}
-        return exc.code, body
+            with urllib.request.urlopen(request, timeout=30.0) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read())
+            except ValueError:
+                body = {"error": str(exc), "status": exc.code}
+            return exc.code, body
+        except (urllib.error.URLError, ConnectionError, TimeoutError):
+            if attempt == retries:
+                raise
+            time.sleep(0.05 * (attempt + 1))
+    raise AssertionError("unreachable")
 
 
 def run_loadtest(config: TrafficConfig, *,

@@ -30,17 +30,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 
 
 def resolve_cluster(name: str, n_nodes: int | None = None) -> ClusterModel:
-    """Instantiate a cluster preset from a CLI-friendly name."""
-    from repro.machine.presets import cte_arm, marenostrum4
+    """Instantiate a cluster preset from a CLI-friendly name.
 
-    key = name.lower().replace("_", "-").replace(" ", "-")
-    if key in ("cte-arm", "arm", "a64fx"):
-        return cte_arm() if n_nodes is None else cte_arm(n_nodes)
-    if key in ("mn4", "marenostrum4", "marenostrum-4", "skylake"):
-        return marenostrum4() if n_nodes is None else marenostrum4(n_nodes)
-    raise ConfigurationError(
-        f"unknown cluster {name!r}; choose cte-arm or mn4"
-    )
+    Names and aliases come from the machine registry
+    (:data:`repro.machine.presets.MACHINES`), so a newly registered
+    preset is addressable here — and everywhere this feeds: the CLI
+    ``--cluster`` flags and the service — without touching this module.
+    """
+    from repro.machine.presets import MACHINES
+
+    try:
+        preset = MACHINES.resolve(name)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown cluster {name!r}; choose from "
+            f"{', '.join(MACHINES.names())}"
+        ) from None
+    return preset.build() if n_nodes is None else preset.build(n_nodes=n_nodes)
 
 
 def verify_app(

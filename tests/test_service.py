@@ -147,6 +147,27 @@ class TestQueryValidation:
             status, _ = svc.handle({"workload": "hpcg", "n_nodes": 100000})
         assert status == 422
 
+    def test_unknown_pricing_is_400(self):
+        with CapacityService(_FAST) as svc:
+            status, body = svc.handle({"workload": "nemo", "n_nodes": 8,
+                                       "pricing": "wat"})
+        assert status == 400
+        assert "ecm" in body["error"] and "roofline" in body["error"]
+
+    def test_app_without_toolchain_defaults_is_422(self):
+        # thunderx2 is a registered preset but carries no Table III
+        # compiler defaults for the paper apps; benches still price.
+        with CapacityService(_FAST) as svc:
+            status, body = svc.handle({"workload": "nemo", "n_nodes": 8,
+                                       "cluster": "thunderx2"})
+            assert status == 422
+            assert "compiler" in body["error"]
+            status, body = svc.handle({"workload": "qcd", "n_nodes": 8,
+                                       "cluster": "thunderx2",
+                                       "pricing": "ecm"})
+            assert status == 200
+            assert body["pricing"] == "ecm"
+
 
 # -- the concurrency suite ----------------------------------------------------
 
