@@ -272,6 +272,70 @@ EOF
             --nodes 4 --intensity 1 --steps 5 --json >/dev/null; then
         status=1
     fi
+    echo "== streaming run_batch bit-identity smoke (50k points) =="
+    if ! PYTHONPATH=src python - <<'EOF'
+"""Price 50k override points through run_override_columns (the streaming
+column path the tuner rides) and through plain run_batch on a scalar-job
+sample of the same points, asserting bit-identity lane by lane — the
+ISSUE 10 tentpole guarantee at smoke scale."""
+import numpy as np
+from repro.apps import get_app
+from repro.ir.batch import BatchJob, clear_caches, shared_batch_backend
+from repro.machine.presets import cte_arm
+
+cluster = cte_arm(64)
+app = get_app("nemo")
+mapping = app.mapping(cluster, 16)
+program = app.program(mapping)
+binary = app.build(cluster)
+base = BatchJob(program, cluster, 16, mapping=mapping, binary=binary,
+                check_memory=False)
+n = 50_000
+grid = 1.0 + 0.4 * np.arange(n, dtype=np.float64) / (n - 1) - 0.2
+columns = {"comm_scale": grid, "bandwidth_scale": grid[::-1].copy(),
+           "rate_scale": np.roll(grid, n // 3)}
+backend = shared_batch_backend()
+elapsed = np.concatenate([
+    chunk.elapsed for chunk in backend.run_override_columns(
+        base, columns, memory_budget_bytes=1 << 22)
+])
+assert elapsed.shape == (n,)
+sample = range(0, n, n // 199)
+jobs = [BatchJob(program, cluster, 16, mapping=mapping, binary=binary,
+                 check_memory=False,
+                 overrides={k: float(v[i]) for k, v in columns.items()})
+        for i in sample]
+clear_caches()
+scalar = backend.run_batch(jobs)
+for i, result in zip(sample, scalar):
+    assert elapsed[i] == result.elapsed, (i, elapsed[i], result.elapsed)
+print(f"streaming OK: {n:,} points, {len(jobs)} scalar probes bit-identical")
+EOF
+    then
+        status=1
+    fi
+    echo "== tune smoke (repro-lab tune nemo --cluster cte-arm) =="
+    if ! PYTHONPATH=src python - <<'EOF'
+"""Fast end-to-end pass over the tuner CLI: a scenarios=1 sweep must
+exit 0 and print per-pricing Pareto frontiers with verify explanations."""
+import contextlib
+import io
+from repro.harness.cli import main
+
+out = io.StringIO()
+with contextlib.redirect_stdout(out):
+    code = main(["tune", "nemo", "--cluster", "cte-arm", "--nodes", "16",
+                 "--scenarios", "1", "--top", "3"])
+text = out.getvalue()
+assert code == 0, f"tune exited {code}"
+assert "Pareto frontier [roofline]" in text, text[:400]
+assert "Pareto frontier [ecm]" in text, text[:400]
+assert "repro.verify" in text, "verify explanations missing"
+print("tune smoke OK: " + text.splitlines()[0])
+EOF
+    then
+        status=1
+    fi
 fi
 
 [ -n "$skipped" ] && echo "skipped (not installed):$skipped"

@@ -94,9 +94,17 @@ def cache_key(exp_id: str, backend: str = "analytic",
     return f"{exp_id}-{digest[:16]}"
 
 
-def _pool_min_seconds() -> float:
+def pool_min_seconds() -> float:
     """Pool cost threshold: ``$REPRO_POOL_MIN_SECONDS`` override, else
-    :data:`POOL_MIN_SECONDS`."""
+    :data:`POOL_MIN_SECONDS`.
+
+    Public because every probe-then-pool call site shares one knob: the
+    experiment sweep here, the streaming batch driver
+    (:meth:`repro.ir.batch.BatchAnalyticBackend.run_batch_stream`), and
+    the tuner's chunk sharding (:mod:`repro.tune.engine`) all spawn
+    workers only when the measured serial cost of the remaining work
+    clears this threshold.
+    """
     env = os.environ.get(POOL_MIN_ENV)
     if not env:
         return POOL_MIN_SECONDS
@@ -106,6 +114,10 @@ def _pool_min_seconds() -> float:
         raise ConfigurationError(
             f"{POOL_MIN_ENV} must be a number, got {env!r}"
         ) from None
+
+
+#: Backwards-compatible private alias (pre-ISSUE-10 call sites).
+_pool_min_seconds = pool_min_seconds
 
 
 def _run_one(exp_id: str, backend: str = "analytic",

@@ -14,9 +14,9 @@ from IPC.
 from __future__ import annotations
 
 import multiprocessing
-from multiprocessing.connection import Connection
+from multiprocessing.connection import Connection, wait
 from time import perf_counter
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Iterator
 
 
 def _pool_worker(
@@ -103,6 +103,67 @@ class PersistentPool:
             self.close()
             raise error
         return replies
+
+    def imap(self, messages: Iterable[Any]) -> Iterator[Any]:
+        """Pipelined ordered map: stream any number of messages through
+        the fixed worker set, yielding results in INPUT order.
+
+        Unlike :meth:`call_all` (one message per worker, a barrier per
+        round), ``imap`` keeps every worker busy: an idle worker
+        immediately receives the next message while slower ones are still
+        computing, and a bounded reorder buffer (2x the worker count)
+        restores input order — so both memory and outstanding work stay
+        bounded for million-point streams.  The input iterable is
+        consumed lazily.  A worker-side exception stops dispatch, drains
+        the in-flight calls, closes the pool, and re-raises.  Abandoning
+        the generator mid-stream leaves in-flight calls un-collected;
+        ``close()`` still shuts the workers down cleanly.
+        """
+        feed = enumerate(iter(messages))
+        pending: dict[int, int] = {}   # worker index -> message index
+        done: dict[int, Any] = {}      # message index -> result
+        by_conn = {id(conn): w for w, conn in enumerate(self._conns)}
+        idle = list(range(len(self._conns)))
+        next_out = 0
+        exhausted = False
+        error: BaseException | None = None
+        max_buffered = max(2, 2 * len(self._conns))
+        while True:
+            while (idle and not exhausted and error is None
+                   and len(done) < max_buffered):
+                try:
+                    idx, msg = next(feed)
+                except StopIteration:
+                    exhausted = True
+                    break
+                worker = idle.pop()
+                pending[worker] = idx
+                self._conns[worker].send(("call", msg))
+            if not pending:
+                break
+            for conn in wait([self._conns[w] for w in pending]):
+                worker = by_conn[id(conn)]
+                kind, payload, wall = conn.recv()  # type: ignore[union-attr]
+                self.call_walls[worker].append(wall)
+                idx = pending.pop(worker)
+                idle.append(worker)
+                if kind == "err":
+                    error = error if error is not None else payload
+                else:
+                    done[idx] = payload
+            while error is None and next_out in done:
+                yield done.pop(next_out)
+                next_out += 1
+        if error is not None:
+            self.close()
+            raise error
+        while next_out in done:
+            yield done.pop(next_out)
+            next_out += 1
+
+    def map(self, messages: Iterable[Any]) -> list[Any]:
+        """Materialized :meth:`imap` — all results, in input order."""
+        return list(self.imap(messages))
 
     def close(self) -> None:
         for conn in self._conns:

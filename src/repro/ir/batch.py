@@ -34,6 +34,25 @@ tape per Program, network per (cluster, n_nodes), binary per program
 identity, a result memo keyed by a content hash of (tape structure +
 numeric columns + cluster + mapping + binary + overrides), and a
 batch-level cache keyed by the hash of a whole (tape, point-matrix) pair.
+
+Million-point scale (ISSUE 10) adds two streaming entry points on top of
+``run_batch``:
+
+* :meth:`BatchAnalyticBackend.run_batch_stream` — a lazy generator that
+  consumes an arbitrarily long job iterable in chunks sized by a
+  configurable memory budget (:func:`stream_chunk_points`), optionally
+  sharding chunks across :class:`repro.harness.procpool.PersistentPool`
+  workers.  Results arrive in canonical input order and are bit-identical
+  to ``run_batch`` for any chunk size and worker count.
+* :meth:`BatchAnalyticBackend.run_override_columns` — the tuner's fast
+  path: one prepared job plus structure-of-arrays override columns.  The
+  per-tape constants (primitive comm times, kernel rates, phase walk) are
+  computed once and broadcast against the override vectors, never
+  materializing ``(n_points, n_rows)`` matrices; each yielded
+  :class:`ColumnChunk` carries per-point elapsed/phase arrays.  The lane
+  arithmetic mirrors :func:`_evaluate` expression for expression, so the
+  differential tests hold it bit-identical to ``run_batch`` over jobs
+  with equivalent scalar ``overrides``.
 """
 
 from __future__ import annotations
@@ -43,7 +62,8 @@ import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Sequence
+from itertools import islice
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -65,9 +85,11 @@ from repro.toolchain.profiles import default_compiler_for
 from repro.util.errors import ConfigurationError
 
 __all__ = [
+    "DEFAULT_STREAM_BUDGET",
     "OVERRIDE_KEYS",
     "BatchAnalyticBackend",
     "BatchJob",
+    "ColumnChunk",
     "Tape",
     "TapeCache",
     "binary_fingerprint",
@@ -76,7 +98,9 @@ __all__ = [
     "compile_tape",
     "set_tape_budget",
     "shared_batch_backend",
+    "stream_chunk_points",
     "tape_cache_stats",
+    "validate_overrides",
 ]
 
 #: model-parameter override knobs a :class:`BatchJob` accepts.  Each is a
@@ -85,6 +109,31 @@ OVERRIDE_KEYS = frozenset({
     "compute_scale", "comm_scale", "serial_scale",
     "bandwidth_scale", "rate_scale",
 })
+
+#: default per-chunk working-set budget (bytes) of the streaming entry
+#: points; 64 MiB keeps a chunk comfortably inside L2+HBM while leaving
+#: thousands of points per vectorized pass.
+DEFAULT_STREAM_BUDGET = 64 << 20
+
+
+def validate_overrides(
+    overrides: "dict[str, float] | None",
+) -> dict[str, float]:
+    """Validate override keys against :data:`OVERRIDE_KEYS` and return a
+    plain (possibly empty) dict.
+
+    This is the single validation seam shared by :meth:`_prepare`, the
+    column-stream fast path and the capacity service, so the error always
+    names both the offending keys and the sorted set of allowed ones.
+    """
+    out = dict(overrides) if overrides else {}
+    bad = set(out) - OVERRIDE_KEYS
+    if bad:
+        raise ConfigurationError(
+            f"unknown override(s) {sorted(bad)}; "
+            f"choose from {sorted(OVERRIDE_KEYS)}"
+        )
+    return out
 
 # row kind codes (structural)
 _K_COMPUTE = 0       # modeled roofline work
@@ -282,6 +331,40 @@ def tape_cache_stats() -> dict[str, int | None]:
     return _TAPES.stats()
 
 
+def stream_chunk_points(tape: Tape, memory_budget_bytes: int,
+                        *, columns: bool = False) -> int:
+    """Points per chunk so one vectorized pass stays under the budget.
+
+    ``columns=False`` models :meth:`BatchAnalyticBackend.run_batch_stream`
+    feeding ``run_batch``: every numeric column is stacked to
+    ``(points, n_rows)`` float64 and the walk keeps a handful of live
+    ``(points,)`` temporaries plus the per-phase accumulators, so the
+    estimate charges each point ``8 * n_rows * n_columns`` bytes for the
+    stacks, a multiplicative headroom factor for elementwise temporaries,
+    and a flat payload overhead.  ``columns=True`` models the
+    column-stream fast path, which never stacks rows — its footprint is
+    the per-phase accumulators plus O(1) working vectors.
+
+    Pure and deterministic (tests pin monotonicity in the budget), and
+    conservative by design: the differential memory test asserts the
+    evaluator's peak allocation stays below the configured budget.
+    """
+    if memory_budget_bytes < 1:
+        raise ConfigurationError(
+            f"memory budget must be positive, got {memory_budget_bytes}"
+        )
+    n_cols = len(_COLUMNS) + len(tape.extra_names) + 1  # + occ_mult
+    if columns:
+        # per-phase sec/comp/comm/tf/tb accumulators + working vectors
+        per_point = 8 * (5 * max(1, len(tape.names)) + 24)
+    else:
+        stacked = 8 * max(1, tape.n_rows) * n_cols
+        temporaries = 8 * (5 * max(1, len(tape.names)) + 16)
+        payload = 160 * max(1, len(tape.names)) + 512
+        per_point = 3 * stacked + temporaries + payload
+    return max(1, memory_budget_bytes // per_point)
+
+
 def _compile_tape(program: Program) -> Tape:
     names: list[str] = []
     name_idx: dict[str, int] = {}
@@ -373,6 +456,31 @@ class BatchJob:
     #: pricing model name/instance (None = process default, i.e. roofline);
     #: the resolved model's identity is folded into every cache key
     pricing: str | PricingModel | None = None
+
+
+@dataclass
+class ColumnChunk:
+    """Per-point results of one column-stream chunk.
+
+    ``start`` is the chunk's offset in the caller's point space; all
+    arrays are float64 of the chunk length.  The per-phase dicts mirror
+    :class:`~repro.ir.backend.RunResult`'s accounting (seconds, compute,
+    comm, flops-time, bytes-time), so a lane of a ColumnChunk carries the
+    same numbers ``run_batch`` would return for the equivalent scalar
+    ``overrides`` job.
+    """
+
+    start: int
+    n_ranks: int
+    elapsed: np.ndarray
+    phase_seconds: dict[str, np.ndarray]
+    phase_compute: dict[str, np.ndarray]
+    phase_comm: dict[str, np.ndarray]
+    phase_flops_time: dict[str, np.ndarray]
+    phase_bytes_time: dict[str, np.ndarray]
+
+    def __len__(self) -> int:
+        return int(self.elapsed.shape[0])
 
 
 # -- process-local caches -----------------------------------------------------
@@ -552,6 +660,178 @@ class BatchAnalyticBackend(Backend):
         return [self._result(ctx, payload)
                 for ctx, payload in zip(ctxs, payloads)]
 
+    def run_batch_stream(
+        self,
+        jobs: "Iterable[BatchJob]",
+        *,
+        chunk_points: int | None = None,
+        memory_budget_bytes: int | None = None,
+        workers: int = 0,
+    ) -> "Iterator[RunResult]":
+        """Lazily price an arbitrarily long job iterable in bounded chunks.
+
+        Yields :class:`~repro.ir.backend.RunResult`\\ s in input order,
+        bit-identical to one big ``run_batch`` call for ANY ``chunk_points``
+        and ANY ``workers`` — chunking only changes when jobs are stacked,
+        never the lane arithmetic, and chunk boundaries are derived from
+        the budget alone, independent of the worker count.
+
+        ``chunk_points`` overrides the budget-derived chunk size
+        (:func:`stream_chunk_points` over the first job's tape under
+        ``memory_budget_bytes``, default :data:`DEFAULT_STREAM_BUDGET`).
+        Peak allocation is bounded by the budget: only one chunk's stacked
+        matrices are live at a time (``workers`` chunks when pooled).
+
+        ``workers > 1`` shards chunks across a
+        :class:`repro.harness.procpool.PersistentPool` after an in-process
+        probe of the first chunk shows the remaining work clears
+        ``repro.harness.parallel.pool_min_seconds()`` (the PR-5 cost
+        probe); unpicklable jobs (custom network objects etc.) fall back
+        to in-process evaluation.  Each worker compiles a tape at most
+        once — the per-process :class:`TapeCache` is keyed by Program
+        value, so every chunk of the same program hits the warm tape.
+        """
+        if chunk_points is not None and chunk_points < 1:
+            raise ConfigurationError(
+                f"chunk_points must be positive, got {chunk_points}"
+            )
+        it = iter(jobs)
+        head = list(islice(it, 1))
+        if not head:
+            return
+        if chunk_points is None:
+            budget = (DEFAULT_STREAM_BUDGET if memory_budget_bytes is None
+                      else memory_budget_bytes)
+            chunk_points = stream_chunk_points(
+                compile_tape(head[0].program), budget)
+
+        def chunks() -> "Iterator[list[BatchJob]]":
+            buf = head + list(islice(it, chunk_points - 1))
+            while buf:
+                yield buf
+                buf = list(islice(it, chunk_points))
+
+        gen = chunks()
+        if workers <= 1:
+            for chunk in gen:
+                yield from self.run_batch(chunk)
+            return
+
+        # Probe: price the first chunk in-process and time it.  The
+        # stream's length is unknown, so the estimate is the measured
+        # per-chunk cost times a prefetch window of up to ``workers``
+        # chunks — a lower bound on the remaining work.
+        from time import perf_counter
+
+        from repro.harness.parallel import pool_min_seconds
+
+        try:
+            first = next(gen)
+        except StopIteration:  # pragma: no cover - chunks() yields >= 1
+            return
+        t0 = perf_counter()
+        yield from self.run_batch(first)
+        per_chunk = perf_counter() - t0
+        threshold = pool_min_seconds()
+        window: list[list[BatchJob]] = []
+        for chunk in gen:
+            window.append(chunk)
+            if (per_chunk * len(window) >= threshold
+                    or len(window) >= workers):
+                break
+        if not window:
+            return
+        use_pool = per_chunk * len(window) >= threshold
+        if use_pool:
+            import pickle
+
+            try:
+                pickle.dumps(window[0])
+            except Exception:
+                use_pool = False  # unpicklable job: price in-process
+        if not use_pool:
+            for chunk in window:
+                yield from self.run_batch(chunk)
+            for chunk in gen:
+                yield from self.run_batch(chunk)
+            return
+        from itertools import chain
+
+        from repro.harness.procpool import PersistentPool
+
+        n_workers = max(2, min(workers, len(window)))
+        with PersistentPool(_stream_worker_factory,
+                            [None] * n_workers) as pool:
+            for results in pool.imap(chain(window, gen)):
+                yield from results
+
+    def run_override_columns(
+        self,
+        job: BatchJob,
+        columns: "dict[str, Any]",
+        *,
+        chunk_points: int | None = None,
+        memory_budget_bytes: int | None = None,
+    ) -> "Iterator[ColumnChunk]":
+        """Price one prepared job against structure-of-arrays override
+        columns — the tuner's fast path.
+
+        ``columns`` maps :data:`OVERRIDE_KEYS` names to equal-length 1-D
+        float arrays; point ``i`` is ``job`` evaluated under scalar
+        overrides ``{k: columns[k][i]}``.  The tape constants (primitive
+        network times, kernel rates, the phase walk) are resolved once
+        and broadcast against the override vectors — no
+        ``(points, n_rows)`` stacking, no per-point ``_prepare`` — which
+        is where the order-of-magnitude throughput over chunk-serial
+        ``run_batch`` comes from.  Lane arithmetic mirrors
+        :func:`_evaluate` expression for expression, so each lane is
+        bit-identical to the equivalent scalar-overrides ``run_batch``
+        job (differential-tested).
+
+        Yields :class:`ColumnChunk`\\ s of at most ``chunk_points`` points
+        (default: :func:`stream_chunk_points` with ``columns=True`` under
+        the budget), keeping peak allocation bounded.  ``job.overrides``
+        must be empty — the columns ARE the overrides.
+        """
+        if job.overrides:
+            raise ConfigurationError(
+                "run_override_columns prices the override columns; "
+                "job.overrides must be empty"
+            )
+        cols: dict[str, np.ndarray] = {}
+        for key, values in columns.items():
+            arr = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+            if arr.ndim != 1:
+                raise ConfigurationError(
+                    f"override column {key!r} must be 1-D, got shape "
+                    f"{arr.shape}"
+                )
+            cols[key] = arr
+        validate_overrides({key: 1.0 for key in cols})
+        if not cols:
+            raise ConfigurationError("need at least one override column")
+        lengths = {arr.shape[0] for arr in cols.values()}
+        if len(lengths) != 1:
+            raise ConfigurationError(
+                f"override columns must share one length, got "
+                f"{sorted(lengths)}"
+            )
+        n_points = lengths.pop()
+        ctx = self._prepare(job)
+        if chunk_points is None:
+            budget = (DEFAULT_STREAM_BUDGET if memory_budget_bytes is None
+                      else memory_budget_bytes)
+            chunk_points = stream_chunk_points(ctx.tape, budget,
+                                               columns=True)
+        elif chunk_points < 1:
+            raise ConfigurationError(
+                f"chunk_points must be positive, got {chunk_points}"
+            )
+        for lo in range(0, n_points, chunk_points):
+            hi = min(lo + chunk_points, n_points)
+            knobs = {key: arr[lo:hi] for key, arr in cols.items()}
+            yield _evaluate_columns(ctx, knobs, hi - lo, lo)
+
     # -- prepare -------------------------------------------------------------
 
     def _prepare(self, job: BatchJob) -> _JobCtx:
@@ -581,13 +861,7 @@ class BatchAnalyticBackend(Backend):
             n_ranks=mapping.n_ranks,
             agg_bw=mapping.n_ranks * _rank_bw(mapping),
         ))
-        overrides = dict(job.overrides) if job.overrides else {}
-        bad = set(overrides) - OVERRIDE_KEYS
-        if bad:
-            raise ConfigurationError(
-                f"unknown override(s) {sorted(bad)}; "
-                f"choose from {sorted(OVERRIDE_KEYS)}"
-            )
+        overrides = validate_overrides(job.overrides)
         network = job.network
         if network is not None:
             digest = None  # user-supplied network: uncacheable
@@ -921,6 +1195,239 @@ def _evaluate(ctxs: list[_JobCtx]) -> list[tuple]:
     return payloads
 
 
+def _evaluate_columns(ctx: _JobCtx, knobs: dict[str, np.ndarray], k: int,
+                      start: int) -> ColumnChunk:
+    """Price ``k`` override points of ONE prepared job context.
+
+    Bit-identity argument: :func:`_evaluate` over ``k`` contexts that
+    differ only in their scalar overrides stacks ``k`` identical copies
+    of every tape column and runs elementwise float64 arithmetic over the
+    lanes.  IEEE-754 elementwise ops on equal inputs produce equal
+    outputs, so replacing the stacked per-lane scalars with one Python
+    scalar broadcast against the override vectors reproduces every lane
+    bit for bit — PROVIDED the expression order is mirrored exactly.
+    This function therefore follows :func:`_evaluate` operation for
+    operation: the same knob-skip rule (multiplying/dividing by exactly
+    1.0 is an IEEE identity, so per-chunk skip decisions cannot diverge),
+    ``rate_scale`` division applied even to zero flops-times, the same
+    ``np.where``/``np.maximum`` shapes, integer arithmetic that converts
+    to float64 identically, and the same left-to-right accumulation
+    order.  ``tests/test_ir_batch_stream.py`` enforces the identity
+    differentially against ``run_batch``.
+    """
+    tape = ctx.tape
+    cols = tape.cols
+    mapping = ctx.mapping
+    network = ctx.network
+    binary = ctx.binary
+    core = ctx.job.cluster.node.core_model
+    model = ctx.model
+    prep = ctx.pricing_prep
+
+    def kn(name: str) -> np.ndarray | None:
+        vals = knobs.get(name)
+        if vals is None:
+            return None
+        return vals if np.any(vals != 1.0) else None
+
+    compute_scale = kn("compute_scale")
+    comm_scale = kn("comm_scale")
+    serial_scale = kn("serial_scale")
+    bandwidth_scale = kn("bandwidth_scale")
+    rate_scale = kn("rate_scale")
+
+    p = mapping.n_ranks
+    m_nodes = mapping.n_nodes
+    rpn = mapping.ranks_per_node
+    clog = math.ceil(math.log2(p)) if p > 1 else 0
+    link_bw = network.link.bandwidth
+    agg_bw: Any = p * _rank_bw(mapping)
+    if bandwidth_scale is not None:
+        agg_bw = agg_bw * bandwidth_scale
+
+    for r in tape.toolchain_rows:
+        if cols["flops"][r] > 0:
+            occ = tape.rows[r][0]
+            name = tape.names[tape.occ_names[occ]]
+            raise ConfigurationError(
+                f"compute op in phase {name!r} needs a "
+                "kernel class or an explicit rate_per_core"
+            )
+
+    def data_seconds(r: int, b: Any) -> Any:
+        return model.batch_data_seconds(
+            b, {name: cols[name][r] for name in tape.extra_names},
+            agg_bw, prep)
+
+    kernel_agg: dict[Any, float] = {}
+
+    def agg_rate_for_kernel(kernel: Any) -> float:
+        agg = kernel_agg.get(kernel)
+        if agg is None:
+            rate = binary.sustained_flops(core, kernel)  # type: ignore[union-attr]
+            agg = mapping.n_ranks * mapping.rank_compute_rate(0, rate)
+            kernel_agg[kernel] = agg
+        return agg
+
+    pcache: dict[tuple, float] = {}
+
+    def prim_typ(size: int) -> float:
+        key = (0, size)
+        hit = pcache.get(key)
+        if hit is None:
+            if m_nodes == 1:
+                hit = network.link.p2p_time(max(1, size), 0)
+            else:
+                probe = min(max(1, m_nodes // 2), m_nodes - 1)
+                hit = network.p2p_time(0, probe, max(1, size))
+            pcache[key] = hit
+        return hit
+
+    def prim_shm(size: int) -> float:
+        key = (1, size)
+        hit = pcache.get(key)
+        if hit is None:
+            hit = network.link.p2p_time(max(1, size), 0)
+            pcache[key] = hit
+        return hit
+
+    def prim_off(size: int) -> float:
+        key = (2, size)
+        hit = pcache.get(key)
+        if hit is None:
+            hit = network.p2p_time(0, 1, max(1, size))
+            pcache[key] = hit
+        return hit
+
+    one_node = m_nodes == 1
+    p_le1 = p <= 1
+    off_fraction = min(1.0, 2.0 / math.sqrt(rpn)) if rpn > 1 else 1.0
+
+    def comm_cost(r: int, kind: str, neighbors: int) -> float:
+        size = int(cols["size"][r])
+        if kind == "halo":
+            if neighbors <= 0:
+                return 0.0
+            shm = prim_shm(size)
+            if one_node:
+                return neighbors * shm
+            t_off = prim_off(size)
+            off = neighbors * off_fraction
+            on = neighbors - off
+            return off * t_off + on * shm
+        typ = prim_typ(size)
+        if kind in ("allreduce", "bcast", "reduce"):
+            return 0.0 if p_le1 else clog * typ
+        if kind in ("allgather", "gather"):
+            return 0.0 if p_le1 else (p - 1) * typ
+        if kind == "alltoall":
+            if p_le1:
+                return 0.0
+            rounds = (p - 1) * typ
+            nic = ((p - rpn) * rpn * max(size, 1)) / link_bw
+            return max(rounds, nic)
+        # p2p / ring
+        return typ
+
+    n_names = len(tape.names)
+    ph_sec: list[Any] = [0.0] * n_names
+    ph_comp: list[Any] = [0.0] * n_names
+    ph_comm: list[Any] = [0.0] * n_names
+    ph_tf: list[Any] = [0.0] * n_names
+    ph_tb: list[Any] = [0.0] * n_names
+
+    F, B, S = cols["flops"], cols["bytes"], cols["seconds"]
+    IMB, RATE, CNT = cols["imbalance"], cols["rate"], cols["count"]
+
+    for occ, name_idx in enumerate(tape.occ_names):
+        t_compute: Any = 0.0
+        t_comm: Any = 0.0
+        serial: Any = 0.0
+        tf_sum: Any = 0.0
+        tb_sum: Any = 0.0
+        for r in tape.occ_rows[occ]:
+            _, kind, kernel, comm_kind, neighbors, has_rate = tape.rows[r]
+            if kind == _K_SECONDS:
+                t: Any = S[r] * IMB[r]
+                if compute_scale is not None:
+                    t = t * compute_scale
+                t_compute = t_compute + t
+            elif kind == _K_COMPUTE:
+                f = F[r]
+                if f == 0.0:
+                    tf: Any = 0.0
+                elif has_rate:
+                    agg = mapping.n_ranks * mapping.rank_compute_rate(
+                        0, RATE[r])
+                    tf = f / agg
+                else:
+                    tf = f / agg_rate_for_kernel(kernel)
+                if rate_scale is not None:
+                    tf = tf / rate_scale
+                tb: Any = data_seconds(r, B[r])
+                t = np.maximum(tf, tb) * IMB[r]
+                if compute_scale is not None:
+                    t = t * compute_scale
+                t_compute = t_compute + t
+                tf_sum = tf_sum + tf
+                tb_sum = tb_sum + tb
+            elif kind == _K_MEM:
+                tb = data_seconds(r, B[r])
+                t = tb if compute_scale is None else tb * compute_scale
+                t_compute = t_compute + t
+                tb_sum = tb_sum + tb
+            elif kind == _K_SERIAL:
+                s: Any = S[r]
+                if serial_scale is not None:
+                    s = s * serial_scale
+                serial = serial + s
+            elif kind == _K_COMM:
+                one = comm_cost(r, comm_kind, neighbors)
+                cnt = CNT[r]
+                cost: Any = np.where(cnt <= 0.0, 0.0, cnt * one)
+                if comm_scale is not None:
+                    cost = cost * comm_scale
+                t_comm = t_comm + cost
+            else:  # _K_BARRIER
+                typ1 = prim_typ(1)
+                cost = np.where(p_le1, 0.0, clog * typ1)
+                if comm_scale is not None:
+                    cost = cost * comm_scale
+                t_comm = t_comm + cost
+        total = t_compute + t_comm + serial
+        mult = tape.occ_mult[occ]
+        ph_sec[name_idx] = ph_sec[name_idx] + mult * total
+        ph_comp[name_idx] = ph_comp[name_idx] + mult * t_compute
+        ph_comm[name_idx] = ph_comm[name_idx] + mult * t_comm
+        ph_tf[name_idx] = ph_tf[name_idx] + mult * tf_sum
+        ph_tb[name_idx] = ph_tb[name_idx] + mult * tb_sum
+
+    elapsed: Any = 0.0
+    for arr in ph_sec:
+        elapsed = elapsed + arr
+
+    def lane(x: Any) -> np.ndarray:
+        if np.ndim(x) == 0:
+            return np.full(k, float(x))
+        return np.asarray(x, dtype=np.float64)
+
+    return ColumnChunk(
+        start=start,
+        n_ranks=p,
+        elapsed=lane(elapsed),
+        phase_seconds={tape.names[i]: lane(ph_sec[i])
+                       for i in range(n_names)},
+        phase_compute={tape.names[i]: lane(ph_comp[i])
+                       for i in range(n_names)},
+        phase_comm={tape.names[i]: lane(ph_comm[i])
+                    for i in range(n_names)},
+        phase_flops_time={tape.names[i]: lane(ph_tf[i])
+                          for i in range(n_names)},
+        phase_bytes_time={tape.names[i]: lane(ph_tb[i])
+                          for i in range(n_names)},
+    )
+
+
 def _on_new_pricing_model(_model: PricingModel) -> None:
     """A late-registered model may declare tape columns existing tapes
     lack; drop every compiled tape (and the payload memos keyed off their
@@ -931,6 +1438,26 @@ def _on_new_pricing_model(_model: PricingModel) -> None:
 
 
 on_pricing_registered(_on_new_pricing_model)
+
+
+class _StreamChunkWorker:
+    """PersistentPool handler: price one pickled job chunk per call.
+
+    Lives in a spawned worker process; the process-local caches (tape,
+    network, binary, memo) persist across calls, so each worker compiles
+    a given program's tape exactly once — Program is a frozen value type,
+    so pickled copies hit the same :class:`TapeCache` entry.
+    """
+
+    def __init__(self) -> None:
+        self._backend = shared_batch_backend()
+
+    def handle(self, chunk: list[BatchJob]) -> list[RunResult]:
+        return self._backend.run_batch(chunk)
+
+
+def _stream_worker_factory(_init: Any) -> _StreamChunkWorker:
+    return _StreamChunkWorker()
 
 
 _SHARED: BatchAnalyticBackend | None = None

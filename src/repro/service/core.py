@@ -33,11 +33,11 @@ from typing import Any, Mapping
 
 from repro.ir.backend import RunResult
 from repro.ir.batch import (
-    OVERRIDE_KEYS,
     BatchAnalyticBackend,
     BatchJob,
     set_tape_budget,
     tape_cache_stats,
+    validate_overrides,
 )
 from repro.ir.program import Program
 from repro.machine.cluster import ClusterModel
@@ -124,11 +124,12 @@ class Query:
         raw = payload.get("overrides", {})
         if not isinstance(raw, Mapping):
             raise ServiceError(400, "overrides must be an object")
-        bad = set(raw) - OVERRIDE_KEYS
-        if bad:
-            raise ServiceError(
-                400, f"unknown override(s) {sorted(bad)}; "
-                f"choose from {sorted(OVERRIDE_KEYS)}")
+        try:
+            # shared key validation seam (repro.ir.batch): service and
+            # batch layers report identical sorted allowed-key lists
+            validate_overrides({key: 1.0 for key in raw})
+        except ConfigurationError as exc:
+            raise ServiceError(400, str(exc)) from None
         overrides: list[tuple[str, float]] = []
         for key in sorted(raw):
             value = raw[key]

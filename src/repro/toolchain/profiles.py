@@ -103,35 +103,60 @@ _GNU_AVX512 = {
 # Deployment failures (paper Section V)
 # ---------------------------------------------------------------------------
 
-_FUJITSU_FAILURES = {
-    "alya": lambda: CompileHang(
+# Module-level named functions (not lambdas) so CompilerProfile — and the
+# Binary objects that embed one — stay picklable; the streaming batch
+# driver ships BatchJob chunks to PersistentPool workers.
+
+
+def _fujitsu_alya_failure() -> CompileHang:
+    return CompileHang(
         "Fujitsu compiler hangs on Alya's most complex Fortran modules",
         compiler="Fujitsu/1.2.26b",
         application="Alya",
-    ),
-    "nemo": lambda: CompileError(
+    )
+
+
+def _fujitsu_nemo_failure() -> CompileError:
+    return CompileError(
         "Fujitsu compiler reports errors building NEMO v4.0.2",
         compiler="Fujitsu/1.2.26b",
         application="NEMO",
-    ),
-    "gromacs": lambda: CompileError(
+    )
+
+
+def _fujitsu_gromacs_failure() -> CompileError:
+    return CompileError(
         "cmake configuration step fails under the Fujitsu compiler",
         compiler="Fujitsu/1.2.26b",
         application="Gromacs",
-    ),
-    "openifs": lambda: RuntimeFailure(
+    )
+
+
+def _fujitsu_openifs_failure() -> RuntimeFailure:
+    return RuntimeFailure(
         "OpenIFS built with the Fujitsu compiler aborts during execution",
         compiler="Fujitsu/1.2.26b",
         application="OpenIFS",
-    ),
-}
+    )
 
-_GNU831_FAILURES = {
-    "gromacs": lambda: CompileError(
+
+def _gnu831_gromacs_failure() -> CompileError:
+    return CompileError(
         "GNU 8.3.1-sve does not meet the requirements of Gromacs",
         compiler="GNU/8.3.1-sve",
         application="Gromacs",
-    ),
+    )
+
+
+_FUJITSU_FAILURES = {
+    "alya": _fujitsu_alya_failure,
+    "nemo": _fujitsu_nemo_failure,
+    "gromacs": _fujitsu_gromacs_failure,
+    "openifs": _fujitsu_openifs_failure,
+}
+
+_GNU831_FAILURES = {
+    "gromacs": _gnu831_gromacs_failure,
 }
 
 # ---------------------------------------------------------------------------

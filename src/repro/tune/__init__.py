@@ -1,0 +1,48 @@
+"""Auto-tuner: enumerate the configuration space, price millions of
+points, return exact time-vs-energy Pareto frontiers.
+
+The paper's central finding is that toolchain and placement — not
+silicon — decide A64FX application performance.  This package turns that
+descriptive result into a prescriptive tool: it enumerates the
+
+    compiler profile x optimization flags x vectorization
+    x ranks-per-node x threads-per-rank x page policy
+
+space from :mod:`repro.toolchain` and :mod:`repro.smp`, prices
+time-to-solution through the batched IR evaluator's streaming column
+path (:meth:`repro.ir.batch.BatchAnalyticBackend.run_override_columns`)
+under both ``roofline`` and ``ecm`` pricing, derives energy-to-solution
+from :mod:`repro.power`, and keeps only the exact Pareto frontier.
+
+Entry points: :func:`tune` (library) and ``repro-lab tune`` (CLI).
+See ``docs/TUNING.md`` for the search-space and streaming semantics.
+"""
+
+from repro.tune.engine import TuneSpec, tune
+from repro.tune.pareto import dominates, pareto_indices
+from repro.tune.report import TunePoint, TuneResult
+from repro.tune.space import (
+    FLAG_CHOICES,
+    ConfigTemplate,
+    Exclusion,
+    FlagChoice,
+    TuneSpace,
+    build_space,
+    placement_grid,
+)
+
+__all__ = [
+    "FLAG_CHOICES",
+    "ConfigTemplate",
+    "Exclusion",
+    "FlagChoice",
+    "TunePoint",
+    "TuneResult",
+    "TuneSpace",
+    "TuneSpec",
+    "build_space",
+    "dominates",
+    "pareto_indices",
+    "placement_grid",
+    "tune",
+]

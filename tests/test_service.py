@@ -537,3 +537,31 @@ class TestHTTP:
             # a different client has its own bucket
             assert self._post(srv, {"workload": "stream"},
                               headers={"X-Client-Id": "h2"})[0] == 200
+
+    def test_stats_expose_tape_cache_counters(self, server):
+        """/v1/stats surfaces TapeCache hit/miss/eviction counters so
+        tuner-sized workloads can be observed when served (ISSUE 10)."""
+        import urllib.request
+        from repro.ir.batch import clear_caches
+
+        def cache_stats():
+            with urllib.request.urlopen(server.url + "/v1/stats",
+                                        timeout=10) as resp:
+                return json.loads(resp.read())["tape_cache"]
+
+        clear_caches()
+        before = cache_stats()
+        for key in ("hits", "misses", "evictions", "entries",
+                    "resident_bytes"):
+            assert key in before
+        # first pricing of a workload compiles its tape (a miss); the
+        # repeat is served from the warm tape (a hit)
+        assert self._post(server, {"workload": "stream",
+                                   "n_nodes": 3})[0] == 200
+        mid = cache_stats()
+        assert mid["misses"] > before["misses"]
+        assert self._post(server, {"workload": "stream",
+                                   "n_nodes": 3})[0] == 200
+        after = cache_stats()
+        assert after["hits"] > mid["hits"]
+        assert after["entries"] >= 1
